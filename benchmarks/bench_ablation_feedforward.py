@@ -1,0 +1,18 @@
+"""A4 — ablation: curvature feed-forward extension.
+
+The paper's controller consumes ``y_L`` only; the reproduction keeps a
+production-style curvature feed-forward available.  This ablation
+compares case 3 on the dynamic track with and without it.
+"""
+
+from repro.experiments.ablations import format_ablation, run_feedforward_ablation
+
+
+def test_ablation_feedforward(once, capsys):
+    points = once(run_feedforward_ablation)
+    with capsys.disabled():
+        print()
+        print(format_ablation("Ablation — curvature feed-forward (case 3)", points))
+
+    # Both variants must complete the dynamic track.
+    assert not any(p.crashed for p in points)

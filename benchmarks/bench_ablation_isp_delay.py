@@ -1,0 +1,24 @@
+"""A1 — ablation: ISP knob apply lag (paper Sec. III-D argument).
+
+The paper configures PR/control knobs in the same cycle but the ISP
+knob one cycle later, arguing situations do not change per frame.  The
+sweep verifies that 0 vs 1 cycles of lag is QoC-neutral while a much
+slower reconfiguration path degrades the dynamic-track QoC.
+"""
+
+from repro.experiments.ablations import format_ablation, run_isp_lag_ablation
+
+
+def test_ablation_isp_apply_lag(once, capsys):
+    points = once(run_isp_lag_ablation)
+    with capsys.disabled():
+        print()
+        print(format_ablation("Ablation — ISP knob apply lag (case 4)", points))
+
+    by_lag = {p.setting: p for p in points}
+    base = by_lag["lag=1 cycles"]
+    oracle = by_lag["lag=0 cycles"]
+    assert not base.crashed and not oracle.crashed
+    # One cycle of ISP lag costs (almost) nothing vs the same-cycle
+    # oracle: within 20 % relative QoC.
+    assert base.mae <= oracle.mae * 1.2 + 0.005

@@ -1,0 +1,46 @@
+"""A6 — extension: LQG filtering of the noisy look-ahead measurement.
+
+The paper points at the left-turn situations (15/16), where the dotted
+right lane far from the camera adds sensor noise, and suggests an LQG
+controller as future work.  This bench runs that extension: case 3 on
+the left-turn situation with and without the Kalman filter.
+"""
+
+from repro.core.situation import situation_by_index
+from repro.experiments.common import format_table
+from repro.hil.engine import HilConfig, HilEngine
+from repro.sim.world import static_situation_track
+
+
+def test_ablation_lqg(once, capsys):
+    def study():
+        track = static_situation_track(situation_by_index(15), length=140.0)
+        out = {}
+        for use_lqg in (False, True):
+            config = HilConfig(seed=3, use_lqg=use_lqg)
+            result = HilEngine(track, "case3", config=config).run()
+            out["lqg" if use_lqg else "lqr"] = (
+                result.mae(skip_time_s=2.0),
+                result.crashed,
+            )
+        return out
+
+    results = once(study)
+    with capsys.disabled():
+        print()
+        rows = [
+            [name, "CRASH" if crashed else f"{mae * 100:.2f} cm"]
+            for name, (mae, crashed) in results.items()
+        ]
+        print(
+            format_table(
+                ["controller", "MAE (left turn, sit. 15)"],
+                rows,
+                title="Extension — LQG on the noisy left-turn situation",
+            )
+        )
+
+    assert not results["lqr"][1] and not results["lqg"][1]
+    # The filter must not degrade QoC on the noisy situation; the paper
+    # expects an improvement.
+    assert results["lqg"][0] <= results["lqr"][0] * 1.05

@@ -1,0 +1,27 @@
+"""E1 — regenerate Fig. 1 (accuracy vs FPS trade-off)."""
+
+from repro.experiments.common import scale_note
+from repro.experiments.fig1 import format_fig1, run_fig1
+
+
+def test_fig1_tradeoff(once, capsys):
+    points = once(run_fig1)
+    with capsys.disabled():
+        print()
+        print(scale_note())
+        print(format_fig1(points))
+
+    by_name = {p.name: p for p in points}
+    static = by_name["sliding window (static)"]
+    proposed = by_name["proposed (situation-aware)"]
+    dense = [p for name, p in by_name.items() if "dense" in name]
+
+    # Shape assertions from the paper's Fig. 1:
+    # the static sliding window is the least accurate detector,
+    assert static.accuracy < proposed.accuracy
+    assert all(static.accuracy < p.accuracy for p in dense)
+    # the dense (CNN-class) detectors are far below real time,
+    assert all(p.fps < 10.0 for p in dense)
+    # and the proposed design keeps a near-sliding-window frame rate.
+    assert proposed.fps > 25.0
+    assert static.fps > 35.0

@@ -1,0 +1,45 @@
+"""E6 — regenerate Fig. 6 (static per-situation robustness and QoC).
+
+Default: a representative subset of the 21 situations; REPRO_FULL=1
+runs all of them (tens of minutes).
+"""
+
+import numpy as np
+
+from repro.experiments.common import scale_note
+from repro.experiments.fig6 import CASES_FIG6, format_fig6, run_fig6
+
+
+def test_fig6_static(once, capsys):
+    results = once(run_fig6)
+    with capsys.disabled():
+        print()
+        print(scale_note())
+        print(format_fig6(results))
+
+    by_case = {case: {} for case in CASES_FIG6}
+    for r in results:
+        by_case[r.case][r.index] = r
+
+    # Robustness shape (paper Sec. IV-C): the robust cases never fail.
+    assert not any(r.crashed for r in by_case["case3"].values())
+    assert not any(r.crashed for r in by_case["case4"].values())
+
+    # Case 1 (static knobs) degrades on the hard turn situations: its
+    # worst normalized QoC across turn situations far exceeds case 3's.
+    turn_indices = [i for i in by_case["case1"] if i >= 8]
+    if turn_indices:
+        worst_case1 = max(
+            (
+                np.inf
+                if by_case["case1"][i].crashed
+                else by_case["case1"][i].normalized
+            )
+            for i in turn_indices
+        )
+        assert worst_case1 > 2.0
+
+    # On day straights the fast cases match or beat the robust baseline.
+    straight_days = [i for i in by_case["case1"] if i <= 4]
+    for i in straight_days:
+        assert not by_case["case1"][i].crashed

@@ -1,0 +1,22 @@
+"""E7 — regenerate Fig. 7 (the nine-sector world model)."""
+
+from repro.core.situation import RoadLayout, Scene
+from repro.experiments.fig7 import format_fig7, run_fig7
+
+
+def test_fig7_track(once, capsys):
+    rows = once(run_fig7)
+    with capsys.disabled():
+        print()
+        print(format_fig7(rows))
+
+    assert len(rows) == 9
+    layouts = [r.situation.layout for r in rows]
+    # The track covers straight, left and right layouts (Sec. IV-D).
+    assert set(layouts) == {RoadLayout.STRAIGHT, RoadLayout.LEFT, RoadLayout.RIGHT}
+    # Sector 2 is the first turn; sector 6 the dotted-lane turn.
+    assert layouts[1] is not RoadLayout.STRAIGHT
+    assert rows[5].situation.lane_form.value == "dotted"
+    # Night -> dark transition at sector 8 -> 9.
+    assert rows[7].situation.scene is Scene.NIGHT
+    assert rows[8].situation.scene is Scene.DARK

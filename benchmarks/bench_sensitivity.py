@@ -1,0 +1,48 @@
+"""A5 — Monte-Carlo knob sensitivity (paper Sec. III-B, first step).
+
+Reproduces the analysis that selected the configurable knobs: on a turn
+situation the ROI (and speed) dominate the QoC variance; on a dark
+straight the ISP configuration does.
+"""
+
+from repro.core.sensitivity import SensitivityConfig, knob_sensitivity
+from repro.core.situation import situation_by_index
+from repro.experiments.common import format_table
+
+
+def test_knob_sensitivity(once, capsys):
+    def study():
+        turn = knob_sensitivity(
+            situation_by_index(8), SensitivityConfig(n_samples=14)
+        )
+        dark = knob_sensitivity(
+            situation_by_index(7),
+            SensitivityConfig(
+                n_samples=14, roi_names=("ROI 1",), isp_names=("S0", "S2", "S5", "S7")
+            ),
+        )
+        return turn, dark
+
+    turn, dark = once(study)
+    with capsys.disabled():
+        print()
+        rows = [
+            [
+                report.situation.describe(),
+                *(f"{report.main_effect[k] * 100:.0f}%" for k in ("isp", "roi", "speed")),
+            ]
+            for report in (turn, dark)
+        ]
+        print(
+            format_table(
+                ["situation", "ISP effect", "ROI effect", "speed effect"],
+                rows,
+                title="Monte-Carlo knob sensitivity (share of QoC variance)",
+            )
+        )
+
+    # On a turn, the ROI knob explains a large share of the variance.
+    assert turn.main_effect["roi"] >= 0.2
+    # In the dark, with the ROI pinned, the ISP knob dominates.
+    assert dark.main_effect["isp"] >= 0.3
+    assert dark.ranked_knobs()[0] == "isp"

@@ -1,0 +1,72 @@
+"""Micro-benchmarks of the substrate hot paths (repeated timing).
+
+Unlike the experiment benches (one run, scientific output), these
+measure throughput of the individual pipeline pieces: frame rendering,
+ISP configurations, perception, control design and classifier
+inference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.classifiers.models import build_tiny_resnet
+from repro.control.lqr import design_lqr
+from repro.core.situation import situation_by_index
+from repro.isp.pipeline import IspPipeline
+from repro.perception.pipeline import PerceptionPipeline
+from repro.sim.camera import CameraModel
+from repro.sim.renderer import RoadSceneRenderer
+from repro.sim.vehicle import Vehicle, VehicleParams, VehicleState
+from repro.sim.world import static_situation_track
+
+
+@pytest.fixture(scope="module")
+def scene():
+    camera = CameraModel(width=384, height=192)
+    track = static_situation_track(situation_by_index(1), length=200.0)
+    renderer = RoadSceneRenderer(camera, track, seed=0)
+    pose = track.pose_at(40.0, 0.1)
+    raw = renderer.render_raw(pose)
+    rgb = IspPipeline("S0").process(raw)
+    return camera, track, renderer, pose, raw, rgb
+
+
+def test_bench_render_raw(benchmark, scene):
+    _, _, renderer, pose, _, _ = scene
+    benchmark(renderer.render_raw, pose)
+
+
+@pytest.mark.parametrize("config", ["S0", "S3", "S5", "S8"])
+def test_bench_isp(benchmark, scene, config):
+    _, _, _, _, raw, _ = scene
+    pipeline = IspPipeline(config)
+    pipeline.process(raw)  # warm shape caches
+    benchmark(pipeline.process, raw)
+
+
+def test_bench_perception(benchmark, scene):
+    camera, _, _, _, _, rgb = scene
+    pipeline = PerceptionPipeline(camera, "ROI 1")
+    pipeline.process(rgb)
+    benchmark(pipeline.process, rgb)
+
+
+def test_bench_lqr_design(benchmark):
+    params = VehicleParams()
+    benchmark(design_lqr, params, 13.9, 0.025, 0.0246)
+
+
+def test_bench_vehicle_step(benchmark):
+    from repro.sim.geometry import Pose2D
+
+    vehicle = Vehicle(VehicleParams(), VehicleState(pose=Pose2D(0, 0, 0)))
+    benchmark(vehicle.step, 0.005, 0.05)
+
+
+def test_bench_classifier_inference(benchmark):
+    model = build_tiny_resnet(5, seed=0)
+    x = np.random.default_rng(0).standard_normal((1, 3, 24, 48)).astype(np.float32)
+    model.forward(x)
+    benchmark(model.forward, x)

@@ -1,0 +1,44 @@
+"""E3 — regenerate Table III (situation-specific knob characterization).
+
+By default a representative subset of situations is characterized (the
+full 21-situation sweep takes tens of minutes: REPRO_FULL=1).  Results
+are cached under ``~/.cache/repro/characterization``.
+"""
+
+from repro.core.situation import RoadLayout
+from repro.experiments.common import scale_note
+from repro.experiments.table3 import format_table3, run_table3
+
+
+def test_table3_characterization(once, capsys):
+    rows = once(run_table3)
+    with capsys.disabled():
+        print()
+        print(scale_note())
+        print(format_table3(rows))
+
+    by_index = {row.index: row for row in rows}
+    # Shape assertions against the paper's Table III:
+    for row in rows:
+        layout = row.situation.layout
+        # Speed knob: 50 on straights; turns pick from the knob set
+        # (the paper's sweep settles on 30 for every turn; ours keeps
+        # 50 on some left turns — see EXPERIMENTS.md).
+        if layout is RoadLayout.STRAIGHT:
+            assert row.knobs.speed_kmph == 50.0
+        else:
+            assert row.knobs.speed_kmph in (30.0, 50.0)
+        # ROI knob follows the layout family.
+        if layout is RoadLayout.STRAIGHT:
+            assert row.knobs.roi == "ROI 1"
+        elif layout is RoadLayout.RIGHT:
+            assert row.knobs.roi in ("ROI 2", "ROI 3")
+        else:
+            assert row.knobs.roi in ("ROI 4", "ROI 5")
+    # Right turns reproduce the paper's 30 kmph choice.
+    for row in rows:
+        if row.situation.layout is RoadLayout.RIGHT:
+            assert row.knobs.speed_kmph == 30.0
+    # Most situations admit a cheap ISP knob -> h = 25 ms sampling.
+    fast = sum(1 for row in rows if row.period_ms == 25.0)
+    assert fast >= len(rows) // 2

@@ -1,0 +1,52 @@
+"""Design-time characterization of one situation (paper Sec. III-B).
+
+Sweeps the configurable knobs (ISP configuration x ROI x speed) for a
+chosen situation in closed-loop simulation and prints the ranked
+results — the process that fills one row of Table III.
+
+Run:  python examples/characterize_situation.py           (situation 8)
+      python examples/characterize_situation.py 20        (pick another)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.characterization import (
+    CharacterizationConfig,
+    characterize_situation,
+    prescreen_isp,
+)
+from repro.core.situation import situation_by_index
+
+
+def main() -> None:
+    index = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    situation = situation_by_index(index)
+    config = CharacterizationConfig()
+    print(f"characterizing situation {index}: {situation.describe()}\n")
+
+    print("ISP prescreen (frame-level bad-frame rate):")
+    for isp, bad in prescreen_isp(situation, config):
+        flag = "  <- detectable" if bad <= config.prescreen_bad_limit else ""
+        print(f"  {isp}: {bad * 100:5.1f} %{flag}")
+
+    print("\nclosed-loop sweep (best first):")
+    evaluations = characterize_situation(situation, config)
+    for ev in evaluations:
+        status = "CRASH" if ev.crashed else f"MAE {ev.mae * 100:6.2f} cm"
+        print(
+            f"  {ev.knobs.isp}  {ev.knobs.roi}  v={ev.knobs.speed_kmph:2.0f} kmph "
+            f"-> {status}   (h={ev.period_ms:.0f} ms, tau={ev.delay_ms:.1f} ms)"
+        )
+
+    best = evaluations[0]
+    print(
+        f"\nTable III row: {situation.describe()} -> {best.knobs.isp}, "
+        f"{best.knobs.roi}, [{best.knobs.speed_kmph:.0f}, "
+        f"{best.period_ms:.0f}, {best.delay_ms:.1f}]"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Control design walkthrough: delay-aware LQR and switching stability.
+
+Designs the situation-specific LQR gains for the paper's (v, h, tau)
+tuples, shows how delay and sampling shape the achievable closed loop,
+and certifies switching stability across the whole gain set with a
+common quadratic Lyapunov function (paper Sec. III-D, refs [15], [16]).
+
+Run:  python examples/design_controller.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.control import GainScheduler, find_cqlf, verify_cqlf
+from repro.sim import VehicleParams
+
+
+def main() -> None:
+    params = VehicleParams()
+    scheduler = GainScheduler(params)
+
+    print("designing LQR gains for the paper's control-knob tuples:\n")
+    design_points = [
+        ("case 1 static", 50.0, 25.0, 24.6),
+        ("case 2 static", 50.0, 35.0, 30.1),
+        ("case 3 static", 50.0, 40.0, 35.6),
+        ("Table III #1 ", 50.0, 25.0, 23.1),
+        ("Table III #8 ", 30.0, 25.0, 22.5),
+        ("Table III #20", 30.0, 45.0, 40.7),
+    ]
+    for label, v_kmph, h_ms, tau_ms in design_points:
+        gains = scheduler.gains_for(v_kmph / 3.6, h_ms / 1000.0, tau_ms / 1000.0)
+        print(
+            f"  {label}: v={v_kmph:2.0f} kmph h={h_ms:2.0f} ms tau={tau_ms:4.1f} ms "
+            f"-> spectral radius {gains.closed_loop_radius:.4f}, "
+            f"K = {np.round(gains.k.ravel(), 3)}"
+        )
+
+    print("\nswitching stability across all designs (CQLF search):")
+    modes = [g.a_closed for g in scheduler.cached_designs()]
+    p = find_cqlf(modes)
+    if p is None:
+        print("  no CQLF found (search failed)")
+        return
+    assert verify_cqlf(p, modes)
+    eigvals = np.linalg.eigvalsh(p)
+    print(f"  CQLF found and verified: P > 0 with eig(P) in "
+          f"[{eigvals[0]:.2e}, {eigvals[-1]:.2e}]")
+    print("  -> runtime switching between the situation-specific")
+    print("     controllers cannot destabilize the loop (Sec. III-D).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""The Fig. 7/8 scenario: dynamic switching across nine road sectors.
+
+Drives two designs over the paper's case-study track — the fast but
+situation-blind case 1 and the fully adaptive case 4 — and prints the
+per-sector story: where the static design loses the lane, and how the
+adaptive design's knobs follow the situations.
+
+Run:  python examples/dynamic_track.py            (two cases, ~3 min)
+      python examples/dynamic_track.py all        (all five cases)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.fig7 import format_fig7, run_fig7
+from repro.hil import HilConfig, HilEngine
+from repro.sim import fig7_track
+
+
+def drive(case: str, track) -> None:
+    print(f"\n=== {case} ===")
+    result = HilEngine(track, case, config=HilConfig(seed=1)).run()
+    sectors = result.sector_qoc(track, skip_distance_m=15.0)
+    for sector in sectors:
+        situation = track.segments[sector.sector - 1].situation
+        if sector.failed:
+            status = "CRASH"
+        elif not sector.reached:
+            status = "not reached"
+        elif sector.mae is None:
+            status = "-"
+        else:
+            status = f"MAE {sector.mae * 100:5.1f} cm"
+        print(f"  sector {sector.sector} ({situation.describe():38s}): {status}")
+    if result.crashed:
+        print(f"  -> lane departure at s = {result.crash_s:.0f} m")
+    else:
+        print(f"  -> track completed, overall MAE {result.mae(2.0) * 100:.1f} cm")
+    # Show the knob trajectory: distinct (ISP, ROI, v) tuples in order.
+    knobs = []
+    for cycle in result.cycles:
+        tup = (cycle.active_isp, cycle.roi, cycle.speed_kmph)
+        if not knobs or knobs[-1] != tup:
+            knobs.append(tup)
+    pretty = " -> ".join(f"{i}/{r.split()[-1]}/{int(v)}" for i, r, v in knobs[:12])
+    print(f"  knob trajectory (ISP/ROI/v): {pretty}")
+
+
+def main() -> None:
+    track = fig7_track()
+    print(format_fig7(run_fig7(track)))
+    cases = ("case1", "case4")
+    if len(sys.argv) > 1 and sys.argv[1] == "all":
+        cases = ("case1", "case2", "case3", "case4", "variable")
+    for case in cases:
+        drive(case, track)
+
+
+if __name__ == "__main__":
+    main()

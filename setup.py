@@ -1,0 +1,14 @@
+"""Setuptools shim.
+
+The offline evaluation environment has no `wheel` package, so PEP-517
+editable installs (`pip install -e .`) cannot build a wheel.  This shim
+enables the legacy `setup.py develop` path:
+
+    pip install -e . --no-use-pep517 --no-build-isolation
+
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

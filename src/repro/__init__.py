@@ -1,0 +1,19 @@
+"""repro: reproduction of "Hardware- and Situation-Aware Sensing for
+Robust Closed-Loop Control Systems" (DATE 2021).
+
+Subpackages
+-----------
+- :mod:`repro.sim` — track / renderer / vehicle substrate (Webots stand-in)
+- :mod:`repro.isp` — RAW->RGB image signal processing pipeline (S0-S8)
+- :mod:`repro.perception` — sliding-window lane detection + baselines
+- :mod:`repro.control` — bicycle model, delay-aware LQR, switching checks
+- :mod:`repro.platform` — NVIDIA AGX Xavier timing/schedule model
+- :mod:`repro.nn` — minimal numpy neural-network framework
+- :mod:`repro.classifiers` — road / lane / scene situation classifiers
+- :mod:`repro.core` — situations, knobs, characterization, reconfiguration
+- :mod:`repro.hil` — closed-loop hardware-in-the-loop engine
+- :mod:`repro.metrics` — QoC (MAE) and detection-accuracy metrics
+- :mod:`repro.experiments` — regeneration of every paper table/figure
+"""
+
+__version__ = "1.0.0"

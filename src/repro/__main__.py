@@ -1,0 +1,149 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+run            one closed-loop simulation (situation x case)
+track          the Fig. 7/8 dynamic-track study
+characterize   design-time knob sweep for a situation (Table III row)
+train          train / load the three situation classifiers (Table IV)
+sensitivity    Monte-Carlo knob-sensitivity study (Sec. III-B)
+report         regenerate every paper artifact into a markdown report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.core.situation import situation_by_index
+    from repro.hil import HilConfig, HilEngine
+    from repro.sim import static_situation_track
+
+    situation = situation_by_index(args.situation)
+    track = static_situation_track(situation, length=args.length)
+    engine = HilEngine(track, args.case, config=HilConfig(seed=args.seed))
+    result = engine.run()
+    status = "CRASHED" if result.crashed else "completed"
+    print(f"{args.case} on '{situation.describe()}': {status}")
+    print(f"MAE = {result.mae(skip_time_s=2.0) * 100:.2f} cm over "
+          f"{result.duration_s():.1f} s")
+    return 1 if result.crashed else 0
+
+
+def _cmd_track(args: argparse.Namespace) -> int:
+    from repro.experiments.fig8 import format_fig8, run_fig8
+
+    cases = args.cases.split(",") if args.cases else None
+    results = run_fig8(cases=cases) if cases else run_fig8()
+    print(format_fig8(results))
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.core.characterization import (
+        CharacterizationConfig,
+        characterize_situation,
+    )
+    from repro.core.situation import situation_by_index
+
+    situation = situation_by_index(args.situation)
+    evaluations = characterize_situation(situation, CharacterizationConfig())
+    print(f"{situation.describe()}:")
+    for ev in evaluations:
+        status = "CRASH" if ev.crashed else f"MAE {ev.mae * 100:6.2f} cm"
+        print(
+            f"  {ev.knobs.isp} {ev.knobs.roi} v={ev.knobs.speed_kmph:.0f} "
+            f"-> {status} (h={ev.period_ms:.0f}, tau={ev.delay_ms:.1f})"
+        )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.classifiers.train import train_all_classifiers
+
+    results = train_all_classifiers(use_cache=not args.no_cache, verbose=True)
+    for name, result in results.items():
+        print(f"{name}: val accuracy {result.val_accuracy * 100:.2f} % "
+              f"({'cache' if result.from_cache else 'trained'})")
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.core.sensitivity import SensitivityConfig, knob_sensitivity
+    from repro.core.situation import situation_by_index
+
+    report = knob_sensitivity(
+        situation_by_index(args.situation),
+        SensitivityConfig(n_samples=args.samples),
+    )
+    print(f"{report.situation.describe()}: QoC variance share per knob")
+    for knob in report.ranked_knobs():
+        print(f"  {knob:6s}: {report.main_effect[knob] * 100:5.1f} %")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    generate_report(
+        path=args.output,
+        include_dynamic=not args.skip_dynamic,
+        include_characterization=not args.skip_characterization,
+        include_classifiers=not args.skip_classifiers,
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DATE 2021 'Hardware- and Situation-Aware Sensing' reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="one closed-loop simulation")
+    p_run.add_argument("--situation", type=int, default=1, help="Table III index 1-21")
+    p_run.add_argument("--case", default="case3",
+                       choices=["case1", "case2", "case3", "case4", "variable", "adaptive"])
+    p_run.add_argument("--length", type=float, default=150.0)
+    p_run.add_argument("--seed", type=int, default=1)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_track = sub.add_parser("track", help="Fig. 7/8 dynamic-track study")
+    p_track.add_argument("--cases", default="", help="comma list, default all five")
+    p_track.set_defaults(func=_cmd_track)
+
+    p_char = sub.add_parser("characterize", help="knob sweep for one situation")
+    p_char.add_argument("--situation", type=int, default=8)
+    p_char.set_defaults(func=_cmd_characterize)
+
+    p_train = sub.add_parser("train", help="train the situation classifiers")
+    p_train.add_argument("--no-cache", action="store_true")
+    p_train.set_defaults(func=_cmd_train)
+
+    p_sens = sub.add_parser("sensitivity", help="Monte-Carlo knob sensitivity")
+    p_sens.add_argument("--situation", type=int, default=8)
+    p_sens.add_argument("--samples", type=int, default=24)
+    p_sens.set_defaults(func=_cmd_sensitivity)
+
+    p_report = sub.add_parser("report", help="regenerate all paper artifacts")
+    p_report.add_argument("--output", default="report.md")
+    p_report.add_argument("--skip-dynamic", action="store_true")
+    p_report.add_argument("--skip-characterization", action="store_true")
+    p_report.add_argument("--skip-classifiers", action="store_true")
+    p_report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Situation classifiers (paper Sec. III-C, Table IV).
+
+Three light-weight CNN classifiers identify the operating situation
+from the ISP output frame:
+
+- **road**  — straight / left turn / right turn (3 classes),
+- **lane**  — white continuous / white dotted / yellow continuous /
+  yellow double (4 classes),
+- **scene** — day / night / dark / dawn / dusk (5 classes).
+
+The paper uses ResNet-18 fine-tuned per task; this reproduction trains
+small residual CNNs (same design cues, scaled to the synthetic task) on
+renderer-generated datasets with the paper's train/val split sizes.
+Their 5.5 ms Xavier runtime lives in the platform model.
+"""
+
+from repro.classifiers.dataset import (
+    ClassifierDataset,
+    DatasetConfig,
+    generate_dataset,
+    ROAD_CLASSES,
+    LANE_CLASSES,
+    SCENE_CLASSES,
+)
+from repro.classifiers.models import SituationClassifier, build_tiny_resnet
+from repro.classifiers.train import TrainedClassifier, train_classifier, train_all_classifiers
+from repro.classifiers.runtime import CnnIdentifier
+
+__all__ = [
+    "ClassifierDataset",
+    "DatasetConfig",
+    "generate_dataset",
+    "ROAD_CLASSES",
+    "LANE_CLASSES",
+    "SCENE_CLASSES",
+    "SituationClassifier",
+    "build_tiny_resnet",
+    "TrainedClassifier",
+    "train_classifier",
+    "train_all_classifiers",
+    "CnnIdentifier",
+]

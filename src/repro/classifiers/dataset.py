@@ -1,0 +1,242 @@
+"""Synthetic classifier datasets (the paper's Sec. III-C data stand-in).
+
+Each dataset renders frames across randomized situations, vehicle poses
+and ISP configurations (the classifiers consume whatever the active ISP
+produces at runtime, so training must span the ISP knob space), then
+downsamples to the network input size.  Split sizes follow Table IV:
+
+=========  ======  =====  ===
+classifier total   train  val
+=========  ======  =====  ===
+road       5866    5353   513
+lane       4781    3939   842
+scene      4703    3892   811
+=========  ======  =====  ===
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.situation import (
+    LaneColor,
+    LaneForm,
+    RoadLayout,
+    Scene,
+    Situation,
+)
+from repro.isp.configs import ISP_CONFIGS
+from repro.isp.pipeline import IspPipeline
+from repro.sim.camera import CameraModel
+from repro.sim.geometry import Pose2D
+from repro.sim.renderer import RoadSceneRenderer
+from repro.sim.world import static_situation_track
+from repro.utils.rng import derive_rng
+
+__all__ = [
+    "ROAD_CLASSES",
+    "LANE_CLASSES",
+    "SCENE_CLASSES",
+    "DatasetConfig",
+    "ClassifierDataset",
+    "generate_dataset",
+    "TABLE4_SPLITS",
+]
+
+#: Output class lists (order = label index), matching Table IV.
+ROAD_CLASSES: Tuple[RoadLayout, ...] = (
+    RoadLayout.STRAIGHT,
+    RoadLayout.LEFT,
+    RoadLayout.RIGHT,
+)
+LANE_CLASSES: Tuple[Tuple[LaneColor, LaneForm], ...] = (
+    (LaneColor.WHITE, LaneForm.CONTINUOUS),
+    (LaneColor.WHITE, LaneForm.DOTTED),
+    (LaneColor.YELLOW, LaneForm.CONTINUOUS),
+    (LaneColor.YELLOW, LaneForm.DOUBLE),
+)
+SCENE_CLASSES: Tuple[Scene, ...] = (
+    Scene.DAY,
+    Scene.NIGHT,
+    Scene.DARK,
+    Scene.DAWN,
+    Scene.DUSK,
+)
+
+#: (total, train, val) sizes of Table IV.
+TABLE4_SPLITS: Dict[str, Tuple[int, int, int]] = {
+    "road": (5866, 5353, 513),
+    "lane": (4781, 3939, 842),
+    "scene": (4703, 3892, 811),
+}
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Generation parameters of one classifier dataset.
+
+    ``n_train`` / ``n_val`` default to the Table IV split when left at
+    zero.  Frames are rendered at ``render_width x render_height`` and
+    block-averaged down by ``downsample`` for the network input.
+    """
+
+    classifier: str
+    n_train: int = 0
+    n_val: int = 0
+    render_width: int = 96
+    render_height: int = 48
+    downsample: int = 2
+    seed: int = 7
+
+    def __post_init__(self):
+        if self.classifier not in TABLE4_SPLITS:
+            raise ValueError(f"unknown classifier {self.classifier!r}")
+        if self.render_width % self.downsample or self.render_height % self.downsample:
+            raise ValueError("render size must be divisible by downsample")
+
+    def resolved_sizes(self) -> Tuple[int, int]:
+        """Return ``(n_train, n_val)``, defaulting to the Table IV split."""
+        _, train, val = TABLE4_SPLITS[self.classifier]
+        return (self.n_train or train, self.n_val or val)
+
+    @property
+    def input_shape(self) -> Tuple[int, int, int]:
+        """(C, H, W) of the network input."""
+        return (
+            3,
+            self.render_height // self.downsample,
+            self.render_width // self.downsample,
+        )
+
+    def to_config(self) -> Dict[str, object]:
+        """JSON-friendly form for cache hashing."""
+        from repro.sim.renderer import RENDERER_VERSION
+
+        n_train, n_val = self.resolved_sizes()
+        return {
+            "classifier": self.classifier,
+            "n_train": n_train,
+            "n_val": n_val,
+            "render": [self.render_width, self.render_height],
+            "downsample": self.downsample,
+            "seed": self.seed,
+            "renderer_version": RENDERER_VERSION,
+        }
+
+
+@dataclass
+class ClassifierDataset:
+    """Arrays of one generated dataset (NCHW float32 inputs)."""
+
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_val: np.ndarray
+    y_val: np.ndarray
+    classes: Tuple
+    config: DatasetConfig
+
+    @property
+    def n_classes(self) -> int:
+        """Number of output classes of this dataset."""
+        return len(self.classes)
+
+
+def block_downsample(image: np.ndarray, factor: int) -> np.ndarray:
+    """Average ``factor x factor`` blocks of an ``(H, W, C)`` image."""
+    if factor == 1:
+        return image
+    h, w, c = image.shape
+    if h % factor or w % factor:
+        raise ValueError(f"image {image.shape} not divisible by {factor}")
+    return (
+        image.reshape(h // factor, factor, w // factor, factor, c)
+        .mean(axis=(1, 3))
+        .astype(np.float32)
+    )
+
+
+def to_network_input(image: np.ndarray, factor: int) -> np.ndarray:
+    """Downsample + HWC->CHW + per-image standardization."""
+    small = block_downsample(image, factor)
+    chw = np.transpose(small, (2, 0, 1))
+    mean = chw.mean()
+    std = max(float(chw.std()), 1e-4)
+    return ((chw - mean) / std).astype(np.float32)
+
+
+def _sample_situation(classifier: str, label_idx: int, rng) -> Situation:
+    """A random situation whose *classifier* feature equals the label."""
+    layout = ROAD_CLASSES[rng.integers(len(ROAD_CLASSES))]
+    color, form = LANE_CLASSES[rng.integers(len(LANE_CLASSES))]
+    scene = SCENE_CLASSES[rng.integers(len(SCENE_CLASSES))]
+    if classifier == "road":
+        layout = ROAD_CLASSES[label_idx]
+    elif classifier == "lane":
+        color, form = LANE_CLASSES[label_idx]
+    else:
+        scene = SCENE_CLASSES[label_idx]
+    return Situation(layout, color, form, scene)
+
+
+def generate_dataset(config: DatasetConfig) -> ClassifierDataset:
+    """Render one balanced, labelled dataset for a classifier."""
+    classes = {
+        "road": ROAD_CLASSES,
+        "lane": LANE_CLASSES,
+        "scene": SCENE_CLASSES,
+    }[config.classifier]
+    n_train, n_val = config.resolved_sizes()
+    total = n_train + n_val
+    rng = derive_rng(config.seed, f"dataset/{config.classifier}")
+    camera = CameraModel(width=config.render_width, height=config.render_height)
+    isp_names = list(ISP_CONFIGS)
+
+    c, h, w = config.input_shape
+    images = np.empty((total, c, h, w), dtype=np.float32)
+    labels = np.empty(total, dtype=np.int64)
+
+    # Renderers/ISPs are cached per (situation, isp) for reuse.
+    renderer_cache: Dict[Tuple, RoadSceneRenderer] = {}
+    isp_cache: Dict[str, IspPipeline] = {}
+
+    for i in range(total):
+        label = int(i % len(classes))
+        situation = _sample_situation(config.classifier, label, rng)
+        key = situation.to_config()
+        renderer = renderer_cache.get(key)
+        if renderer is None:
+            # lead_in=0: every rendered frame must look like its label
+            # (the evaluation lead-in stretch would mislabel turns).
+            track = static_situation_track(situation, length=220.0, lead_in=0.0)
+            renderer = RoadSceneRenderer(
+                camera, track, seed=config.seed + len(renderer_cache)
+            )
+            renderer_cache[key] = renderer
+        track = renderer.track
+        s0 = rng.uniform(15.0, track.length - 40.0)
+        d0 = rng.uniform(-0.4, 0.4)
+        psi = rng.uniform(-0.03, 0.03)
+        center = track.pose_at(float(s0), float(d0))
+        pose = Pose2D(center.x, center.y, center.heading + float(psi))
+
+        isp_name = isp_names[rng.integers(len(isp_names))]
+        isp = isp_cache.setdefault(isp_name, IspPipeline(isp_name))
+        raw = renderer.render_raw(pose, situation.scene)
+        rgb = isp.process(raw)
+        images[i] = to_network_input(rgb, config.downsample)
+        labels[i] = label
+
+    order = rng.permutation(total)
+    images = images[order]
+    labels = labels[order]
+    return ClassifierDataset(
+        x_train=images[:n_train],
+        y_train=labels[:n_train],
+        x_val=images[n_train:],
+        y_val=labels[n_train:],
+        classes=classes,
+        config=config,
+    )

@@ -1,0 +1,41 @@
+"""Runtime situation identification backed by the trained CNNs."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.classifiers.dataset import to_network_input
+from repro.classifiers.models import SituationClassifier
+from repro.core.reconfiguration import SituationIdentifier
+from repro.core.situation import Situation
+
+__all__ = ["CnnIdentifier"]
+
+
+class CnnIdentifier(SituationIdentifier):
+    """Identify situation features by running the trained classifiers.
+
+    The incoming ISP frame is block-averaged to each network's input
+    size (the frame must be an integer multiple — the default HiL frame
+    of 384x192 maps onto the 48x24 network input with factor 8).
+    """
+
+    def __init__(self, classifiers: Mapping[str, SituationClassifier]):
+        missing = {"road", "lane", "scene"} - set(classifiers)
+        if missing:
+            raise ValueError(f"missing classifiers: {sorted(missing)}")
+        self.classifiers: Dict[str, SituationClassifier] = dict(classifiers)
+
+    def identify(
+        self,
+        frame_rgb: np.ndarray,
+        which: Tuple[str, ...],
+        true_situation: Situation,
+    ) -> Dict[str, object]:
+        """Run the requested classifiers on *frame_rgb* (see base class)."""
+        result: Dict[str, object] = {}
+        for name in which:
+            result[name] = self.classifiers[name].predict_frame(frame_rgb)
+        return result

@@ -1,0 +1,34 @@
+"""Discrete-time control substrate (paper Sec. II, `T_c`).
+
+Vision-based lateral control of the bicycle model [13]: the controller
+is an LQR designed for a sampling period ``h`` and a (worst-case)
+sensor-to-actuation delay ``tau`` (the paper's ``(h, tau)`` annotation),
+with gain scheduling over the control knobs (vehicle speed, h, tau) and
+a common-quadratic-Lyapunov-function check certifying stability under
+runtime switching between situation-specific designs [15], [16].
+"""
+
+from repro.control.model import lateral_model, LateralModel
+from repro.control.discretize import discretize_with_delay, DelayedDiscreteModel
+from repro.control.lqr import ControllerGains, LqrWeights, design_lqr
+from repro.control.controller import LaneKeepingController, ControlState
+from repro.control.gains import GainScheduler
+from repro.control.switching import find_cqlf, verify_cqlf
+from repro.control.lqg import KalmanLaneEstimator, design_kalman_gain
+
+__all__ = [
+    "lateral_model",
+    "LateralModel",
+    "discretize_with_delay",
+    "DelayedDiscreteModel",
+    "ControllerGains",
+    "LqrWeights",
+    "design_lqr",
+    "LaneKeepingController",
+    "ControlState",
+    "GainScheduler",
+    "find_cqlf",
+    "verify_cqlf",
+    "KalmanLaneEstimator",
+    "design_kalman_gain",
+]

@@ -1,0 +1,121 @@
+"""Runtime lane-keeping controller.
+
+Applies the scheduled LQR gain to the measured state and implements the
+measurement hold used when perception reports an invalid frame (no lane
+found): the last valid measurement is reused, which is realistic and is
+also what lets a mis-configured ROI escalate into a crash instead of a
+silent recovery.
+
+Optionally a curvature feed-forward term (disabled by default — the
+paper's controller consumes ``y_L`` only) adds the steady-state steering
+for the perception pipeline's curvature estimate; the ablation
+benchmarks quantify its effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.control.lqr import ControllerGains
+from repro.perception.pipeline import PerceptionResult
+
+__all__ = ["ControlState", "LaneKeepingController"]
+
+
+@dataclass
+class ControlState:
+    """Mutable controller memory."""
+
+    u_prev: float = 0.0
+    held_y_l: float = 0.0
+    held_eps_l: float = 0.0
+    held_curvature: float = 0.0
+    missed_frames: int = 0
+
+
+class LaneKeepingController:
+    """LQR + curvature feed-forward with runtime gain switching."""
+
+    def __init__(
+        self,
+        gains: ControllerGains,
+        steer_limit: float = 0.55,
+        use_feedforward: bool = False,
+        jump_gate_m: float = 0.75,
+        gate_max_misses: int = 6,
+    ):
+        self.gains = gains
+        self.steer_limit = steer_limit
+        self.use_feedforward = use_feedforward
+        self.jump_gate_m = jump_gate_m
+        self.gate_max_misses = gate_max_misses
+        self.state = ControlState()
+
+    def set_gains(self, gains: ControllerGains) -> None:
+        """Switch to another pre-designed gain set (situation change).
+
+        The controller memory (previous input, held measurement) is kept:
+        switching must not discontinuously reset the loop.
+        """
+        self.gains = gains
+
+    def reset(self) -> None:
+        """Clear the controller memory (new run)."""
+        self.state = ControlState()
+
+    def step(
+        self,
+        measurement: PerceptionResult,
+        lateral_velocity: float,
+        yaw_rate: float,
+        steer_actual: float = 0.0,
+    ) -> float:
+        """Compute the steering command for one control period.
+
+        Parameters
+        ----------
+        measurement:
+            Perception output for the frame sampled this period.  When
+            invalid, the last valid measurement is held.
+        lateral_velocity, yaw_rate:
+            Body-frame feedback from onboard inertial sensing (available
+            on any production vehicle; the paper's camera provides only
+            ``y_L``).
+        steer_actual:
+            The measured steering angle (actuator state feedback).
+        """
+        st = self.state
+        accepted = measurement.valid
+        if accepted and st.missed_frames < self.gate_max_misses:
+            # Plausibility gate: the lane center cannot jump by most of
+            # a lane width between consecutive samples.  After several
+            # misses the gate opens so the loop can re-acquire.
+            if abs(measurement.y_l - st.held_y_l) > self.jump_gate_m:
+                accepted = False
+        if accepted:
+            st.held_y_l = measurement.y_l
+            st.held_eps_l = measurement.epsilon_l
+            st.held_curvature = measurement.curvature
+            st.missed_frames = 0
+        else:
+            st.missed_frames += 1
+
+        x = np.array(
+            [
+                lateral_velocity,
+                yaw_rate,
+                st.held_y_l,
+                st.held_eps_l,
+                steer_actual,
+                st.u_prev,
+            ]
+        )
+        u = float(-(self.gains.k @ x)[0])
+        if self.use_feedforward:
+            u += self.gains.k_ff * st.held_curvature
+        u = float(np.clip(u, -self.steer_limit, self.steer_limit))
+        st.u_prev = u
+        return u

@@ -1,0 +1,108 @@
+"""ZOH discretization with a sensor-to-actuation input delay.
+
+The paper annotates every control design with ``(h, tau)``: sampling
+period and constant worst-case sensor-to-actuation delay, ``tau <= h``
+after the ceiling rule of footnote 5.  With the delayed input the exact
+discretization is::
+
+    x[k+1] = Ad x[k] + B1 u[k-1] + B0 u[k]
+
+    Ad = e^{A h}
+    B1 = (integral_{h-tau}^{h} e^{A s} ds) B      (old input active)
+    B0 = (integral_0^{h-tau}  e^{A s} ds) B       (new input active)
+
+Augmenting the state with the previous input ``z = [x; u_prev]`` gives a
+standard LTI system on which the LQR is designed [15], [16].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.linalg import expm
+
+from repro.control.model import LateralModel
+
+__all__ = ["DelayedDiscreteModel", "discretize_with_delay"]
+
+
+@dataclass(frozen=True)
+class DelayedDiscreteModel:
+    """Exact discrete model of a delayed ZOH loop and its augmentation.
+
+    ``a_aug`` / ``b_aug`` describe the delay-augmented system
+    ``z = [x; u_prev]``; ``e_d`` is the discretized (constant-over-h)
+    curvature disturbance column for steady-state analysis.
+    """
+
+    a_d: np.ndarray
+    b_0: np.ndarray
+    b_1: np.ndarray
+    e_d: np.ndarray
+    a_aug: np.ndarray
+    b_aug: np.ndarray
+    period: float
+    delay: float
+
+    @property
+    def n_aug(self) -> int:
+        """Dimension of the delay-augmented state."""
+        return self.a_aug.shape[0]
+
+
+def _phi_gamma(a: np.ndarray, b: np.ndarray, t: float):
+    """Return ``(e^{A t}, integral_0^t e^{A s} ds B)`` via block expm."""
+    n = a.shape[0]
+    m = b.shape[1]
+    block = np.zeros((n + m, n + m))
+    block[:n, :n] = a
+    block[:n, n:] = b
+    exp_block = expm(block * t)
+    return exp_block[:n, :n], exp_block[:n, n:]
+
+
+def discretize_with_delay(
+    model: LateralModel, period: float, delay: float
+) -> DelayedDiscreteModel:
+    """Discretize a :class:`LateralModel` for a ``(h, tau)`` design point.
+
+    Parameters
+    ----------
+    model:
+        Continuous-time lateral model.
+    period:
+        Sampling period ``h`` in seconds (> 0).
+    delay:
+        Sensor-to-actuation delay ``tau`` in seconds, ``0 <= tau <= h``.
+    """
+    if period <= 0:
+        raise ValueError(f"period must be > 0, got {period}")
+    if not 0 <= delay <= period + 1e-12:
+        raise ValueError(f"delay must satisfy 0 <= tau <= h, got tau={delay}, h={period}")
+    delay = min(delay, period)
+
+    a_d, gamma_h = _phi_gamma(model.a, model.b, period)
+    _, gamma_h_minus_tau = _phi_gamma(model.a, model.b, period - delay)
+    b_0 = gamma_h_minus_tau
+    b_1 = gamma_h - gamma_h_minus_tau
+    _, e_d = _phi_gamma(model.a, model.e, period)
+
+    n = model.n_states
+    a_aug = np.zeros((n + 1, n + 1))
+    a_aug[:n, :n] = a_d
+    a_aug[:n, n:] = b_1
+    b_aug = np.zeros((n + 1, 1))
+    b_aug[:n] = b_0
+    b_aug[n, 0] = 1.0
+
+    return DelayedDiscreteModel(
+        a_d=a_d,
+        b_0=b_0,
+        b_1=b_1,
+        e_d=e_d,
+        a_aug=a_aug,
+        b_aug=b_aug,
+        period=period,
+        delay=delay,
+    )

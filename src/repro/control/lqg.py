@@ -1,0 +1,104 @@
+"""LQG extension: Kalman filtering of the noisy look-ahead measurement.
+
+The paper flags (Sec. IV-C) that the extra sensor noise of left-turn
+dotted-lane situations could be absorbed by "modeling the sensor noise
+in a linear-quadratic gaussian (LQG) controller, which is an
+interesting future research direction."  This module implements that
+extension: a steady-state Kalman filter on the delay-augmented lateral
+model whose measurement channel is the perception output
+``[y_L, eps_L]`` (plus exact inertial feedback for ``v_y`` and ``r``).
+
+It is exercised by the ablation benchmarks; the paper's own evaluation
+(cases 1-4) does not use it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.linalg import solve_discrete_are
+
+from repro.control.lqr import ControllerGains
+from repro.perception.pipeline import PerceptionResult
+
+__all__ = ["design_kalman_gain", "KalmanLaneEstimator"]
+
+#: Measurement matrix: perception observes y_L and eps_L of the
+#: augmented state [v_y, r, y_L, eps_L, delta, u_prev].
+_C = np.array(
+    [
+        [0.0, 0.0, 1.0, 0.0, 0.0, 0.0],
+        [0.0, 0.0, 0.0, 1.0, 0.0, 0.0],
+    ]
+)
+
+
+def design_kalman_gain(
+    gains: ControllerGains,
+    process_noise: float = 1e-4,
+    measurement_noise: float = 4e-3,
+) -> np.ndarray:
+    """Steady-state Kalman gain for the delay-augmented model.
+
+    Parameters
+    ----------
+    gains:
+        The LQR design whose discrete model is being filtered.
+    process_noise:
+        Scalar intensity of the (identity-shaped) process noise.
+    measurement_noise:
+        Variance of the perception measurement noise on y_L (m^2); the
+        eps_L channel is scaled down by the look-ahead distance.
+    """
+    a = gains.discrete.a_aug
+    q = process_noise * np.eye(a.shape[0])
+    ll = gains.model.lookahead
+    r = np.diag([measurement_noise, measurement_noise / ll**2])
+    p = solve_discrete_are(a.T, _C.T, q, r)
+    s = _C @ p @ _C.T + r
+    return p @ _C.T @ np.linalg.inv(s)
+
+
+class KalmanLaneEstimator:
+    """Predict/update filter over the delay-augmented lateral state."""
+
+    def __init__(self, gains: ControllerGains, kalman_gain: np.ndarray):
+        self.gains = gains
+        self.l = kalman_gain
+        self.x_hat = np.zeros(gains.discrete.n_aug)
+
+    def reset(self) -> None:
+        """Zero the state estimate."""
+        self.x_hat = np.zeros_like(self.x_hat)
+
+    def set_gains(self, gains: ControllerGains, kalman_gain: np.ndarray) -> None:
+        """Swap the model/filter gains on a situation switch, keeping
+        the state estimate (the physical state does not jump)."""
+        self.gains = gains
+        self.l = kalman_gain
+
+    def predict(self, u: float) -> np.ndarray:
+        """Time update through the augmented model with input *u*."""
+        d = self.gains.discrete
+        self.x_hat = d.a_aug @ self.x_hat + d.b_aug[:, 0] * u
+        return self.x_hat
+
+    def update(self, measurement: PerceptionResult) -> np.ndarray:
+        """Measurement update; invalid frames skip the correction."""
+        if measurement.valid:
+            y = np.array([measurement.y_l, measurement.epsilon_l])
+            innovation = y - _C @ self.x_hat
+            self.x_hat = self.x_hat + self.l @ innovation
+        return self.x_hat
+
+    def filtered_measurement(self, curvature: float = 0.0) -> PerceptionResult:
+        """The current estimate packaged as a perception result."""
+        return PerceptionResult(
+            y_l=float(self.x_hat[2]),
+            epsilon_l=float(self.x_hat[3]),
+            curvature=curvature,
+            valid=True,
+            lines_used=0,
+            n_pixels=0,
+        )

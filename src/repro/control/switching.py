@@ -1,0 +1,123 @@
+"""Common quadratic Lyapunov function (CQLF) search.
+
+The paper (Sec. III-D) argues that switching between situation-specific
+controller designs ``i`` with varying ``(h_i, tau_i)`` keeps the closed
+loop stable because a CQLF exists for the set of closed-loop maps, per
+[15], [16]: a single ``P > 0`` with
+
+    A_i' P A_i - P < -eps I     for every mode i.
+
+This module finds such a ``P`` by projected subgradient descent on the
+worst-mode eigenvalue — adequate for the paper's handful of 5x5 modes
+— and verifies candidates exactly.  ``find_cqlf`` returning ``None``
+means the search failed, not that no CQLF exists; ``verify_cqlf``
+passing is a proof.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["find_cqlf", "verify_cqlf", "cqlf_margin"]
+
+
+def cqlf_margin(p: np.ndarray, a_list: Sequence[np.ndarray]) -> float:
+    """Worst-mode margin ``max_i lambda_max(A_i' P A_i - P)`` (< 0 is good)."""
+    worst = -np.inf
+    for a in a_list:
+        m = a.T @ p @ a - p
+        worst = max(worst, float(np.linalg.eigvalsh(m)[-1]))
+    return worst
+
+
+def verify_cqlf(
+    p: np.ndarray, a_list: Sequence[np.ndarray], eps: float = 1e-9
+) -> bool:
+    """Exact check that *p* is a CQLF for every mode in *a_list*."""
+    if p.shape[0] != p.shape[1]:
+        return False
+    if not np.allclose(p, p.T, atol=1e-10):
+        return False
+    if float(np.linalg.eigvalsh(p)[0]) <= eps:
+        return False
+    return cqlf_margin(p, a_list) < -eps
+
+
+def _project_psd(p: np.ndarray, floor: float) -> np.ndarray:
+    """Project a symmetric matrix onto ``{P : P >= floor I}``."""
+    sym = 0.5 * (p + p.T)
+    eigvals, eigvecs = np.linalg.eigh(sym)
+    eigvals = np.maximum(eigvals, floor)
+    return eigvecs @ np.diag(eigvals) @ eigvecs.T
+
+
+def find_cqlf(
+    a_list: Sequence[np.ndarray],
+    eps: float = 1e-6,
+    max_iter: int = 4000,
+    step: float = 0.5,
+    floor: float = 1e-3,
+) -> Optional[np.ndarray]:
+    """Search for a CQLF of the closed-loop mode set.
+
+    Parameters
+    ----------
+    a_list:
+        Closed-loop (Schur-stable) matrices, all the same size.
+    eps:
+        Required decay margin.
+    max_iter, step:
+        Subgradient-descent budget and initial step size.
+    floor:
+        Minimum eigenvalue enforced on the candidate ``P``.
+
+    Returns
+    -------
+    A verified ``P`` (normalized to unit spectral norm scale), or
+    ``None`` when the search does not converge.
+    """
+    a_list = [np.asarray(a, dtype=float) for a in a_list]
+    if not a_list:
+        raise ValueError("a_list must contain at least one mode")
+    n = a_list[0].shape[0]
+    for a in a_list:
+        if a.shape != (n, n):
+            raise ValueError("all modes must share the same square shape")
+
+    # Warm start: average of the per-mode Lyapunov solutions.
+    p = np.zeros((n, n))
+    for a in a_list:
+        p += _dlyap(a, np.eye(n))
+    p /= len(a_list)
+    p = _project_psd(p, floor)
+
+    for iteration in range(max_iter):
+        # Worst mode and its top eigenpair give the subgradient of
+        # lambda_max(A' P A - P) with respect to P: A v v' A' - v v'.
+        worst_val = -np.inf
+        grad = None
+        for a in a_list:
+            m = a.T @ p @ a - p
+            eigvals, eigvecs = np.linalg.eigh(m)
+            if eigvals[-1] > worst_val:
+                worst_val = float(eigvals[-1])
+                v = eigvecs[:, -1:]
+                av = a @ v
+                grad = av @ av.T - v @ v.T
+        if worst_val < -eps:
+            return p / max(float(np.linalg.eigvalsh(p)[-1]), 1e-12)
+        assert grad is not None
+        lr = step / (1.0 + 0.01 * iteration)
+        p = _project_psd(p - lr * grad, floor)
+    if verify_cqlf(p, a_list, eps):
+        return p
+    return None
+
+
+def _dlyap(a: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Solve the discrete Lyapunov equation ``A' P A - P = -Q``."""
+    from scipy.linalg import solve_discrete_lyapunov
+
+    return solve_discrete_lyapunov(a.T, q)

@@ -1,0 +1,65 @@
+"""Core contribution: situation-aware knob characterization and runtime
+reconfiguration (Sec. III of the paper)."""
+
+from repro.core.situation import (
+    LaneColor,
+    LaneForm,
+    RoadLayout,
+    Scene,
+    Situation,
+    TABLE3_SITUATIONS,
+    full_situation_space,
+    situation_by_index,
+)
+from repro.core.knobs import KnobSetting, knob_space, SPEED_CHOICES_KMPH
+from repro.core.cases import CaseConfig, CASES, case_config
+from repro.core.defaults import (
+    default_characterization,
+    natural_roi,
+    natural_speed_kmph,
+)
+from repro.core.scheduler import (
+    CLASSIFIER_NAMES,
+    EveryFrameScheme,
+    InvocationScheme,
+    VariableScheme,
+)
+from repro.core.reconfiguration import (
+    CycleDecision,
+    OracleIdentifier,
+    ReconfigurationManager,
+    SituationIdentifier,
+)
+
+# NOTE: repro.core.characterization is intentionally NOT imported here:
+# it drives the full HiL engine, whose import chain passes back through
+# repro.core (the situation/reconfiguration leaves).  Import it as
+# ``from repro.core.characterization import characterize`` directly.
+
+__all__ = [
+    "KnobSetting",
+    "knob_space",
+    "SPEED_CHOICES_KMPH",
+    "CaseConfig",
+    "CASES",
+    "case_config",
+    "default_characterization",
+    "natural_roi",
+    "natural_speed_kmph",
+    "CLASSIFIER_NAMES",
+    "EveryFrameScheme",
+    "InvocationScheme",
+    "VariableScheme",
+    "CycleDecision",
+    "OracleIdentifier",
+    "ReconfigurationManager",
+    "SituationIdentifier",
+    "LaneColor",
+    "LaneForm",
+    "RoadLayout",
+    "Scene",
+    "Situation",
+    "TABLE3_SITUATIONS",
+    "full_situation_space",
+    "situation_by_index",
+]

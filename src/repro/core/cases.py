@@ -1,0 +1,157 @@
+"""The evaluated design cases (paper Table V).
+
+=====  ==============================  =====  ==========  =================
+case   classifiers                     ISP    PR (ROI)    control [v, h, tau]
+=====  ==============================  =====  ==========  =================
+1      none                            S0     ROI 1       [50, 25, 24.6]
+2      road                            S0     coarse VS   [VS, 35, 30.1]
+3      road + lane                     S0     fine VS     [VS, 40, 35.6]
+4      road + lane + scene             VS     fine VS     [VS, VS, VS]
+var    one per frame (Sec. IV-E)       VS     fine VS     [VS, VS, VS]
+=====  ==============================  =====  ==========  =================
+
+``VS`` = varied per situation via the characterization table.  Beyond
+the paper's five, ``adaptive`` implements the event-triggered
+invocation extension the conclusion sketches as future work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.scheduler import (
+    CLASSIFIER_NAMES,
+    EventTriggeredScheme,
+    EveryFrameScheme,
+    InvocationScheme,
+    VariableScheme,
+)
+
+__all__ = ["CaseConfig", "CASES", "case_config"]
+
+
+@dataclass(frozen=True)
+class CaseConfig:
+    """Which knobs a design case may vary, and its invocation scheme.
+
+    Attributes
+    ----------
+    name:
+        ``"case1"`` .. ``"case4"`` or ``"variable"``.
+    classifiers:
+        Classifier set the case deploys (drives the tau budget).
+    adapt_roi_coarse:
+        Road-classifier-driven ROI switching (ROIs 1/2/4 only).
+    adapt_roi_fine:
+        Lane-classifier-driven fine ROI switching (adds ROIs 3/5).
+    adapt_speed:
+        Speed knob follows the road layout.
+    adapt_isp:
+        Scene/road/lane-driven ISP knob switching (case 4 onwards).
+    invocation:
+        Which scheme runs the classifiers: ``"every"`` frame (cases
+        2-4), the paper's ``"variable"`` one-per-frame scheme, or the
+        ``"event"``-triggered extension (one per frame, refresh bursts
+        on situation changes / perception misses).
+    """
+
+    name: str
+    classifiers: Tuple[str, ...]
+    adapt_roi_coarse: bool
+    adapt_roi_fine: bool
+    adapt_speed: bool
+    adapt_isp: bool
+    invocation: str = "every"
+
+    def __post_init__(self):
+        if self.invocation not in ("every", "variable", "event"):
+            raise ValueError(f"unknown invocation scheme {self.invocation!r}")
+
+    @property
+    def variable_invocation(self) -> bool:
+        """Whether only one classifier runs per frame (tau budget)."""
+        return self.invocation in ("variable", "event")
+
+    def make_scheme(self, window_ms: float = 300.0) -> InvocationScheme:
+        """Instantiate this case's classifier invocation scheme."""
+        if self.invocation == "variable":
+            return VariableScheme(window_ms)
+        if self.invocation == "event":
+            return EventTriggeredScheme(max_staleness_ms=4 * window_ms)
+        return EveryFrameScheme(self.classifiers)
+
+    def classifier_budget(self) -> Tuple[str, ...]:
+        """Classifiers counted in the per-frame tau budget."""
+        if self.variable_invocation:
+            # Exactly one classifier runs per frame under these schemes;
+            # the budget charges a single classifier slot.
+            return ("road",)
+        return self.classifiers
+
+
+CASES: Dict[str, CaseConfig] = {
+    cfg.name: cfg
+    for cfg in (
+        CaseConfig(
+            name="case1",
+            classifiers=(),
+            adapt_roi_coarse=False,
+            adapt_roi_fine=False,
+            adapt_speed=False,
+            adapt_isp=False,
+        ),
+        CaseConfig(
+            name="case2",
+            classifiers=("road",),
+            adapt_roi_coarse=True,
+            adapt_roi_fine=False,
+            adapt_speed=True,
+            adapt_isp=False,
+        ),
+        CaseConfig(
+            name="case3",
+            classifiers=("road", "lane"),
+            adapt_roi_coarse=True,
+            adapt_roi_fine=True,
+            adapt_speed=True,
+            adapt_isp=False,
+        ),
+        CaseConfig(
+            name="case4",
+            classifiers=CLASSIFIER_NAMES,
+            adapt_roi_coarse=True,
+            adapt_roi_fine=True,
+            adapt_speed=True,
+            adapt_isp=True,
+        ),
+        CaseConfig(
+            name="variable",
+            classifiers=CLASSIFIER_NAMES,
+            adapt_roi_coarse=True,
+            adapt_roi_fine=True,
+            adapt_speed=True,
+            adapt_isp=True,
+            invocation="variable",
+        ),
+        CaseConfig(
+            name="adaptive",
+            classifiers=CLASSIFIER_NAMES,
+            adapt_roi_coarse=True,
+            adapt_roi_fine=True,
+            adapt_speed=True,
+            adapt_isp=True,
+            invocation="event",
+        ),
+    )
+}
+
+
+def case_config(name: str) -> CaseConfig:
+    """Look up a case by name (``"case1"``..``"case4"``, ``"variable"``)."""
+    try:
+        return CASES[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown case {name!r}; expected one of {sorted(CASES)}"
+        ) from exc

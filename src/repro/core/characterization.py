@@ -1,0 +1,245 @@
+"""Hardware- and situation-aware characterization (paper Sec. III-B).
+
+For each situation the knob space (ISP configuration x ROI x vehicle
+speed) is evaluated in closed-loop HiL simulation and the tuning with
+the best QoC (lowest MAE, crashes disqualify) is recorded — the
+reproduction of Table III.
+
+A frame-level prescreen (:func:`repro.perception.evaluation.evaluate_sequence`)
+first filters ISP configurations that cannot detect lanes in the
+situation at all; the closed-loop budget is then spent on the
+survivors: the cheapest detectable configuration (it buys the fastest
+sampling period), the most accurate one, and the full pipeline S0.
+ROI candidates are the layout-consistent presets.  This mirrors how the
+paper prunes with Monte-Carlo sensitivity analysis before HiL runs.
+
+Results are cached on disk (`~/.cache/repro/characterization`) keyed by
+the sweep configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.cases import case_config
+from repro.core.knobs import KnobSetting
+from repro.core.situation import RoadLayout, Situation, TABLE3_SITUATIONS
+from repro.isp.configs import ISP_CONFIGS
+from repro.perception.evaluation import evaluate_sequence
+from repro.platform.profiles import isp_runtime_ms
+from repro.sim.world import static_situation_track
+from repro.utils.cache import ArtifactCache
+
+__all__ = [
+    "CharacterizationConfig",
+    "KnobEvaluation",
+    "roi_candidates",
+    "prescreen_isp",
+    "characterize_situation",
+    "characterize",
+]
+
+
+@dataclass(frozen=True)
+class CharacterizationConfig:
+    """Sweep parameters."""
+
+    isp_names: Tuple[str, ...] = tuple(ISP_CONFIGS)
+    speeds_kmph: Tuple[float, ...] = (30.0, 50.0)
+    track_length: float = 110.0
+    prescreen_frames: int = 40
+    prescreen_bad_limit: float = 0.25
+    max_isp_candidates: int = 3
+    #: Knob settings whose MAE is within this relative band of the best
+    #: are considered QoC ties; the faster (smaller h, then tau) design
+    #: point wins the tie, as nothing distinguishes them statistically.
+    tie_tolerance: float = 0.15
+    seed: int = 11
+
+    def to_config(self) -> Dict[str, object]:
+        """JSON-friendly form for cache hashing."""
+        from repro.sim.renderer import RENDERER_VERSION
+
+        return {
+            "isp": list(self.isp_names),
+            "speeds": list(self.speeds_kmph),
+            "track_length": self.track_length,
+            "prescreen_frames": self.prescreen_frames,
+            "prescreen_bad_limit": self.prescreen_bad_limit,
+            "max_isp_candidates": self.max_isp_candidates,
+            "tie_tolerance": self.tie_tolerance,
+            "seed": self.seed,
+            "renderer_version": RENDERER_VERSION,
+        }
+
+
+@dataclass
+class KnobEvaluation:
+    """Closed-loop result of one knob setting in one situation."""
+
+    knobs: KnobSetting
+    mae: float
+    crashed: bool
+    period_ms: float
+    delay_ms: float
+
+    def sort_key(self) -> Tuple[int, float]:
+        """Ordering key: crashes last, then ascending MAE."""
+        return (1 if self.crashed else 0, self.mae)
+
+
+def roi_candidates(situation: Situation) -> List[str]:
+    """Layout-consistent ROI presets to sweep for a situation."""
+    if situation.layout is RoadLayout.STRAIGHT:
+        return ["ROI 1"]
+    if situation.layout is RoadLayout.RIGHT:
+        return ["ROI 2", "ROI 3"]
+    return ["ROI 4", "ROI 5"]
+
+
+def prescreen_isp(
+    situation: Situation, config: CharacterizationConfig
+) -> List[Tuple[str, float]]:
+    """Frame-level detectability of each ISP config: (name, bad_rate)."""
+    roi = roi_candidates(situation)[-1]  # widest layout-consistent preset
+    results = []
+    for isp in config.isp_names:
+        stats = evaluate_sequence(
+            situation,
+            isp,
+            roi,
+            n_frames=config.prescreen_frames,
+            seed=config.seed,
+        )
+        results.append((isp, stats.bad_frame_rate()))
+    return results
+
+
+def _select_isp_candidates(
+    prescreen: Sequence[Tuple[str, float]], config: CharacterizationConfig
+) -> List[str]:
+    detectable = [
+        (isp, bad) for isp, bad in prescreen if bad <= config.prescreen_bad_limit
+    ]
+    if not detectable:
+        # Nothing passes: fall back to the least-bad configuration.
+        detectable = [min(prescreen, key=lambda item: item[1])]
+    candidates: List[str] = []
+    cheapest = min(detectable, key=lambda item: isp_runtime_ms(item[0]))[0]
+    candidates.append(cheapest)
+    most_accurate = min(detectable, key=lambda item: item[1])[0]
+    if most_accurate not in candidates:
+        candidates.append(most_accurate)
+    if "S0" in (isp for isp, _ in detectable) and "S0" not in candidates:
+        candidates.append("S0")
+    return candidates[: config.max_isp_candidates]
+
+
+def characterize_situation(
+    situation: Situation,
+    config: CharacterizationConfig = CharacterizationConfig(),
+) -> List[KnobEvaluation]:
+    """Run the sweep for one situation; results sorted best first."""
+    # Imported here: the HiL engine composes the whole system, and a
+    # module-level import would make repro.core depend on repro.hil
+    # circularly (hil's engine imports repro.core.reconfiguration).
+    from repro.hil.engine import HilConfig, HilEngine
+
+    prescreen = prescreen_isp(situation, config)
+    isp_candidates = _select_isp_candidates(prescreen, config)
+    case = case_config("case4")
+
+    evaluations: List[KnobEvaluation] = []
+    track = static_situation_track(situation, length=config.track_length)
+    for isp in isp_candidates:
+        for roi in roi_candidates(situation):
+            for speed in config.speeds_kmph:
+                knobs = KnobSetting(isp=isp, roi=roi, speed_kmph=speed)
+                engine = HilEngine(
+                    track,
+                    case,
+                    table={situation: knobs},
+                    config=HilConfig(seed=config.seed),
+                )
+                result = engine.run()
+                timing = knobs.timing(case.classifier_budget(), dynamic_isp=True)
+                evaluations.append(
+                    KnobEvaluation(
+                        knobs=knobs,
+                        mae=result.mae(skip_time_s=2.0),
+                        crashed=result.crashed,
+                        period_ms=timing.period_ms,
+                        delay_ms=timing.delay_ms,
+                    )
+                )
+    evaluations.sort(key=KnobEvaluation.sort_key)
+    return _tie_break_by_speed(evaluations, config.tie_tolerance)
+
+
+def _tie_break_by_speed(
+    evaluations: List[KnobEvaluation], tolerance: float
+) -> List[KnobEvaluation]:
+    """Re-rank QoC ties in favour of the faster design point.
+
+    Closed-loop MAE carries simulation noise; settings within
+    ``tolerance`` (relative, plus a 2 mm floor) of the best are
+    indistinguishable, and among them the design with the smaller
+    sampling period (then delay, then higher speed knob) is preferred —
+    it is the one the QoC argument of the paper favours.
+    """
+    if not evaluations or evaluations[0].crashed:
+        return evaluations
+    best_mae = evaluations[0].mae
+    band = best_mae * (1.0 + tolerance) + 0.002
+
+    def rank(ev: KnobEvaluation):
+        tied = (not ev.crashed) and ev.mae <= band
+        if tied:
+            return (0, ev.period_ms, ev.delay_ms, -ev.knobs.speed_kmph, ev.mae)
+        return (1, *ev.sort_key(), 0.0, 0.0)
+
+    return sorted(evaluations, key=rank)
+
+
+def characterize(
+    situations: Sequence[Situation] = TABLE3_SITUATIONS,
+    config: CharacterizationConfig = CharacterizationConfig(),
+    use_cache: bool = True,
+    verbose: bool = False,
+) -> Dict[Situation, KnobSetting]:
+    """Build the situation -> best-knob table (the Table III artifact)."""
+    cache = ArtifactCache("characterization", enabled=use_cache)
+    table: Dict[Situation, KnobSetting] = {}
+    for situation in situations:
+        key = {"situation": situation.to_config(), "config": config.to_config()}
+        cached = cache.load(key)
+        if cached is not None:
+            table[situation] = KnobSetting(
+                isp=str(cached["isp"][()]),
+                roi=str(cached["roi"][()]),
+                speed_kmph=float(cached["speed"][()]),
+            )
+            continue
+        evaluations = characterize_situation(situation, config)
+        best = evaluations[0]
+        if verbose:
+            print(
+                f"{situation.describe():42s} -> {best.knobs.isp} "
+                f"{best.knobs.roi} v={best.knobs.speed_kmph:.0f} "
+                f"mae={best.mae * 100:.2f}cm crash={best.crashed}"
+            )
+        table[situation] = best.knobs
+        cache.store(
+            key,
+            {
+                "isp": np.array(best.knobs.isp),
+                "roi": np.array(best.knobs.roi),
+                "speed": np.array(best.knobs.speed_kmph),
+                "mae": np.array(best.mae),
+                "crashed": np.array(best.crashed),
+            },
+        )
+    return table

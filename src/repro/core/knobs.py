@@ -1,0 +1,97 @@
+"""Configurable knobs of the system (paper Sec. III-B, Table II).
+
+Monte-Carlo sensitivity analysis in the paper identifies three knob
+groups that dominate closed-loop QoC:
+
+- **ISP knobs** — which ISP stages run (S0-S8, :mod:`repro.isp.configs`),
+- **PR knobs** — which ROI the perception uses (ROI 1-5,
+  :mod:`repro.perception.roi`),
+- **control knobs** — vehicle speed ``v`` (30 / 50 kmph) plus the
+  derived sampling period ``h`` and sensor-to-actuation delay ``tau``.
+
+A :class:`KnobSetting` bundles the three free choices; ``(h, tau)``
+always derive from the active pipeline through the platform timing
+model (:func:`repro.platform.pipeline_timing`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+from repro.isp.configs import ISP_CONFIGS
+from repro.platform.schedule import PipelineTiming, pipeline_timing
+
+
+def _roi_presets():
+    # Imported lazily: repro.perception.roi pulls the camera model from
+    # repro.sim, whose track module needs repro.core.situation — eager
+    # importing here would close an import cycle through the package
+    # __init__ modules.
+    from repro.perception.roi import ROI_PRESETS
+
+    return ROI_PRESETS
+
+__all__ = [
+    "SPEED_CHOICES_KMPH",
+    "KnobSetting",
+    "knob_space",
+]
+
+#: The paper's vehicle-speed knob values (Table II).
+SPEED_CHOICES_KMPH: Tuple[float, ...] = (30.0, 50.0)
+
+
+@dataclass(frozen=True)
+class KnobSetting:
+    """One point in the configurable-knob space."""
+
+    isp: str
+    roi: str
+    speed_kmph: float
+
+    def __post_init__(self):
+        if self.isp not in ISP_CONFIGS:
+            raise ValueError(f"unknown ISP knob {self.isp!r}")
+        if self.roi not in _roi_presets():
+            raise ValueError(f"unknown ROI knob {self.roi!r}")
+        if self.speed_kmph <= 0:
+            raise ValueError(f"speed must be > 0, got {self.speed_kmph}")
+
+    @property
+    def speed_mps(self) -> float:
+        """The speed knob in m/s."""
+        return self.speed_kmph / 3.6
+
+    def timing(
+        self, classifiers: Sequence[str] = (), dynamic_isp: bool = False
+    ) -> PipelineTiming:
+        """The ``(tau, h)`` this knob setting implies for a case config."""
+        return pipeline_timing(self.isp, classifiers, dynamic_isp=dynamic_isp)
+
+    def to_config(self) -> Dict[str, object]:
+        """JSON-friendly form for cache hashing."""
+        return {"isp": self.isp, "roi": self.roi, "speed_kmph": self.speed_kmph}
+
+    @classmethod
+    def from_config(cls, config: Dict[str, object]) -> "KnobSetting":
+        """Inverse of :meth:`to_config`."""
+        return cls(
+            isp=str(config["isp"]),
+            roi=str(config["roi"]),
+            speed_kmph=float(config["speed_kmph"]),  # type: ignore[arg-type]
+        )
+
+
+def knob_space(
+    isp_names: Sequence[str] = tuple(ISP_CONFIGS),
+    roi_names: Optional[Sequence[str]] = None,
+    speeds_kmph: Sequence[float] = SPEED_CHOICES_KMPH,
+) -> Iterator[KnobSetting]:
+    """Iterate the (sub)space of knob settings for characterization."""
+    if roi_names is None:
+        roi_names = tuple(_roi_presets())
+    for isp in isp_names:
+        for roi in roi_names:
+            for speed in speeds_kmph:
+                yield KnobSetting(isp=isp, roi=roi, speed_kmph=speed)

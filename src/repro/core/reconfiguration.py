@@ -1,0 +1,276 @@
+"""Dynamic runtime reconfiguration (paper Sec. III-D).
+
+Each control cycle:
+
+1. the scheduled classifiers analyse the ISP output and update the
+   *believed* situation features (road layout / lane type / scene);
+2. the best pre-characterized knob tuning for the believed situation is
+   selected: the **PR and control knobs apply in the same cycle**, the
+   **ISP knob applies from the next cycle** (the frame was already
+   processed with the old ISP configuration) — the paper argues the one
+   cycle of extra latency is harmless because situations do not change
+   per frame;
+3. the cycle's ``(h, tau)`` follow from the ISP configuration that ran
+   and the case's classifier budget, via the platform timing model.
+
+Situation identification is abstracted behind
+:class:`SituationIdentifier` so the closed loop can run either with the
+trained CNN classifiers (:mod:`repro.classifiers`) or with a
+ground-truth oracle of configurable accuracy (useful for fast tests and
+for isolating perception effects from classification effects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.cases import CaseConfig
+from repro.core.defaults import (
+    default_characterization,
+    natural_roi,
+    natural_speed_kmph,
+)
+from repro.core.knobs import KnobSetting
+from repro.core.scheduler import InvocationScheme
+from repro.core.situation import (
+    LaneColor,
+    LaneForm,
+    RoadLayout,
+    Scene,
+    Situation,
+)
+from repro.platform.schedule import PipelineTiming, pipeline_timing
+from repro.utils.rng import derive_rng
+
+__all__ = [
+    "SituationIdentifier",
+    "OracleIdentifier",
+    "CycleDecision",
+    "ReconfigurationManager",
+]
+
+
+class SituationIdentifier:
+    """Maps a frame to situation-feature estimates.
+
+    ``identify`` returns a dict with any of the keys ``"road"``
+    (:class:`RoadLayout`), ``"lane"`` (``(LaneColor, LaneForm)``) and
+    ``"scene"`` (:class:`Scene`) — only for the classifiers in *which*.
+    """
+
+    def identify(
+        self,
+        frame_rgb: np.ndarray,
+        which: Tuple[str, ...],
+        true_situation: Situation,
+    ) -> Dict[str, object]:
+        raise NotImplementedError
+
+
+class OracleIdentifier(SituationIdentifier):
+    """Ground-truth identifier with configurable per-call accuracy.
+
+    With ``accuracy < 1`` each invocation independently returns a wrong
+    label with probability ``1 - accuracy`` (uniform over the wrong
+    classes), modelling the ~0.1 % error rates of Table IV or any
+    degraded classifier for sensitivity studies.
+    """
+
+    def __init__(self, accuracy: float = 1.0, seed: int = 0):
+        if not 0.0 < accuracy <= 1.0:
+            raise ValueError(f"accuracy must be in (0, 1], got {accuracy}")
+        self.accuracy = accuracy
+        self._rng = derive_rng(seed, "oracle-identifier")
+
+    def _maybe_flip(self, true_value, choices):
+        if self.accuracy >= 1.0 or self._rng.random() < self.accuracy:
+            return true_value
+        wrong = [c for c in choices if c != true_value]
+        return wrong[self._rng.integers(len(wrong))]
+
+    def identify(
+        self,
+        frame_rgb: np.ndarray,
+        which: Tuple[str, ...],
+        true_situation: Situation,
+    ) -> Dict[str, object]:
+        result: Dict[str, object] = {}
+        if "road" in which:
+            result["road"] = self._maybe_flip(
+                true_situation.layout, list(RoadLayout)
+            )
+        if "lane" in which:
+            true_lane = (true_situation.lane_color, true_situation.lane_form)
+            lane_classes = [
+                (color, form)
+                for color in LaneColor
+                for form in LaneForm
+            ]
+            result["lane"] = self._maybe_flip(true_lane, lane_classes)
+        if "scene" in which:
+            result["scene"] = self._maybe_flip(true_situation.scene, list(Scene))
+        return result
+
+
+@dataclass(frozen=True)
+class CycleDecision:
+    """Everything the HiL engine needs for one control cycle."""
+
+    active_isp: str
+    invoked_classifiers: Tuple[str, ...]
+    roi: str
+    speed_kmph: float
+    timing: PipelineTiming
+    believed: Situation
+
+
+class ReconfigurationManager:
+    """Holds the believed situation and selects knobs per cycle."""
+
+    def __init__(
+        self,
+        case: CaseConfig,
+        table: Optional[Mapping[Situation, KnobSetting]] = None,
+        window_ms: float = 300.0,
+        isp_apply_lag: int = 1,
+        power_mode: str = "30W",
+    ):
+        """``isp_apply_lag`` is the number of cycles between deciding an
+        ISP knob and it taking effect.  The paper's scheme is 1 (the
+        frame was already processed when the classifiers ran); 0 models
+        a hypothetical same-cycle oracle and larger values a slower
+        reconfiguration path — exercised by the ablation benchmarks.
+        ``power_mode`` rescales the platform's profiled runtimes (the
+        paper measures at the Xavier 30 W preset)."""
+        if isp_apply_lag < 0:
+            raise ValueError(f"isp_apply_lag must be >= 0, got {isp_apply_lag}")
+        self.case = case
+        self.power_mode = power_mode
+        self.table = dict(table) if table is not None else default_characterization()
+        self.scheme: InvocationScheme = case.make_scheme(window_ms)
+        self.isp_apply_lag = isp_apply_lag
+        self._believed: Optional[Situation] = None
+        self._believed_changed = False
+        self._active_isp = "S0"
+        self._isp_queue: list = []
+
+    # -- lifecycle -------------------------------------------------------
+
+    def reset(self, initial_situation: Situation) -> None:
+        """Start a run: the believed situation is the starting one."""
+        self._believed = initial_situation
+        self._believed_changed = False
+        self.scheme.reset()
+        isp = self._select_isp(initial_situation)
+        self._active_isp = isp
+        self._isp_queue = []
+
+    @property
+    def believed(self) -> Situation:
+        """The currently believed situation (requires :meth:`reset`)."""
+        if self._believed is None:
+            raise RuntimeError("ReconfigurationManager.reset() was not called")
+        return self._believed
+
+    # -- per-cycle protocol ------------------------------------------------
+
+    def begin_cycle(self, time_ms: float) -> Tuple[str, Tuple[str, ...]]:
+        """Apply the pending ISP knob and pick this cycle's classifiers."""
+        if self._isp_queue and len(self._isp_queue) >= self.isp_apply_lag:
+            self._active_isp = self._isp_queue.pop(0)
+        invoked = tuple(
+            c
+            for c in self.scheme.classifiers_for_cycle(time_ms)
+            if c in self.case.classifiers
+        )
+        return self._active_isp, invoked
+
+    def integrate_identification(self, features: Mapping[str, object]) -> Situation:
+        """Merge classifier outputs into the believed situation."""
+        current = self.believed
+        layout = features.get("road", current.layout)
+        lane = features.get("lane", (current.lane_color, current.lane_form))
+        scene = features.get("scene", current.scene)
+        color, form = lane  # type: ignore[misc]
+        self._believed = Situation(layout, color, form, scene)  # type: ignore[arg-type]
+        if self._believed != current:
+            self._believed_changed = True
+        return self._believed
+
+    def observe_measurement(self, measurement_valid: bool) -> None:
+        """Per-cycle feedback for adaptive invocation schemes."""
+        self.scheme.observe(self._believed_changed, measurement_valid)
+        self._believed_changed = False
+
+    def decide(
+        self, time_ms: float, invoked: Tuple[str, ...]
+    ) -> CycleDecision:
+        """Select knobs for the believed situation (Sec. III-D rules)."""
+        believed = self.believed
+        roi = self._select_roi(believed)
+        speed = self._select_speed(believed)
+        isp = self._select_isp(believed)
+        # ISP knob switches take effect ``isp_apply_lag`` cycles later
+        # (Sec. III-D: one cycle in the paper's scheme).
+        if self.isp_apply_lag == 0:
+            self._active_isp = isp
+            self._isp_queue = []
+        else:
+            self._isp_queue.append(isp)
+            while len(self._isp_queue) > self.isp_apply_lag:
+                self._isp_queue.pop(0)
+        timing = pipeline_timing(
+            self._active_isp,
+            self.case.classifier_budget(),
+            dynamic_isp=self.case.adapt_isp,
+            power_mode=self.power_mode,
+        )
+        return CycleDecision(
+            active_isp=self._active_isp,
+            invoked_classifiers=invoked,
+            roi=roi,
+            speed_kmph=speed,
+            timing=timing,
+            believed=believed,
+        )
+
+    # -- knob selection ----------------------------------------------------
+
+    def _select_roi(self, believed: Situation) -> str:
+        if not self.case.adapt_roi_coarse:
+            return "ROI 1"
+        if not self.case.adapt_roi_fine:
+            # Road classifier only: coarse layout-driven switching.
+            if believed.layout is RoadLayout.STRAIGHT:
+                return "ROI 1"
+            return "ROI 2" if believed.layout is RoadLayout.RIGHT else "ROI 4"
+        knobs = self.table.get(believed)
+        if knobs is not None:
+            return knobs.roi
+        return natural_roi(believed)
+
+    def _select_speed(self, believed: Situation) -> float:
+        if not self.case.adapt_speed:
+            return 50.0
+        if self.case.adapt_roi_fine:
+            knobs = self.table.get(believed)
+            if knobs is not None:
+                return knobs.speed_kmph
+        # Road classifier only: the layout rule (50 straight / 30 turns).
+        return natural_speed_kmph(believed)
+
+    def _select_isp(self, believed: Situation) -> str:
+        if not self.case.adapt_isp:
+            return "S0"
+        knobs = self.table.get(believed)
+        if knobs is not None:
+            return knobs.isp
+        # Fallback for situations outside the characterized set: reuse
+        # the knobs of the nearest characterized situation by scene.
+        for situation, setting in self.table.items():
+            if situation.scene is believed.scene:
+                return setting.isp
+        return "S0"

@@ -1,0 +1,164 @@
+"""Classifier invocation scheduling (paper Sec. IV-E).
+
+Two schemes are evaluated:
+
+- :class:`EveryFrameScheme` — a fixed set of classifiers runs on every
+  control cycle (cases 2, 3 and 4 of Table V);
+- :class:`VariableScheme` — the paper's improved scheme: only one
+  classifier per frame.  The road classifier (the one robustness is
+  most sensitive to) runs every frame for a 300 ms window; then one
+  frame runs the lane classifier instead, the next frame the scene
+  classifier, and the cycle repeats.  The window is bounded by the
+  look-ahead validity argument of footnote 8 (~400 ms at 50 kmph).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+__all__ = [
+    "CLASSIFIER_NAMES",
+    "InvocationScheme",
+    "EveryFrameScheme",
+    "VariableScheme",
+    "EventTriggeredScheme",
+]
+
+#: The three situation classifiers of Table IV.
+CLASSIFIER_NAMES: Tuple[str, str, str] = ("road", "lane", "scene")
+
+
+class InvocationScheme:
+    """Decides which classifiers run on each control cycle."""
+
+    def classifiers_for_cycle(self, time_ms: float) -> Tuple[str, ...]:
+        """Classifiers to invoke for the cycle starting at *time_ms*."""
+        raise NotImplementedError
+
+    def max_concurrent(self) -> int:
+        """Upper bound of classifiers per frame (drives the tau budget)."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear any internal phase state (new run)."""
+
+    def observe(self, believed_changed: bool, measurement_valid: bool) -> None:
+        """Feedback hook called once per cycle after identification and
+        perception; event-triggered schemes react to it, the paper's
+        schemes ignore it."""
+
+
+class EveryFrameScheme(InvocationScheme):
+    """A fixed classifier set on every cycle."""
+
+    def __init__(self, classifiers: Sequence[str] = CLASSIFIER_NAMES):
+        unknown = set(classifiers) - set(CLASSIFIER_NAMES)
+        if unknown:
+            raise ValueError(f"unknown classifiers: {sorted(unknown)}")
+        self.classifiers = tuple(classifiers)
+
+    def classifiers_for_cycle(self, time_ms: float) -> Tuple[str, ...]:
+        return self.classifiers
+
+    def max_concurrent(self) -> int:
+        return len(self.classifiers)
+
+    def reset(self) -> None:  # stateless
+        pass
+
+
+class VariableScheme(InvocationScheme):
+    """One classifier per frame: road-heavy with periodic lane/scene slots.
+
+    The schedule is phase-based rather than frame-counted so it is
+    correct under the varying sampling periods of dynamic ISP knobs:
+    within each window of ``window_ms`` the road classifier runs; the
+    first cycle after the window boundary runs the lane classifier and
+    the one after it the scene classifier.
+    """
+
+    def __init__(self, window_ms: float = 300.0):
+        if window_ms <= 0:
+            raise ValueError(f"window_ms must be > 0, got {window_ms}")
+        self.window_ms = window_ms
+        self._pending_scene = False
+        self._last_window_index = -1
+
+    def reset(self) -> None:
+        self._pending_scene = False
+        self._last_window_index = -1
+
+    def classifiers_for_cycle(self, time_ms: float) -> Tuple[str, ...]:
+        if self._pending_scene:
+            self._pending_scene = False
+            return ("scene",)
+        window_index = int(time_ms // self.window_ms)
+        if window_index != self._last_window_index and self._last_window_index >= 0:
+            self._last_window_index = window_index
+            self._pending_scene = True
+            return ("lane",)
+        self._last_window_index = window_index
+        return ("road",)
+
+    def max_concurrent(self) -> int:
+        return 1
+
+
+class EventTriggeredScheme(InvocationScheme):
+    """Adaptive invocation — the paper's "more complete scheme" sketch.
+
+    Like :class:`VariableScheme`, exactly one classifier runs per frame
+    (so the tau budget is one classifier slot).  The road classifier is
+    the default; a *refresh burst* (one frame of lane, one of scene) is
+    triggered by events instead of a fixed window:
+
+    - the believed situation changed (something is in flux — confirm the
+      other features quickly),
+    - perception missed ``miss_threshold`` consecutive frames (the
+      active knobs may be wrong for the actual situation),
+    - nothing refreshed for ``max_staleness_ms`` (safety fallback).
+    """
+
+    def __init__(
+        self,
+        max_staleness_ms: float = 1200.0,
+        miss_threshold: int = 2,
+    ):
+        if max_staleness_ms <= 0:
+            raise ValueError("max_staleness_ms must be > 0")
+        if miss_threshold < 1:
+            raise ValueError("miss_threshold must be >= 1")
+        self.max_staleness_ms = max_staleness_ms
+        self.miss_threshold = miss_threshold
+        self.reset()
+
+    def reset(self) -> None:
+        self._burst: list = []
+        self._misses = 0
+        self._last_refresh_ms = 0.0
+        self._trigger = False
+
+    def observe(self, believed_changed: bool, measurement_valid: bool) -> None:
+        if believed_changed:
+            self._trigger = True
+        if measurement_valid:
+            self._misses = 0
+        else:
+            self._misses += 1
+            if self._misses >= self.miss_threshold:
+                self._trigger = True
+                self._misses = 0
+
+    def classifiers_for_cycle(self, time_ms: float) -> Tuple[str, ...]:
+        if self._burst:
+            return (self._burst.pop(0),)
+        stale = time_ms - self._last_refresh_ms >= self.max_staleness_ms
+        if self._trigger or stale:
+            self._trigger = False
+            self._last_refresh_ms = time_ms
+            self._burst = ["scene"]
+            return ("lane",)
+        return ("road",)
+
+    def max_concurrent(self) -> int:
+        return 1

@@ -1,0 +1,149 @@
+"""Situation definition (paper Sec. III-A, Table I).
+
+A *situation* is a combination of environmental factors that influence
+closed-loop performance.  The paper fixes three features with the most
+impact on quality of control:
+
+1. type of lane  — color (white / yellow) × form (dotted / continuous /
+   double continuous) of the **left** lane marking; the right marking is
+   always white dotted in the paper's experiments (Sec. IV-A),
+2. layout of road — left turn / right turn / straight,
+3. type of scene / weather — day / night / dark / dawn / dusk.
+
+Table III of the paper evaluates the 21 most frequently encountered
+combinations; :data:`TABLE3_SITUATIONS` lists them in the paper's order
+(1-indexed situation ids).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from itertools import product
+from typing import Iterator, Tuple
+
+__all__ = [
+    "LaneColor",
+    "LaneForm",
+    "RoadLayout",
+    "Scene",
+    "Situation",
+    "TABLE3_SITUATIONS",
+    "full_situation_space",
+    "situation_by_index",
+]
+
+
+class LaneColor(str, Enum):
+    """Color of the left lane marking."""
+
+    WHITE = "white"
+    YELLOW = "yellow"
+
+
+class LaneForm(str, Enum):
+    """Form of the left lane marking."""
+
+    CONTINUOUS = "continuous"
+    DOTTED = "dotted"
+    DOUBLE = "double"  # double continuous
+
+
+class RoadLayout(str, Enum):
+    """Local road layout."""
+
+    STRAIGHT = "straight"
+    LEFT = "left"
+    RIGHT = "right"
+
+
+class Scene(str, Enum):
+    """Scene / weather (illumination) condition."""
+
+    DAY = "day"
+    NIGHT = "night"  # street lights present
+    DARK = "dark"  # no street lights
+    DAWN = "dawn"
+    DUSK = "dusk"
+
+
+@dataclass(frozen=True)
+class Situation:
+    """One point in the situation space of Table I.
+
+    Instances are immutable and hashable so they can key
+    characterization tables and classifier label maps.
+    """
+
+    layout: RoadLayout
+    lane_color: LaneColor
+    lane_form: LaneForm
+    scene: Scene
+
+    def lane_label(self) -> str:
+        """The lane-classifier label, e.g. ``"white dotted"``."""
+        return f"{self.lane_color.value} {self.lane_form.value}"
+
+    def describe(self) -> str:
+        """Human-readable description matching Table III wording."""
+        return f"{self.layout.value}, {self.lane_label()}, {self.scene.value}"
+
+    def to_config(self) -> Tuple[str, str, str, str]:
+        """A JSON-friendly tuple used for hashing/caching."""
+        return (
+            self.layout.value,
+            self.lane_color.value,
+            self.lane_form.value,
+            self.scene.value,
+        )
+
+    @classmethod
+    def from_config(cls, config) -> "Situation":
+        """Inverse of :meth:`to_config`."""
+        layout, color, form, scene = config
+        return cls(RoadLayout(layout), LaneColor(color), LaneForm(form), Scene(scene))
+
+
+def _sit(layout: str, color: str, form: str, scene: str) -> Situation:
+    return Situation(RoadLayout(layout), LaneColor(color), LaneForm(form), Scene(scene))
+
+
+#: The 21 situations of Table III in paper order (index 0 == situation 1).
+TABLE3_SITUATIONS: Tuple[Situation, ...] = (
+    _sit("straight", "white", "continuous", "day"),     # 1
+    _sit("straight", "white", "dotted", "day"),         # 2
+    _sit("straight", "yellow", "continuous", "day"),    # 3
+    _sit("straight", "yellow", "double", "day"),        # 4
+    _sit("straight", "white", "continuous", "night"),   # 5
+    _sit("straight", "yellow", "continuous", "night"),  # 6
+    _sit("straight", "white", "continuous", "dark"),    # 7
+    _sit("right", "white", "continuous", "day"),        # 8
+    _sit("right", "yellow", "continuous", "day"),       # 9
+    _sit("right", "yellow", "double", "day"),           # 10
+    _sit("right", "white", "continuous", "night"),      # 11
+    _sit("right", "yellow", "continuous", "night"),     # 12
+    _sit("right", "white", "dotted", "day"),            # 13
+    _sit("right", "white", "dotted", "night"),          # 14
+    _sit("left", "white", "continuous", "day"),         # 15
+    _sit("left", "yellow", "continuous", "day"),        # 16
+    _sit("left", "yellow", "double", "day"),            # 17
+    _sit("left", "white", "continuous", "night"),       # 18
+    _sit("left", "yellow", "continuous", "night"),      # 19
+    _sit("left", "white", "dotted", "day"),             # 20
+    _sit("left", "white", "dotted", "night"),           # 21
+)
+
+
+def situation_by_index(index: int) -> Situation:
+    """Return the Table III situation with 1-based paper *index* (1..21)."""
+    if not 1 <= index <= len(TABLE3_SITUATIONS):
+        raise ValueError(
+            f"situation index must be in [1, {len(TABLE3_SITUATIONS)}], got {index}"
+        )
+    return TABLE3_SITUATIONS[index - 1]
+
+
+def full_situation_space() -> Iterator[Situation]:
+    """Iterate the full cross product of Table I features (90 situations)."""
+    for layout, color, form, scene in product(RoadLayout, LaneColor, LaneForm, Scene):
+        yield Situation(layout, color, form, scene)

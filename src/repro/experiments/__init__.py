@@ -1,0 +1,15 @@
+"""Regeneration of every table and figure of the paper's evaluation.
+
+One module per artifact; each exposes a ``run_*`` function returning
+structured data plus a ``format_*`` helper printing the same rows/series
+the paper reports.  The benchmark harness under ``benchmarks/`` wraps
+these, and EXPERIMENTS.md records paper-vs-measured values.
+
+Set the environment variable ``REPRO_FULL=1`` to run every experiment
+at full scale (all situations / full sweeps); the default scales are
+chosen to finish in a few minutes on a laptop core.
+"""
+
+from repro.experiments.common import full_scale, scale_note
+
+__all__ = ["full_scale", "scale_note"]

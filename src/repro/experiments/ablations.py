@@ -1,0 +1,145 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+- **ISP apply lag** (Sec. III-D): the paper argues the one-cycle delay
+  of the ISP knob is harmless; sweeping the lag quantifies it.
+- **Invocation window** (footnote 8): the 300 ms window of the variable
+  scheme against shorter/longer windows.
+- **ISP stage contribution**: per-scene detection accuracy when single
+  stages are dropped (the knob-sensitivity story of Sec. III-B).
+- **Curvature feed-forward**: the production-LKAS extension that the
+  base reproduction keeps off (paper controller consumes y_L only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.situation import Scene, situation_by_index
+from repro.experiments.common import format_table
+from repro.hil.engine import HilConfig, HilEngine
+from repro.perception.evaluation import evaluate_sequence
+from repro.sim.track import Track
+from repro.sim.world import fig7_track
+
+__all__ = [
+    "run_isp_lag_ablation",
+    "run_invocation_window_ablation",
+    "run_isp_stage_ablation",
+    "run_feedforward_ablation",
+    "format_ablation",
+]
+
+
+@dataclass
+class AblationPoint:
+    """One swept setting and its outcome."""
+
+    setting: str
+    mae: float
+    crashed: bool
+
+
+def _dynamic_mae(config: HilConfig, case: str, track: Track) -> AblationPoint:
+    run = HilEngine(track, case, config=config).run()
+    return AblationPoint(
+        setting="",
+        mae=run.mae(skip_time_s=2.0),
+        crashed=run.crashed,
+    )
+
+
+def compact_track() -> Track:
+    """A shortened Fig. 7-style track for the ablation sweeps.
+
+    Same nine sectors and transitions, ~half the arc length — the
+    ablations compare configurations against each other, so the shared
+    track only needs to exercise every switching type.
+    """
+    return fig7_track(straight_length=60.0, turn_length=50.0)
+
+
+def run_isp_lag_ablation(
+    lags: Sequence[int] = (0, 1, 6),
+    seed: int = 3,
+    track: Optional[Track] = None,
+) -> List[AblationPoint]:
+    """Case 4 on the dynamic track with different ISP apply lags."""
+    track = track or compact_track()
+    points = []
+    for lag in lags:
+        point = _dynamic_mae(
+            HilConfig(seed=seed, isp_apply_lag=lag), "case4", track
+        )
+        point.setting = f"lag={lag} cycles"
+        points.append(point)
+    return points
+
+
+def run_invocation_window_ablation(
+    windows_ms: Sequence[float] = (150.0, 300.0, 900.0),
+    seed: int = 3,
+    track: Optional[Track] = None,
+) -> List[AblationPoint]:
+    """The variable scheme with different road-classifier windows."""
+    track = track or compact_track()
+    points = []
+    for window in windows_ms:
+        point = _dynamic_mae(
+            HilConfig(seed=seed, invocation_window_ms=window), "variable", track
+        )
+        point.setting = f"window={window:.0f} ms"
+        points.append(point)
+    return points
+
+
+def run_feedforward_ablation(
+    seed: int = 3, track: Optional[Track] = None
+) -> List[AblationPoint]:
+    """Curvature feed-forward on/off for the robust baseline (case 3)."""
+    track = track or compact_track()
+    points = []
+    for use_ff in (False, True):
+        point = _dynamic_mae(
+            HilConfig(seed=seed, use_feedforward=use_ff), "case3", track
+        )
+        point.setting = f"feedforward={'on' if use_ff else 'off'}"
+        points.append(point)
+    return points
+
+
+def run_isp_stage_ablation(
+    scene_indices: Sequence[int] = (1, 5, 7),
+    n_frames: int = 40,
+    seed: int = 5,
+) -> Dict[str, Dict[str, float]]:
+    """Detection bad-frame rate per scene for single-stage-drop configs.
+
+    Uses the Table II configurations that drop exactly one stage
+    (S1: -DN, S2: -CM, S3: -GM, S4: -TM) against the full S0, revealing
+    which stage matters in which scene — the situation-sensitivity that
+    motivates the scene classifier.
+    """
+    configs = {"S0": "full", "S1": "-DN", "S2": "-CM", "S3": "-GM", "S4": "-TM"}
+    out: Dict[str, Dict[str, float]] = {}
+    for index in scene_indices:
+        situation = situation_by_index(index)
+        row = {}
+        for isp, label in configs.items():
+            stats = evaluate_sequence(
+                situation, isp, "ROI 1", n_frames=n_frames, seed=seed
+            )
+            row[label] = stats.bad_frame_rate()
+        out[situation.scene.value] = row
+    return out
+
+
+def format_ablation(title: str, points: Sequence[AblationPoint]) -> str:
+    """Render an ablation sweep as a text table."""
+    rows = [
+        [p.setting, "CRASH" if p.crashed else f"{p.mae * 100:.2f} cm"]
+        for p in points
+    ]
+    return format_table(["setting", "track MAE"], rows, title=title)

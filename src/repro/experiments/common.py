@@ -1,0 +1,39 @@
+"""Shared helpers for the experiment modules."""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence
+
+__all__ = ["full_scale", "scale_note", "format_table"]
+
+
+def full_scale() -> bool:
+    """Whether experiments run at full paper scale (``REPRO_FULL=1``)."""
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+def scale_note() -> str:
+    """A one-line note describing the active scale."""
+    if full_scale():
+        return "scale: FULL (REPRO_FULL=1)"
+    return "scale: reduced (set REPRO_FULL=1 for the full sweep)"
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str = ""
+) -> str:
+    """Render a simple fixed-width text table."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

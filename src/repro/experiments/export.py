@@ -1,0 +1,159 @@
+"""JSON export of experiment results (for external plotting/analysis).
+
+The report generator renders human-readable tables; this module dumps
+the same structured data as JSON so downstream tooling (notebooks,
+plotting scripts) can consume the reproduction's numbers directly::
+
+    from repro.experiments.export import export_results
+    export_results("results.json", include_dynamic=False)
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+__all__ = ["collect_results", "export_results"]
+
+
+def collect_results(
+    include_dynamic: bool = True,
+    include_characterization: bool = True,
+    include_classifiers: bool = True,
+) -> Dict[str, Any]:
+    """Run the experiment suite and collect JSON-serializable results."""
+    out: Dict[str, Any] = {}
+
+    from repro.experiments.table2 import run_table2
+
+    table2 = run_table2()
+    out["table2"] = {
+        "isp": [
+            {
+                "name": row.name,
+                "stages": row.stages,
+                "xavier_ms": row.xavier_ms,
+                "python_ms": row.python_ms,
+            }
+            for row in table2["isp"]
+        ],
+        "roi": table2["roi"],
+        "pr_runtime_ms": table2["pr_runtime_ms"],
+        "control_runtime_ms": table2["control_runtime_ms"],
+    }
+
+    from repro.experiments.table5 import run_table5
+
+    out["table5"] = [
+        {
+            "case": row.case.name,
+            "classifiers": list(row.case.classifiers),
+            "invocation": row.case.invocation,
+            "delay_ms": row.delay_ms,
+            "period_ms": row.period_ms,
+        }
+        for row in run_table5()
+    ]
+
+    from repro.experiments.fig7 import run_fig7
+
+    out["fig7"] = [
+        {
+            "sector": row.sector,
+            "situation": row.situation.describe(),
+            "s_start": row.s_start,
+            "s_end": row.s_end,
+            "curvature": row.curvature,
+        }
+        for row in run_fig7()
+    ]
+
+    from repro.experiments.fig1 import run_fig1
+
+    out["fig1"] = [
+        {
+            "detector": point.name,
+            "accuracy": point.accuracy,
+            "fps": point.fps,
+            "per_situation": point.per_situation,
+        }
+        for point in run_fig1()
+    ]
+
+    if include_classifiers:
+        from repro.experiments.table4 import run_table4
+
+        out["table4"] = [
+            {
+                "classifier": row.name,
+                "n_train": row.n_train,
+                "n_val": row.n_val,
+                "accuracy": row.accuracy,
+                "paper_accuracy": row.paper_accuracy,
+            }
+            for row in run_table4()
+        ]
+
+    if include_characterization:
+        from repro.experiments.table3 import run_table3
+
+        out["table3"] = [
+            {
+                "index": row.index,
+                "situation": row.situation.describe(),
+                "isp": row.knobs.isp,
+                "roi": row.knobs.roi,
+                "speed_kmph": row.knobs.speed_kmph,
+                "period_ms": row.period_ms,
+                "delay_ms": row.delay_ms,
+                "paper": [row.paper_isp, row.paper_roi, list(row.paper_vht)],
+            }
+            for row in run_table3()
+        ]
+
+    from repro.experiments.fig6 import run_fig6
+
+    out["fig6"] = [
+        {
+            "index": r.index,
+            "situation": r.situation.describe(),
+            "case": r.case,
+            "mae": r.mae,
+            "crashed": r.crashed,
+            "normalized": None if r.crashed else r.normalized,
+        }
+        for r in run_fig6()
+    ]
+
+    if include_dynamic:
+        from repro.experiments.fig8 import aggregate_improvements, run_fig8
+
+        results = run_fig8()
+        out["fig8"] = {
+            "sectors": {
+                case: [
+                    {
+                        "sector": s.sector,
+                        "mae": s.mae,
+                        "reached": s.reached,
+                        "completed": s.completed,
+                    }
+                    for s in r.sectors
+                ]
+                for case, r in results.items()
+            },
+            "aggregates": {
+                f"{a}_vs_{b}": value
+                for (a, b), value in aggregate_improvements(results).items()
+            },
+        }
+    return out
+
+
+def export_results(path: str, **kwargs) -> Path:
+    """Collect results and write them to *path* as JSON."""
+    data = collect_results(**kwargs)
+    target = Path(path)
+    target.write_text(json.dumps(data, indent=2, default=float))
+    return target

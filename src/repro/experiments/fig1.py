@@ -1,0 +1,161 @@
+"""Fig. 1 — lane-detection accuracy vs FPS trade-off.
+
+Reproduces the motivating scatter plot: every detector is evaluated on
+the same per-situation frame dataset (accuracy = fraction of frames
+whose look-ahead deviation lands within 0.3 m of ground truth), and the
+FPS axis comes from the Xavier platform model.
+
+Detectors:
+
+- ``sliding window (static)`` — the classical pipeline with fixed
+  ROI 1 and full ISP: fast but situation-blind (the paper's 52 % point).
+- ``proposed (situation-aware)`` — the same pipeline with the
+  characterized per-situation knobs plus the classifier runtime budget.
+- ``dense segmentation (VPGNet/LaneNet class)`` — the robust per-row
+  detector standing in for the end-to-end CNNs, with the paper's
+  reported Xavier-class runtimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.defaults import default_characterization, natural_roi
+from repro.core.situation import Situation, TABLE3_SITUATIONS
+from repro.experiments.common import format_table, full_scale
+from repro.perception.evaluation import evaluate_sequence
+from repro.perception.segmentation import DenseLaneDetector
+from repro.platform.profiles import REFERENCE_DETECTOR_RUNTIMES_MS
+from repro.platform.schedule import sensing_fps
+from repro.sim.camera import CameraModel
+
+__all__ = ["DetectorPoint", "run_fig1", "format_fig1", "PAPER_FIG1"]
+
+#: Approximate operating points read off the paper's Fig. 1.
+PAPER_FIG1: Dict[str, Dict[str, float]] = {
+    "sliding window (static)": {"accuracy": 0.52, "fps": 40.0},
+    "proposed (situation-aware)": {"accuracy": 0.95, "fps": 27.0},
+    "VPGNet-class dense": {"accuracy": 0.96, "fps": 5.5},
+    "LaneNet-class dense": {"accuracy": 0.97, "fps": 4.0},
+}
+
+
+@dataclass
+class DetectorPoint:
+    """One point in the accuracy/FPS plane."""
+
+    name: str
+    accuracy: float
+    fps: float
+    per_situation: Dict[str, float]
+
+
+def _default_situations() -> Sequence[Situation]:
+    if full_scale():
+        return TABLE3_SITUATIONS
+    # Representative subset spanning layouts, lane types and scenes.
+    from repro.core.situation import situation_by_index
+
+    return [situation_by_index(i) for i in (1, 2, 5, 7, 8, 13, 15, 20, 21)]
+
+
+def run_fig1(
+    situations: Optional[Sequence[Situation]] = None,
+    n_frames: int = 0,
+    seed: int = 5,
+) -> List[DetectorPoint]:
+    """Evaluate every detector; returns the scatter points."""
+    situations = situations or _default_situations()
+    if n_frames <= 0:
+        n_frames = 60 if full_scale() else 30
+    camera = CameraModel(width=384, height=192)
+    table = default_characterization()
+    points: List[DetectorPoint] = []
+
+    # 1. static sliding window: ROI 1 + S0 everywhere.
+    static_acc = {}
+    for situation in situations:
+        stats = evaluate_sequence(
+            situation, "S0", "ROI 1", n_frames=n_frames, seed=seed, camera=camera
+        )
+        static_acc[situation.describe()] = stats.accuracy()
+    points.append(
+        DetectorPoint(
+            name="sliding window (static)",
+            accuracy=float(np.mean(list(static_acc.values()))),
+            fps=sensing_fps("S0"),
+            per_situation=static_acc,
+        )
+    )
+
+    # 2. proposed: characterized ISP/ROI per situation; FPS includes the
+    # three classifiers on the per-situation ISP (case 4 budget).
+    proposed_acc = {}
+    fps_values = []
+    for situation in situations:
+        knobs = table.get(situation)
+        isp = knobs.isp if knobs else "S0"
+        roi = knobs.roi if knobs else natural_roi(situation)
+        stats = evaluate_sequence(
+            situation, isp, roi, n_frames=n_frames, seed=seed, camera=camera
+        )
+        proposed_acc[situation.describe()] = stats.accuracy()
+        fps_values.append(sensing_fps(isp, ("road", "lane", "scene")))
+    points.append(
+        DetectorPoint(
+            name="proposed (situation-aware)",
+            accuracy=float(np.mean(list(proposed_acc.values()))),
+            fps=float(np.mean(fps_values)),
+            per_situation=proposed_acc,
+        )
+    )
+
+    # 3. dense detectors: same accuracy machinery, reference runtimes.
+    dense = DenseLaneDetector(camera)
+    dense_acc = {}
+    for situation in situations:
+        stats = evaluate_sequence(
+            situation,
+            "S0",
+            "ROI 1",  # ignored: detector scans its own wide window
+            n_frames=n_frames,
+            seed=seed,
+            camera=camera,
+            detector=dense.process,
+        )
+        dense_acc[situation.describe()] = stats.accuracy()
+    dense_accuracy = float(np.mean(list(dense_acc.values())))
+    for ref_name, runtime in REFERENCE_DETECTOR_RUNTIMES_MS.items():
+        points.append(
+            DetectorPoint(
+                name=f"{ref_name}-class dense",
+                accuracy=dense_accuracy,
+                fps=1000.0 / runtime,
+                per_situation=dense_acc,
+            )
+        )
+    return points
+
+
+def format_fig1(points: Sequence[DetectorPoint]) -> str:
+    """Paper-vs-measured table for the Fig. 1 operating points."""
+    rows = []
+    for point in points:
+        paper = PAPER_FIG1.get(point.name, {})
+        rows.append(
+            [
+                point.name,
+                f"{point.accuracy * 100:.1f}%",
+                f"{paper.get('accuracy', float('nan')) * 100:.0f}%",
+                f"{point.fps:.1f}",
+                f"{paper.get('fps', float('nan')):.1f}",
+            ]
+        )
+    return format_table(
+        ["detector", "accuracy", "paper acc", "FPS", "paper FPS"],
+        rows,
+        title="Fig. 1 — accuracy vs FPS",
+    )

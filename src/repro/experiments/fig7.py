@@ -1,0 +1,59 @@
+"""Fig. 7 — the nine-sector dynamic case-study world model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.situation import Situation
+from repro.experiments.common import format_table
+from repro.sim.track import Track
+from repro.sim.world import fig7_track
+
+__all__ = ["SectorRow", "run_fig7", "format_fig7"]
+
+
+@dataclass
+class SectorRow:
+    """One sector of the Fig. 7 track."""
+
+    sector: int
+    situation: Situation
+    s_start: float
+    s_end: float
+    curvature: float
+
+
+def run_fig7(track: Track = None) -> List[SectorRow]:
+    """Describe the Fig. 7 track sector by sector."""
+    track = track or fig7_track()
+    rows = []
+    for i, seg in enumerate(track.segments, start=1):
+        rows.append(
+            SectorRow(
+                sector=i,
+                situation=seg.situation,
+                s_start=seg.s_start,
+                s_end=seg.s_end,
+                curvature=seg.curvature,
+            )
+        )
+    return rows
+
+
+def format_fig7(rows: List[SectorRow]) -> str:
+    """Render the sector table of the Fig. 7 track."""
+    table_rows = [
+        [
+            str(r.sector),
+            r.situation.describe(),
+            f"{r.s_start:.0f}-{r.s_end:.0f} m",
+            f"{r.curvature:+.4f}",
+        ]
+        for r in rows
+    ]
+    return format_table(
+        ["sector", "situation", "arc range", "curvature 1/m"],
+        table_rows,
+        title="Fig. 7 — dynamic case-study track",
+    )

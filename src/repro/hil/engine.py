@@ -1,0 +1,337 @@
+"""The closed-loop HiL engine.
+
+One run couples, at a 5 ms base step:
+
+- the **vehicle plant** (nonlinear bicycle + steering actuator),
+- the **camera** (a frame is available every step — 200 FPS),
+- the **sensing chain** (ISP with the active knob -> scheduled
+  classifiers -> sliding-window perception with the active ROI),
+- the **reconfiguration manager** (believed situation -> knobs; ISP
+  knob applied next cycle),
+- the **controller** (situation-scheduled delay-aware LQR), whose
+  output is actuated ``ceil(tau / 5 ms)`` steps after the frame was
+  sampled.
+
+A run ends when the vehicle reaches the end of the track, exceeds the
+crash offset (lane departure), or the time budget runs out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.control.controller import LaneKeepingController
+from repro.control.gains import GainScheduler
+from repro.control.lqr import LqrWeights
+from repro.core.cases import CaseConfig, case_config
+from repro.core.knobs import KnobSetting
+from repro.core.reconfiguration import (
+    OracleIdentifier,
+    ReconfigurationManager,
+    SituationIdentifier,
+)
+from repro.core.situation import Situation
+from repro.hil.record import CycleRecord, HilResult
+from repro.isp.pipeline import IspPipeline
+from repro.perception.pipeline import PerceptionPipeline, PerceptionResult
+from repro.sim.camera import CameraModel
+from repro.sim.geometry import Pose2D
+from repro.sim.renderer import RenderOptions, RoadSceneRenderer
+from repro.sim.track import Track
+from repro.sim.vehicle import Vehicle, VehicleParams, VehicleState
+
+__all__ = ["HilConfig", "HilEngine"]
+
+
+@dataclass(frozen=True)
+class HilConfig:
+    """Engine parameters (paper Sec. IV-A defaults).
+
+    The default frame size is 384x192 — 3/4 of the paper's 512x256 — to
+    keep closed-loop wall-clock practical; timing (``tau``, ``h``) comes
+    from the Xavier model either way, and the BEV resampling makes the
+    perception geometry resolution-independent.
+    """
+
+    frame_width: int = 384
+    frame_height: int = 192
+    sim_step_ms: float = 5.0
+    initial_offset_m: float = 0.20
+    initial_heading_err: float = 0.0
+    crash_offset_m: float = 1.975  # half lane width + half vehicle margin
+    end_margin_m: float = 8.0
+    max_sim_time_s: Optional[float] = None
+    invocation_window_ms: float = 300.0
+    isp_apply_lag: int = 1
+    power_mode: str = "30W"
+    sensor_noise: bool = True
+    imu_noise: bool = False
+    frame_drop_rate: float = 0.0
+    use_feedforward: bool = False
+    use_lqg: bool = False
+    seed: int = 0
+
+
+class HilEngine:
+    """Runs closed-loop LKAS simulations for one track and design case."""
+
+    def __init__(
+        self,
+        track: Track,
+        case: Union[CaseConfig, str],
+        table: Optional[Mapping[Situation, KnobSetting]] = None,
+        identifier: Optional[SituationIdentifier] = None,
+        config: HilConfig = HilConfig(),
+        vehicle_params: VehicleParams = VehicleParams(),
+        weights: LqrWeights = LqrWeights(),
+    ):
+        self.track = track
+        self.case = case if isinstance(case, CaseConfig) else case_config(case)
+        self.config = config
+        self.vehicle_params = vehicle_params
+
+        self.camera = CameraModel(
+            width=config.frame_width, height=config.frame_height
+        )
+        self.renderer = RoadSceneRenderer(
+            self.camera,
+            track,
+            options=RenderOptions(noise=config.sensor_noise),
+            seed=config.seed,
+        )
+        self.perception = PerceptionPipeline(self.camera)
+        self.identifier = identifier or OracleIdentifier(seed=config.seed)
+        self.manager = ReconfigurationManager(
+            self.case,
+            table,
+            window_ms=config.invocation_window_ms,
+            isp_apply_lag=config.isp_apply_lag,
+            power_mode=config.power_mode,
+        )
+        self.gain_scheduler = GainScheduler(vehicle_params, weights)
+        self._isp_cache: Dict[str, IspPipeline] = {}
+        self._lqg_estimator = None
+        self._kalman_cache: Dict[int, "np.ndarray"] = {}
+        if config.imu_noise:
+            from repro.sim.imu import ImuModel
+
+            self._imu = ImuModel(seed=config.seed)
+        else:
+            self._imu = None
+        if not 0.0 <= config.frame_drop_rate < 1.0:
+            raise ValueError("frame_drop_rate must be in [0, 1)")
+        from repro.utils.rng import derive_rng
+
+        self._drop_rng = derive_rng(config.seed, "frame-drop")
+
+    def _isp(self, name: str) -> IspPipeline:
+        pipeline = self._isp_cache.get(name)
+        if pipeline is None:
+            pipeline = IspPipeline(name)
+            self._isp_cache[name] = pipeline
+        return pipeline
+
+    def run(self, start_s: float = 0.0) -> HilResult:
+        """Simulate from ``start_s`` to the end of the track."""
+        cfg = self.config
+        track = self.track
+        step_s = cfg.sim_step_ms / 1000.0
+
+        initial_situation = track.situation_at(start_s)
+        self.manager.reset(initial_situation)
+
+        # Initial pose: on the lane with the configured offset.
+        center = track.pose_at(start_s, cfg.initial_offset_m)
+        pose = Pose2D(
+            center.x, center.y, center.heading + cfg.initial_heading_err
+        )
+        # Initial speed: what the case would command in this situation.
+        initial_decision = self.manager.decide(0.0, ())
+        vehicle = Vehicle(
+            self.vehicle_params,
+            VehicleState(pose=pose, speed=initial_decision.speed_kmph / 3.6),
+        )
+        controller: Optional[LaneKeepingController] = None
+
+        max_time_s = cfg.max_sim_time_s
+        if max_time_s is None:
+            # Generous budget: slowest knob speed plus transients.
+            max_time_s = (track.length - start_s) / (30.0 / 3.6) * 1.5 + 10.0
+        n_steps = int(np.ceil(max_time_s / step_s))
+
+        times = np.zeros(n_steps)
+        s_arr = np.zeros(n_steps)
+        d_arr = np.zeros(n_steps)
+        y_arr = np.zeros(n_steps)
+        steer_arr = np.zeros(n_steps)
+        speed_arr = np.zeros(n_steps)
+        cycles = []
+
+        control_due = 0
+        pending = []  # (apply_step, command) actuations in flight
+        current_u = 0.0
+        s_hint = start_s
+        crashed = False
+        crash_s: Optional[float] = None
+        completed = False
+        recorded = 0
+
+        for step in range(n_steps):
+            t_ms = step * cfg.sim_step_ms
+            state = vehicle.state
+
+            # Actuate commands whose sensor-to-actuation delay elapsed.
+            # This happens before the new sample: with tau == h the
+            # command lands exactly when the next frame is taken.
+            while pending and pending[0][0] <= step:
+                current_u = pending.pop(0)[1]
+
+            if step == control_due:
+                u, decision, record, controller = self._control_cycle(
+                    t_ms, state, s_hint, controller
+                )
+                cycles.append(record)
+                vehicle.set_target_speed(decision.speed_kmph / 3.6)
+                tau_steps = max(
+                    1, int(np.ceil(decision.timing.delay_ms / cfg.sim_step_ms - 1e-9))
+                )
+                h_steps = max(
+                    1, int(round(decision.timing.period_ms / cfg.sim_step_ms))
+                )
+                pending.append((step + tau_steps, u))
+                control_due = step + h_steps
+
+            vehicle.step(step_s, current_u)
+            state = vehicle.state
+            s_now, d_now = track.frenet(state.pose.x, state.pose.y, s_hint=s_hint)
+            s_hint = s_now
+            look = state.pose.position() + self.perception.lookahead * state.pose.forward()
+            _, y_true = track.frenet(look[0], look[1], s_hint=s_now)
+
+            times[recorded] = (step + 1) * step_s
+            s_arr[recorded] = s_now
+            d_arr[recorded] = d_now
+            y_arr[recorded] = y_true
+            steer_arr[recorded] = state.steer
+            speed_arr[recorded] = state.speed
+            recorded += 1
+
+            if abs(d_now) > cfg.crash_offset_m:
+                crashed = True
+                crash_s = s_now
+                break
+            if s_now >= track.length - cfg.end_margin_m:
+                completed = True
+                break
+
+        return HilResult(
+            time_s=times[:recorded],
+            s=s_arr[:recorded],
+            lateral_offset=d_arr[:recorded],
+            y_l_true=y_arr[:recorded],
+            steering=steer_arr[:recorded],
+            speed=speed_arr[:recorded],
+            cycles=cycles,
+            crashed=crashed,
+            crash_s=crash_s,
+            completed=completed,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _filter_measurement(self, gains, measurement, u_prev):
+        """Optional LQG path: Kalman-filter the perception measurement.
+
+        The estimator state persists across situation switches (the
+        physical state is continuous); the model/filter gains follow
+        the active design.
+        """
+        from repro.control.lqg import KalmanLaneEstimator, design_kalman_gain
+
+        key = id(gains)
+        kalman_gain = self._kalman_cache.get(key)
+        if kalman_gain is None:
+            kalman_gain = design_kalman_gain(gains)
+            self._kalman_cache[key] = kalman_gain
+        if self._lqg_estimator is None:
+            self._lqg_estimator = KalmanLaneEstimator(gains, kalman_gain)
+        elif self._lqg_estimator.gains is not gains:
+            self._lqg_estimator.set_gains(gains, kalman_gain)
+        estimator = self._lqg_estimator
+        estimator.predict(u_prev)
+        estimator.update(measurement)
+        return estimator.filtered_measurement(curvature=measurement.curvature)
+
+    def _control_cycle(self, t_ms, state, s_hint, controller):
+        """One sensing+control cycle; returns (u, decision, record, controller)."""
+        track = self.track
+        s_now, _ = track.frenet(state.pose.x, state.pose.y, s_hint=s_hint)
+        true_situation = track.situation_at(s_now)
+
+        active_isp, invoked = self.manager.begin_cycle(t_ms)
+        dropped = (
+            self.config.frame_drop_rate > 0.0
+            and self._drop_rng.random() < self.config.frame_drop_rate
+        )
+        if dropped:
+            # Camera glitch: no frame this cycle — no identification,
+            # no measurement; the controller holds (fault injection).
+            invoked = ()
+            decision = self.manager.decide(t_ms, invoked)
+            measurement = PerceptionResult.invalid()
+        else:
+            raw = self.renderer.render_raw(state.pose)
+            rgb = self._isp(active_isp).process(raw)
+
+            if invoked:
+                features = self.identifier.identify(rgb, invoked, true_situation)
+                self.manager.integrate_identification(features)
+            decision = self.manager.decide(t_ms, invoked)
+
+            self.perception.set_roi(decision.roi)
+            measurement = self.perception.process(rgb)
+        self.manager.observe_measurement(measurement.valid)
+
+        gains = self.gain_scheduler.gains_for(
+            decision.speed_kmph / 3.6,
+            decision.timing.period_s,
+            decision.timing.delay_s,
+        )
+        if controller is None:
+            controller = LaneKeepingController(
+                gains,
+                steer_limit=self.vehicle_params.steer_limit,
+                use_feedforward=self.config.use_feedforward,
+            )
+        else:
+            controller.set_gains(gains)
+
+        if self.config.use_lqg:
+            measurement = self._filter_measurement(
+                gains, measurement, controller.state.u_prev
+            )
+
+        if self._imu is not None:
+            v_y, r, steer = self._imu.sample(
+                state, self.config.sim_step_ms / 1000.0
+            )
+        else:
+            v_y, r, steer = state.lateral_velocity, state.yaw_rate, state.steer
+        u = controller.step(measurement, v_y, r, steer)
+        record = CycleRecord(
+            time_ms=t_ms,
+            s=s_now,
+            active_isp=decision.active_isp,
+            roi=decision.roi,
+            speed_kmph=decision.speed_kmph,
+            period_ms=decision.timing.period_ms,
+            delay_ms=decision.timing.delay_ms,
+            invoked=invoked,
+            measurement_valid=measurement.valid,
+            y_l_measured=measurement.y_l,
+            steering=u,
+        )
+        return u, decision, record, controller

@@ -1,0 +1,172 @@
+"""Run records and QoC aggregation for closed-loop simulations."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from repro.metrics.qoc import mae
+from repro.sim.track import Track
+
+__all__ = ["CycleRecord", "HilResult", "SectorQoC"]
+
+
+@dataclass
+class CycleRecord:
+    """Bookkeeping of one control cycle."""
+
+    time_ms: float
+    s: float
+    active_isp: str
+    roi: str
+    speed_kmph: float
+    period_ms: float
+    delay_ms: float
+    invoked: tuple
+    measurement_valid: bool
+    y_l_measured: float
+    steering: float
+
+
+@dataclass
+class SectorQoC:
+    """Per-sector QoC summary (the Fig. 8 bar data)."""
+
+    sector: int
+    s_start: float
+    s_end: float
+    mae: Optional[float]
+    reached: bool
+    completed: bool
+
+    @property
+    def failed(self) -> bool:
+        """The vehicle entered the sector but crashed inside it."""
+        return self.reached and not self.completed
+
+
+@dataclass
+class HilResult:
+    """Full trace of one closed-loop run."""
+
+    time_s: np.ndarray
+    s: np.ndarray
+    lateral_offset: np.ndarray
+    y_l_true: np.ndarray
+    steering: np.ndarray
+    speed: np.ndarray
+    cycles: List[CycleRecord] = field(default_factory=list)
+    crashed: bool = False
+    crash_s: Optional[float] = None
+    completed: bool = False
+
+    def mae(self, skip_time_s: float = 0.0) -> float:
+        """MAE of the true look-ahead deviation (Eq. 1).
+
+        ``skip_time_s`` optionally drops the initial transient (the runs
+        start with a deliberate lateral offset).  Runs shorter than the
+        skip (e.g. an early crash) fall back to the full trace.
+        """
+        sel = self.time_s >= skip_time_s
+        if not sel.any():
+            sel = slice(None)
+        return mae(self.y_l_true[sel])
+
+    def duration_s(self) -> float:
+        """Simulated duration of the run in seconds."""
+        return float(self.time_s[-1]) if self.time_s.size else 0.0
+
+    def max_offset(self) -> float:
+        """Largest absolute lateral offset reached."""
+        return float(np.max(np.abs(self.lateral_offset))) if self.s.size else 0.0
+
+    def save(self, path: str) -> Path:
+        """Persist the trace to ``.npz`` (cycle records as JSON inside).
+
+        Useful for offline analysis of long runs without re-simulating.
+        """
+        target = Path(path)
+        cycles_json = json.dumps([asdict(c) for c in self.cycles])
+        np.savez(
+            target,
+            time_s=self.time_s,
+            s=self.s,
+            lateral_offset=self.lateral_offset,
+            y_l_true=self.y_l_true,
+            steering=self.steering,
+            speed=self.speed,
+            crashed=np.array(self.crashed),
+            crash_s=np.array(np.nan if self.crash_s is None else self.crash_s),
+            completed=np.array(self.completed),
+            cycles_json=np.array(cycles_json),
+        )
+        return target if target.suffix == ".npz" else target.with_suffix(
+            target.suffix + ".npz"
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "HilResult":
+        """Inverse of :meth:`save`."""
+        with np.load(path, allow_pickle=False) as data:
+            cycles = [
+                CycleRecord(**{**c, "invoked": tuple(c["invoked"])})
+                for c in json.loads(str(data["cycles_json"]))
+            ]
+            crash_s = float(data["crash_s"])
+            return cls(
+                time_s=data["time_s"],
+                s=data["s"],
+                lateral_offset=data["lateral_offset"],
+                y_l_true=data["y_l_true"],
+                steering=data["steering"],
+                speed=data["speed"],
+                cycles=cycles,
+                crashed=bool(data["crashed"]),
+                crash_s=None if np.isnan(crash_s) else crash_s,
+                completed=bool(data["completed"]),
+            )
+
+    def sector_qoc(self, track: Track, skip_distance_m: float = 0.0) -> List[SectorQoC]:
+        """Aggregate QoC per track sector (Fig. 8).
+
+        Parameters
+        ----------
+        track:
+            The track the run was recorded on (provides sector bounds).
+        skip_distance_m:
+            Arc length skipped at the start of each sector before QoC is
+            accumulated, so a sector's score is not dominated by the
+            switching transient of its entry (the paper evaluates
+            per-sector performance the same way: the transition effects
+            belong to the failure analysis, not the steady QoC).
+        """
+        sectors: List[SectorQoC] = []
+        progress = float(self.s[-1]) if self.s.size else 0.0
+        for index, seg in enumerate(track.segments, start=1):
+            reached = progress > seg.s_start
+            completed = (progress >= seg.s_end - 1e-6) or (
+                self.completed and index == len(track.segments)
+            )
+            sel = (self.s >= seg.s_start + skip_distance_m) & (self.s < seg.s_end)
+            sector_mae = (
+                float(np.mean(np.abs(self.y_l_true[sel]))) if sel.any() else None
+            )
+            sectors.append(
+                SectorQoC(
+                    sector=index,
+                    s_start=seg.s_start,
+                    s_end=seg.s_end,
+                    mae=sector_mae,
+                    reached=reached,
+                    completed=completed and not (
+                        self.crashed
+                        and self.crash_s is not None
+                        and seg.s_start <= self.crash_s < seg.s_end
+                    ),
+                )
+            )
+        return sectors

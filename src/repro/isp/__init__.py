@@ -1,0 +1,36 @@
+"""Image signal processing pipeline (paper Fig. 3a, Table II).
+
+Five essential stages transform a RAW Bayer frame into an RGB frame:
+demosaic (DM), denoise (DN), color map (CM), gamut map (GM) and tone map
+(TM).  The *approximate ISP* knob of the paper selects a subset of the
+stages (configurations S0-S8); demosaic is always present because the
+rest of the system needs an RGB image.
+"""
+
+from repro.isp.stages import (
+    IspStage,
+    demosaic,
+    denoise,
+    color_map,
+    gamut_map,
+    tone_map,
+)
+from repro.isp.configs import (
+    IspConfig,
+    ISP_CONFIGS,
+    isp_config,
+)
+from repro.isp.pipeline import IspPipeline
+
+__all__ = [
+    "IspStage",
+    "demosaic",
+    "denoise",
+    "color_map",
+    "gamut_map",
+    "tone_map",
+    "IspConfig",
+    "ISP_CONFIGS",
+    "isp_config",
+    "IspPipeline",
+]

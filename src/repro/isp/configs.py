@@ -1,0 +1,73 @@
+"""ISP pipeline configurations S0-S8 (paper Table II).
+
+Each configuration enables a subset of the five stages; demosaic is
+always on.  The ``xavier_runtime_ms`` values are the paper's profiled
+runtimes on the NVIDIA AGX Xavier for 512x256 frames — they feed the
+platform timing model, *not* our Python execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.isp.stages import IspStage
+
+__all__ = ["IspConfig", "ISP_CONFIGS", "isp_config"]
+
+
+@dataclass(frozen=True)
+class IspConfig:
+    """One row of the ISP-knob block of Table II."""
+
+    name: str
+    stages: Tuple[IspStage, ...]
+    xavier_runtime_ms: float
+
+    def __post_init__(self):
+        if IspStage.DEMOSAIC not in self.stages:
+            raise ValueError(f"{self.name}: demosaic (DM) cannot be skipped")
+        if len(set(self.stages)) != len(self.stages):
+            raise ValueError(f"{self.name}: duplicate stages {self.stages}")
+
+    def has(self, stage: IspStage) -> bool:
+        """Whether this configuration includes *stage*."""
+        return stage in self.stages
+
+    def to_config(self) -> Dict[str, object]:
+        """JSON-friendly form for hashing/caching."""
+        return {
+            "name": self.name,
+            "stages": [s.value for s in self.stages],
+        }
+
+
+def _cfg(name: str, acronyms: Tuple[str, ...], runtime: float) -> IspConfig:
+    return IspConfig(name, tuple(IspStage(a) for a in acronyms), runtime)
+
+
+#: Table II ISP knob rows, keyed by name.
+ISP_CONFIGS: Dict[str, IspConfig] = {
+    cfg.name: cfg
+    for cfg in (
+        _cfg("S0", ("DM", "DN", "CM", "GM", "TM"), 21.5),
+        _cfg("S1", ("DM", "CM", "GM", "TM"), 18.9),
+        _cfg("S2", ("DM", "DN", "GM", "TM"), 20.9),
+        _cfg("S3", ("DM", "DN", "CM", "TM"), 3.3),
+        _cfg("S4", ("DM", "DN", "CM", "GM"), 3.2),
+        _cfg("S5", ("DM", "DN"), 3.1),
+        _cfg("S6", ("DM", "CM"), 3.2),
+        _cfg("S7", ("DM", "GM"), 3.1),
+        _cfg("S8", ("DM", "TM"), 3.2),
+    )
+}
+
+
+def isp_config(name: str) -> IspConfig:
+    """Look up an ISP configuration by name (``"S0"`` .. ``"S8"``)."""
+    try:
+        return ISP_CONFIGS[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown ISP config {name!r}; expected one of {sorted(ISP_CONFIGS)}"
+        ) from exc

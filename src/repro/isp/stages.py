@@ -1,0 +1,174 @@
+"""The five ISP stages of Fig. 3(a).
+
+All stages operate on float32 images in linear light unless stated
+otherwise.  The stage set matches [8], [12] (Buckler et al.'s
+"Reconfiguring the imaging pipeline for computer vision"):
+
+- **demosaic (DM)** — bilinear interpolation of the RGGB mosaic.
+- **denoise (DN)** — small-kernel Gaussian smoothing.
+- **color map (CM)** — gray-world white balance + color correction
+  matrix; undoes illuminant casts (dawn/dusk/night sodium light).
+- **gamut map (GM)** — soft saturation compression + clip into [0, 1].
+- **tone map (TM)** — auto-exposure gain + sRGB-style gamma; this is the
+  stage that rescues low-light frames for thresholding-based perception.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = [
+    "IspStage",
+    "demosaic",
+    "denoise",
+    "color_map",
+    "gamut_map",
+    "tone_map",
+]
+
+
+class IspStage(str, Enum):
+    """Identifier of one ISP stage (paper's DM/DN/CM/GM/TM acronyms)."""
+
+    DEMOSAIC = "DM"
+    DENOISE = "DN"
+    COLOR_MAP = "CM"
+    GAMUT_MAP = "GM"
+    TONE_MAP = "TM"
+
+
+# Bilinear demosaic kernels (normalized at application time by the
+# convolved channel mask, which handles borders exactly).
+_KERNEL_G = np.array([[0, 1, 0], [1, 4, 1], [0, 1, 0]], dtype=np.float32)
+_KERNEL_RB = np.array([[1, 2, 1], [2, 4, 2], [1, 2, 1]], dtype=np.float32)
+
+# The channel masks and their convolved normalizers only depend on the
+# frame shape; cache them (one entry per resolution used in a session).
+_DEMOSAIC_CACHE: dict = {}
+
+
+def _demosaic_tables(height: int, width: int):
+    key = (height, width)
+    cached = _DEMOSAIC_CACHE.get(key)
+    if cached is not None:
+        return cached
+    rows = np.arange(height)[:, None]
+    cols = np.arange(width)[None, :]
+    even_row = rows % 2 == 0
+    even_col = cols % 2 == 0
+    masks = (
+        (even_row & even_col).astype(np.float32),       # R
+        (even_row ^ even_col).astype(np.float32),       # G
+        (~even_row & ~even_col).astype(np.float32),     # B
+    )
+    inv_norms = []
+    for channel, mask in enumerate(masks):
+        kernel = _KERNEL_G if channel == 1 else _KERNEL_RB
+        den = ndimage.convolve(mask, kernel, mode="mirror")
+        inv_norms.append((1.0 / np.maximum(den, 1e-6)).astype(np.float32))
+    tables = (masks, tuple(inv_norms))
+    _DEMOSAIC_CACHE[key] = tables
+    return tables
+
+
+def demosaic(raw: np.ndarray) -> np.ndarray:
+    """Bilinear demosaic of an RGGB Bayer plane to ``(H, W, 3)`` RGB."""
+    if raw.ndim != 2:
+        raise ValueError(f"expected a 2-D Bayer plane, got shape {raw.shape}")
+    raw32 = np.ascontiguousarray(raw, dtype=np.float32)
+    height, width = raw32.shape
+    masks, inv_norms = _demosaic_tables(height, width)
+
+    rgb = np.empty((height, width, 3), dtype=np.float32)
+    for channel, (mask, inv_norm) in enumerate(zip(masks, inv_norms)):
+        kernel = _KERNEL_G if channel == 1 else _KERNEL_RB
+        num = ndimage.convolve(raw32 * mask, kernel, mode="mirror")
+        rgb[..., channel] = num * inv_norm
+    return rgb
+
+
+def denoise(rgb: np.ndarray, sigma: float = 0.8) -> np.ndarray:
+    """Gaussian denoise with a small spatial kernel (per channel)."""
+    if sigma <= 0:
+        raise ValueError(f"sigma must be > 0, got {sigma}")
+    out = np.empty_like(rgb)
+    for channel in range(rgb.shape[2]):
+        ndimage.gaussian_filter(
+            rgb[..., channel], sigma=sigma, output=out[..., channel], mode="nearest"
+        )
+    return out
+
+
+#: Mild color-correction matrix (saturation boost around the gray axis).
+_CCM = np.array(
+    [
+        [1.25, -0.15, -0.10],
+        [-0.10, 1.25, -0.15],
+        [-0.10, -0.15, 1.25],
+    ],
+    dtype=np.float32,
+)
+
+
+def color_map(rgb: np.ndarray, confidence_knee: float = 0.08) -> np.ndarray:
+    """Gray-world white balance followed by a color-correction matrix.
+
+    The white balance divides each channel by its mean (relative to the
+    overall mean), which removes global illuminant casts; the CCM then
+    restores saturation lost by the sensor response.
+
+    At low light the gray-world statistics are dominated by sensor
+    noise, so — as production ISPs do — the correction is faded toward
+    identity with a confidence factor proportional to the frame's mean
+    level (fully off below ``confidence_knee`` of full scale).
+    """
+    means = rgb.reshape(-1, 3).mean(axis=0)
+    overall = float(means.mean())
+    confidence = np.float32(np.clip(overall / confidence_knee, 0.0, 1.0))
+    gains = overall / np.maximum(means, 1e-6)
+    gains = np.clip(gains, 0.5, 2.0).astype(np.float32)
+    eye = np.eye(3, dtype=np.float32)
+    ccm = confidence * _CCM + (1.0 - confidence) * eye
+    balanced = rgb * (confidence * gains + (1.0 - confidence))
+    return balanced @ ccm.T
+
+
+def gamut_map(rgb: np.ndarray, knee: float = 0.85) -> np.ndarray:
+    """Soft-compress out-of-gamut values, then clip into [0, 1].
+
+    Values above *knee* are rolled off smoothly so saturated lane
+    markings keep local contrast instead of flat-clipping.
+    """
+    if not 0.0 < knee < 1.0:
+        raise ValueError(f"knee must be in (0, 1), got {knee}")
+    x = np.clip(rgb, 0.0, None)
+    over = x > knee
+    span = 1.0 - knee
+    compressed = knee + span * np.tanh((x - knee) / span)
+    return np.where(over, compressed, x).astype(np.float32)
+
+
+def tone_map(
+    rgb: np.ndarray,
+    target_mean: float = 0.40,
+    max_gain: float = 8.0,
+    gamma: float = 2.2,
+) -> np.ndarray:
+    """Auto-exposure gain plus display gamma.
+
+    The gain normalizes the frame's mean luminance towards
+    *target_mean* (bounded by *max_gain*), then applies a ``1/gamma``
+    power curve.  For a daylight frame the gain is ~1 and the stage only
+    gamma-encodes; for night/dark frames the gain is what makes lane
+    markings separable by thresholding.
+    """
+    if target_mean <= 0 or max_gain < 1 or gamma <= 0:
+        raise ValueError("invalid tone-map parameters")
+    luma = rgb @ np.array([0.299, 0.587, 0.114], dtype=np.float32)
+    mean = float(luma.mean())
+    gain = np.float32(np.clip(target_mean / max(mean, 1e-6), 1.0, max_gain))
+    exposed = np.clip(rgb * gain, 0.0, 1.0)
+    return np.power(exposed, np.float32(1.0 / gamma))

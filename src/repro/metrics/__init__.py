@@ -1,0 +1,21 @@
+"""Quality-of-control and detection-accuracy metrics."""
+
+from repro.metrics.qoc import (
+    mae,
+    rmse,
+    max_abs,
+    normalize_to,
+)
+from repro.metrics.accuracy import detection_accuracy, DetectionSample
+from repro.metrics.transient import TransientMetrics, transient_metrics
+
+__all__ = [
+    "mae",
+    "rmse",
+    "max_abs",
+    "normalize_to",
+    "detection_accuracy",
+    "DetectionSample",
+    "TransientMetrics",
+    "transient_metrics",
+]

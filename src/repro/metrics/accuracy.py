@@ -1,0 +1,48 @@
+"""Lane-detection accuracy (the Fig. 1 vertical axis).
+
+A detection is counted correct when the measured look-ahead deviation
+is within a fixed tolerance of the ground truth; accuracy is the
+fraction of correct detections over a frame dataset spanning the
+evaluated situations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["DetectionSample", "detection_accuracy", "DEFAULT_TOLERANCE_M"]
+
+#: |y_L error| below this counts as a correct detection (metres).
+DEFAULT_TOLERANCE_M = 0.30
+
+
+@dataclass(frozen=True)
+class DetectionSample:
+    """One evaluated frame: measurement vs ground truth."""
+
+    measured_y_l: float
+    true_y_l: float
+    valid: bool
+
+    def correct(self, tolerance: float = DEFAULT_TOLERANCE_M) -> bool:
+        """Whether this detection is within *tolerance* of ground truth."""
+        if not self.valid:
+            return False
+        return abs(self.measured_y_l - self.true_y_l) <= tolerance
+
+
+def detection_accuracy(
+    samples: Iterable[DetectionSample],
+    tolerance: float = DEFAULT_TOLERANCE_M,
+) -> float:
+    """Fraction of correct detections (invalid frames count as misses)."""
+    total = 0
+    correct = 0
+    for sample in samples:
+        total += 1
+        if sample.correct(tolerance):
+            correct += 1
+    if total == 0:
+        raise ValueError("accuracy of an empty dataset is undefined")
+    return correct / total

@@ -1,0 +1,50 @@
+"""Quality-of-control metrics (paper Sec. IV-B).
+
+The paper evaluates closed-loop QoC with the mean absolute error of the
+lateral deviation (Eq. 1)::
+
+    MAE = (1/n) * sum_k |y[k]|
+
+where ``y[k]`` is the lateral deviation ``y_L`` at the k-th sample and
+ideally zero.  Lower is better.  Figures 6 and 8 report values
+normalized to case 3 (the robust baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["mae", "rmse", "max_abs", "normalize_to"]
+
+
+def mae(samples: Sequence[float]) -> float:
+    """Mean absolute error (Eq. 1). Raises on an empty sample set."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("MAE of an empty sample set is undefined")
+    return float(np.mean(np.abs(arr)))
+
+
+def rmse(samples: Sequence[float]) -> float:
+    """Root-mean-square error (diagnostic companion to MAE)."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("RMSE of an empty sample set is undefined")
+    return float(np.sqrt(np.mean(np.square(arr))))
+
+
+def max_abs(samples: Sequence[float]) -> float:
+    """Worst-case absolute deviation."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("max_abs of an empty sample set is undefined")
+    return float(np.max(np.abs(arr)))
+
+
+def normalize_to(values: Sequence[float], reference: float) -> np.ndarray:
+    """Normalize *values* by *reference* (Fig. 6 / Fig. 8 convention)."""
+    if reference <= 0 or not np.isfinite(reference):
+        raise ValueError(f"reference must be positive and finite, got {reference}")
+    return np.asarray(values, dtype=float) / reference

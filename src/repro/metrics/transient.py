@@ -1,0 +1,98 @@
+"""Transient-response metrics on closed-loop traces.
+
+MAE (Eq. 1) is the paper's QoC score; for analysis and the ablation
+discussion it helps to decompose a run into classical control metrics:
+settling time of the initial offset, overshoot, and the steady
+regulation error per track section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["TransientMetrics", "transient_metrics"]
+
+
+@dataclass(frozen=True)
+class TransientMetrics:
+    """Classical step-response style metrics of a regulation trace.
+
+    Attributes
+    ----------
+    settling_time_s:
+        First time after which ``|y|`` stays within ``band`` of zero
+        (NaN if the trace never settles).
+    overshoot_m:
+        Largest excursion *past* zero relative to the initial sign
+        (0 for a monotone approach).
+    steady_state_mae:
+        MAE over the settled portion (NaN if never settled).
+    peak_abs_m:
+        Largest ``|y|`` anywhere in the trace.
+    """
+
+    settling_time_s: float
+    overshoot_m: float
+    steady_state_mae: float
+    peak_abs_m: float
+
+    @property
+    def settled(self) -> bool:
+        """Whether the trace entered (and stayed in) the settling band."""
+        return np.isfinite(self.settling_time_s)
+
+
+def transient_metrics(
+    time_s: np.ndarray,
+    y: np.ndarray,
+    band: float = 0.05,
+) -> TransientMetrics:
+    """Compute transient metrics of a lateral-deviation trace.
+
+    Parameters
+    ----------
+    time_s, y:
+        Trace arrays (same length, time increasing).
+    band:
+        Settling band in metres.
+    """
+    time_s = np.asarray(time_s, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if time_s.shape != y.shape or time_s.size == 0:
+        raise ValueError("time_s and y must be equal-length, non-empty")
+    if band <= 0:
+        raise ValueError(f"band must be > 0, got {band}")
+
+    inside = np.abs(y) <= band
+    settling_time = np.nan
+    settle_index: Optional[int] = None
+    # Last index where the trace is outside the band; settled after it.
+    outside = np.nonzero(~inside)[0]
+    if outside.size == 0:
+        settling_time = float(time_s[0])
+        settle_index = 0
+    elif outside[-1] + 1 < y.size:
+        settle_index = int(outside[-1] + 1)
+        settling_time = float(time_s[settle_index])
+
+    initial_sign = np.sign(y[0]) if y[0] != 0 else 0.0
+    if initial_sign == 0.0:
+        overshoot = float(np.max(np.abs(y)) if y.size else 0.0)
+        overshoot = 0.0
+    else:
+        crossed = y * initial_sign
+        overshoot = float(max(0.0, -crossed.min()))
+
+    steady_mae = np.nan
+    if settle_index is not None and settle_index < y.size:
+        steady_mae = float(np.mean(np.abs(y[settle_index:])))
+
+    return TransientMetrics(
+        settling_time_s=settling_time,
+        overshoot_m=overshoot,
+        steady_state_mae=steady_mae,
+        peak_abs_m=float(np.max(np.abs(y))),
+    )

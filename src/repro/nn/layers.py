@@ -1,0 +1,315 @@
+"""Layers: forward/backward pairs with explicit parameter objects.
+
+Every layer implements ``forward(x, training)`` and ``backward(grad)``;
+``backward`` must be called with the gradient w.r.t. the forward output
+and returns the gradient w.r.t. the forward input, accumulating
+parameter gradients on the way.  Arrays are float32, layout NCHW.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Parameter",
+    "Layer",
+    "Dense",
+    "ReLU",
+    "Flatten",
+    "Conv2D",
+    "BatchNorm2D",
+    "MaxPool2D",
+    "GlobalAvgPool2D",
+]
+
+
+class Parameter:
+    """A trainable tensor with its gradient accumulator."""
+
+    def __init__(self, value: np.ndarray, name: str = ""):
+        self.value = value.astype(np.float32)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    def zero_grad(self) -> None:
+        """Zero the gradient accumulator."""
+        self.grad[...] = 0.0
+
+    @property
+    def size(self) -> int:
+        """Number of scalar weights in the parameter."""
+        return int(self.value.size)
+
+
+class Layer:
+    """Base class; stateless layers only override forward/backward."""
+
+    def parameters(self) -> List[Parameter]:
+        return []
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator):
+        scale = np.sqrt(2.0 / in_features)
+        self.w = Parameter(
+            rng.standard_normal((in_features, out_features)) * scale, "dense/w"
+        )
+        self.b = Parameter(np.zeros(out_features), "dense/b")
+        self._x: Optional[np.ndarray] = None
+
+    def parameters(self) -> List[Parameter]:
+        return [self.w, self.b]
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._x = x if training else None
+        return x @ self.w.value + self.b.value
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._x is not None, "backward before forward(training=True)"
+        self.w.grad += self._x.T @ grad
+        self.b.grad += grad.sum(axis=0)
+        return grad @ self.w.value.T
+
+
+class ReLU(Layer):
+    def __init__(self):
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.maximum(x, 0.0)
+        self._mask = x > 0 if training else None
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._mask is not None
+        return grad * self._mask
+
+
+class Flatten(Layer):
+    def __init__(self):
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._shape is not None
+        return grad.reshape(self._shape)
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int):
+    """Rearrange (N, C, H, W) into GEMM-ready columns.
+
+    Returns ``(cols, out_h, out_w)`` with ``cols`` of shape
+    ``(C * kh * kw, N * out_h * out_w)`` — already contiguous in the
+    layout the convolution GEMM consumes, so no transpose copy is
+    needed afterwards.
+    """
+    n, c, h, w = x.shape
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    cols = np.empty((c, kh, kw, n, out_h, out_w), dtype=x.dtype)
+    for i in range(kh):
+        i_end = i + stride * out_h
+        for j in range(kw):
+            j_end = j + stride * out_w
+            # (N, C, oh, ow) -> (C, N, oh, ow)
+            cols[:, i, j] = x[:, :, i:i_end:stride, j:j_end:stride].transpose(
+                1, 0, 2, 3
+            )
+    return cols.reshape(c * kh * kw, n * out_h * out_w), out_h, out_w
+
+
+def _col2im(cols: np.ndarray, x_shape, kh: int, kw: int, stride: int, pad: int):
+    """Inverse of :func:`_im2col` (accumulating overlaps)."""
+    n, c, h, w = x_shape
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    cols = cols.reshape(c, kh, kw, n, out_h, out_w)
+    x = np.zeros((c, n, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    for i in range(kh):
+        i_end = i + stride * out_h
+        for j in range(kw):
+            j_end = j + stride * out_w
+            x[:, :, i:i_end:stride, j:j_end:stride] += cols[:, i, j]
+    x = x.transpose(1, 0, 2, 3)
+    if pad:
+        return x[:, :, pad:-pad, pad:-pad]
+    return x
+
+
+class Conv2D(Layer):
+    """2-D convolution via im2col, He-initialized."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+        stride: int = 1,
+        padding: Optional[int] = None,
+        bias: bool = True,
+    ):
+        if padding is None:
+            padding = kernel_size // 2
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        scale = np.sqrt(2.0 / fan_in)
+        self.w = Parameter(
+            rng.standard_normal((out_channels, fan_in)) * scale, "conv/w"
+        )
+        self.b = Parameter(np.zeros(out_channels), "conv/b") if bias else None
+        self._cache = None
+
+    def parameters(self) -> List[Parameter]:
+        return [self.w] + ([self.b] if self.b is not None else [])
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        flat, out_h, out_w = _im2col(
+            x, self.kernel_size, self.kernel_size, self.stride, self.padding
+        )
+        n = x.shape[0]
+        # One flat GEMM: (out_ch, fan_in) @ (fan_in, n * out_pixels).
+        out = self.w.value @ flat
+        if self.b is not None:
+            out += self.b.value[:, None]
+        self._cache = (x.shape, flat) if training else None
+        return np.ascontiguousarray(
+            out.reshape(self.out_channels, n, out_h, out_w).transpose(1, 0, 2, 3)
+        )
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._cache is not None
+        x_shape, flat = self._cache
+        n = grad.shape[0]
+        pixels = grad.shape[2] * grad.shape[3]
+        grad_flat = np.ascontiguousarray(grad.transpose(1, 0, 2, 3)).reshape(
+            self.out_channels, n * pixels
+        )
+        self.w.grad += grad_flat @ flat.T
+        if self.b is not None:
+            self.b.grad += grad_flat.sum(axis=1)
+        dcols = self.w.value.T @ grad_flat
+        return _col2im(
+            dcols, x_shape, self.kernel_size, self.kernel_size, self.stride, self.padding
+        )
+
+
+class BatchNorm2D(Layer):
+    """Batch normalization over (N, H, W) per channel."""
+
+    def __init__(self, channels: int, momentum: float = 0.9, eps: float = 1e-5):
+        self.gamma = Parameter(np.ones(channels), "bn/gamma")
+        self.beta = Parameter(np.zeros(channels), "bn/beta")
+        self.momentum = momentum
+        self.eps = eps
+        self.running_mean = np.zeros(channels, dtype=np.float32)
+        self.running_var = np.ones(channels, dtype=np.float32)
+        self._cache = None
+
+    def parameters(self) -> List[Parameter]:
+        return [self.gamma, self.beta]
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (
+                self.momentum * self.running_mean + (1 - self.momentum) * mean
+            ).astype(np.float32)
+            self.running_var = (
+                self.momentum * self.running_var + (1 - self.momentum) * var
+            ).astype(np.float32)
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        if training:
+            self._cache = (x_hat, inv_std)
+        return (
+            self.gamma.value[None, :, None, None] * x_hat
+            + self.beta.value[None, :, None, None]
+        )
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._cache is not None
+        x_hat, inv_std = self._cache
+        n, _, h, w = grad.shape
+        m = n * h * w
+        self.gamma.grad += (grad * x_hat).sum(axis=(0, 2, 3))
+        self.beta.grad += grad.sum(axis=(0, 2, 3))
+        gamma = self.gamma.value[None, :, None, None]
+        dx_hat = grad * gamma
+        sum_dx_hat = dx_hat.sum(axis=(0, 2, 3), keepdims=True)
+        sum_dx_hat_xhat = (dx_hat * x_hat).sum(axis=(0, 2, 3), keepdims=True)
+        return (
+            inv_std[None, :, None, None]
+            * (dx_hat - sum_dx_hat / m - x_hat * sum_dx_hat_xhat / m)
+        )
+
+
+class MaxPool2D(Layer):
+    """2x2 (or kxk) max pooling with stride = kernel."""
+
+    def __init__(self, kernel_size: int = 2):
+        self.k = kernel_size
+        self._cache = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n, c, h, w = x.shape
+        k = self.k
+        if h % k or w % k:
+            raise ValueError(f"spatial dims {(h, w)} not divisible by pool {k}")
+        xr = x.reshape(n, c, h // k, k, w // k, k)
+        out = xr.max(axis=(3, 5))
+        if training:
+            mask = xr == out[:, :, :, None, :, None]
+            self._cache = (mask, x.shape)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._cache is not None
+        mask, x_shape = self._cache
+        k = self.k
+        g = grad[:, :, :, None, :, None] * mask
+        # Split ties evenly (rare with float inputs).
+        counts = mask.sum(axis=(3, 5), keepdims=True)
+        g = g / np.maximum(counts, 1)
+        return g.reshape(x_shape)
+
+
+class GlobalAvgPool2D(Layer):
+    """Average over the spatial dimensions -> (N, C)."""
+
+    def __init__(self):
+        self._shape = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._shape is not None
+        n, c, h, w = self._shape
+        return np.broadcast_to(
+            grad[:, :, None, None] / (h * w), self._shape
+        ).astype(grad.dtype)

@@ -1,0 +1,95 @@
+"""Model containers: sequential stacks and residual blocks."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.layers import BatchNorm2D, Conv2D, Layer, Parameter, ReLU
+
+__all__ = ["Sequential", "ResidualBlock"]
+
+
+class Sequential(Layer):
+    """A plain chain of layers."""
+
+    def __init__(self, *layers: Layer):
+        if not layers:
+            raise ValueError("Sequential needs at least one layer")
+        self.layers: List[Layer] = list(layers)
+
+    def parameters(self) -> List[Parameter]:
+        params: List[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+
+class ResidualBlock(Layer):
+    """conv-bn-relu-conv-bn + identity (or 1x1 projection) skip, relu.
+
+    The basic block of ResNet-18 [17], at the scale the synthetic
+    situation-classification task needs.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        rng: np.random.Generator,
+    ):
+        self.conv1 = Conv2D(in_channels, out_channels, 3, rng, bias=False)
+        self.bn1 = BatchNorm2D(out_channels)
+        self.relu1 = ReLU()
+        self.conv2 = Conv2D(out_channels, out_channels, 3, rng, bias=False)
+        self.bn2 = BatchNorm2D(out_channels)
+        self.relu2 = ReLU()
+        self.projection: Optional[Conv2D] = None
+        if in_channels != out_channels:
+            self.projection = Conv2D(
+                in_channels, out_channels, 1, rng, padding=0, bias=False
+            )
+
+    def parameters(self) -> List[Parameter]:
+        params = (
+            self.conv1.parameters()
+            + self.bn1.parameters()
+            + self.conv2.parameters()
+            + self.bn2.parameters()
+        )
+        if self.projection is not None:
+            params += self.projection.parameters()
+        return params
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = self.conv1.forward(x, training)
+        out = self.bn1.forward(out, training)
+        out = self.relu1.forward(out, training)
+        out = self.conv2.forward(out, training)
+        out = self.bn2.forward(out, training)
+        skip = x if self.projection is None else self.projection.forward(x, training)
+        return self.relu2.forward(out + skip, training)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad = self.relu2.backward(grad)
+        grad_main = self.bn2.backward(grad)
+        grad_main = self.conv2.backward(grad_main)
+        grad_main = self.relu1.backward(grad_main)
+        grad_main = self.bn1.backward(grad_main)
+        grad_main = self.conv1.backward(grad_main)
+        if self.projection is not None:
+            grad_skip = self.projection.backward(grad)
+        else:
+            grad_skip = grad
+        return grad_main + grad_skip

@@ -1,0 +1,90 @@
+"""Optimizers: SGD with momentum and Adam."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+
+__all__ = ["SGD", "Adam"]
+
+
+class SGD:
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(
+        self,
+        parameters: List[Parameter],
+        lr: float = 0.05,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ):
+        if lr <= 0:
+            raise ValueError(f"lr must be > 0, got {lr}")
+        self.parameters = parameters
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.value) for p in parameters]
+
+    def step(self) -> None:
+        """Apply one update to every parameter from its gradient."""
+        for param, vel in zip(self.parameters, self._velocity):
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.value
+            vel *= self.momentum
+            vel -= self.lr * grad
+            param.value += vel
+
+    def zero_grad(self) -> None:
+        """Zero the gradient accumulators of all parameters."""
+        for param in self.parameters:
+            param.zero_grad()
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        parameters: List[Parameter],
+        lr: float = 1e-3,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        if lr <= 0:
+            raise ValueError(f"lr must be > 0, got {lr}")
+        self.parameters = parameters
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.value) for p in parameters]
+        self._v = [np.zeros_like(p.value) for p in parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        """Apply one update to every parameter from its gradient."""
+        self._t += 1
+        bc1 = 1.0 - self.beta1**self._t
+        bc2 = 1.0 - self.beta2**self._t
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.value
+            m *= self.beta1
+            m += (1 - self.beta1) * grad
+            v *= self.beta2
+            v += (1 - self.beta2) * np.square(grad)
+            m_hat = m / bc1
+            v_hat = v / bc2
+            param.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def zero_grad(self) -> None:
+        """Zero the gradient accumulators of all parameters."""
+        for param in self.parameters:
+            param.zero_grad()

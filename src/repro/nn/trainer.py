@@ -1,0 +1,123 @@
+"""Mini-batch training loop with validation tracking."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.nn.losses import softmax, softmax_cross_entropy
+from repro.nn.optim import Adam
+from repro.utils.rng import derive_rng
+
+__all__ = ["TrainConfig", "TrainReport", "Trainer"]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyper-parameters of one training run."""
+
+    epochs: int = 18
+    batch_size: int = 64
+    lr: float = 2e-3
+    lr_decay: float = 0.3
+    lr_decay_at: float = 0.6
+    weight_decay: float = 1e-5
+    seed: int = 0
+    early_stop_accuracy: float = 0.9995
+
+    def __post_init__(self):
+        if self.epochs < 1 or self.batch_size < 1:
+            raise ValueError("epochs and batch_size must be >= 1")
+
+
+@dataclass
+class TrainReport:
+    """Per-epoch history and final validation metrics."""
+
+    train_loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    val_accuracy: List[float] = field(default_factory=list)
+    epochs_run: int = 0
+
+    @property
+    def final_val_accuracy(self) -> float:
+        """Validation accuracy after the last epoch (NaN if none)."""
+        return self.val_accuracy[-1] if self.val_accuracy else float("nan")
+
+
+class Trainer:
+    """Trains a classification model with Adam + softmax cross-entropy."""
+
+    def __init__(self, model: Layer, config: TrainConfig = TrainConfig()):
+        self.model = model
+        self.config = config
+        self.optimizer = Adam(
+            model.parameters(), lr=config.lr, weight_decay=config.weight_decay
+        )
+
+    def fit(
+        self,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        x_val: Optional[np.ndarray] = None,
+        y_val: Optional[np.ndarray] = None,
+        verbose: bool = False,
+    ) -> TrainReport:
+        """Train and return the per-epoch history."""
+        cfg = self.config
+        rng = derive_rng(cfg.seed, "trainer/shuffle")
+        n = x_train.shape[0]
+        report = TrainReport()
+
+        decay_epoch = max(1, int(cfg.epochs * cfg.lr_decay_at))
+        for epoch in range(cfg.epochs):
+            if epoch == decay_epoch:
+                self.optimizer.lr *= cfg.lr_decay
+            order = rng.permutation(n)
+            losses = []
+            correct = 0
+            for start in range(0, n, cfg.batch_size):
+                idx = order[start : start + cfg.batch_size]
+                xb = x_train[idx]
+                yb = y_train[idx]
+                logits = self.model.forward(xb, training=True)
+                loss, grad = softmax_cross_entropy(logits, yb)
+                self.optimizer.zero_grad()
+                self.model.backward(grad)
+                self.optimizer.step()
+                losses.append(loss)
+                correct += int((logits.argmax(axis=1) == yb).sum())
+            report.train_loss.append(float(np.mean(losses)))
+            report.train_accuracy.append(correct / n)
+            if x_val is not None and y_val is not None:
+                val_acc = self.evaluate(x_val, y_val)
+                report.val_accuracy.append(val_acc)
+                if verbose:
+                    print(
+                        f"epoch {epoch + 1}/{cfg.epochs}: "
+                        f"loss {report.train_loss[-1]:.4f} "
+                        f"train {report.train_accuracy[-1]:.4f} "
+                        f"val {val_acc:.4f}"
+                    )
+                if val_acc >= cfg.early_stop_accuracy:
+                    report.epochs_run = epoch + 1
+                    return report
+            report.epochs_run = epoch + 1
+        return report
+
+    def evaluate(
+        self, x: np.ndarray, y: np.ndarray, batch_size: int = 256
+    ) -> float:
+        """Top-1 accuracy in inference mode."""
+        correct = 0
+        for start in range(0, x.shape[0], batch_size):
+            logits = self.model.forward(x[start : start + batch_size], training=False)
+            correct += int((logits.argmax(axis=1) == y[start : start + batch_size]).sum())
+        return correct / x.shape[0]
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class probabilities in inference mode."""
+        return softmax(self.model.forward(x, training=False))

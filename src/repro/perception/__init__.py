@@ -1,0 +1,46 @@
+"""Perception (PR): lateral-deviation measurement from camera frames.
+
+Implements the paper's sliding-window lane detection pipeline
+(Fig. 3b): ROI selection -> perspective transform to a bird's-eye view
+-> dynamic thresholding -> sliding-window lane-pixel search -> 2nd-order
+polynomial fit -> lateral deviation ``y_L`` at the look-ahead distance
+``LL`` (5.5 m).  Also contains the dense segmentation baseline that
+stands in for the VPGNet/LaneNet accuracy points of Fig. 1.
+"""
+
+from repro.perception.roi import RoiPreset, ROI_PRESETS, roi_preset
+from repro.perception.bev import BevGrid
+from repro.perception.threshold import dynamic_threshold, ThresholdParams
+from repro.perception.sliding_window import SlidingWindowParams, find_lane_pixels
+from repro.perception.lane_fit import LaneFit, fit_lane_lines
+from repro.perception.pipeline import (
+    LOOKAHEAD_DISTANCE,
+    PerceptionPipeline,
+    PerceptionResult,
+)
+from repro.perception.segmentation import DenseLaneDetector
+from repro.perception.evaluation import (
+    SequenceStats,
+    evaluate_sequence,
+    trajectory_poses,
+)
+
+__all__ = [
+    "SequenceStats",
+    "evaluate_sequence",
+    "trajectory_poses",
+    "RoiPreset",
+    "ROI_PRESETS",
+    "roi_preset",
+    "BevGrid",
+    "dynamic_threshold",
+    "ThresholdParams",
+    "SlidingWindowParams",
+    "find_lane_pixels",
+    "LaneFit",
+    "fit_lane_lines",
+    "LOOKAHEAD_DISTANCE",
+    "PerceptionPipeline",
+    "PerceptionResult",
+    "DenseLaneDetector",
+]

@@ -1,0 +1,147 @@
+"""Perspective transform: camera frame -> bird's-eye view (BEV).
+
+A :class:`BevGrid` resamples the camera image onto a regular grid on
+the ground plane.  The grid is *curvature rectified*: each row (one
+longitudinal distance ``x``) is laterally centred on the ROI preset's
+bent centerline, so when the preset's nominal curvature matches the
+road, lane markings appear as near-vertical stripes — which is what the
+sliding-window search expects.  A mismatched ROI (e.g. ROI 1 in a right
+turn) makes markings drift sideways and leave the window, reproducing
+the paper's robustness failures.
+
+Because the camera mounting and the preset are fixed, the bilinear
+sample coordinates are precomputed once; the per-frame cost is a single
+gather + blend.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.perception.roi import RoiPreset
+from repro.sim.camera import CameraModel
+
+__all__ = ["BevGrid"]
+
+
+class BevGrid:
+    """Precomputed ground-plane resampler for one camera + ROI preset.
+
+    Parameters
+    ----------
+    camera:
+        The camera model (must match the frames passed to :meth:`warp`).
+    roi:
+        ROI preset defining the ground window.
+    n_rows:
+        Longitudinal resolution (row 0 = nearest distance).
+    n_cols:
+        Lateral resolution.
+    """
+
+    def __init__(
+        self,
+        camera: CameraModel,
+        roi: RoiPreset,
+        n_rows: int = 96,
+        n_cols: int = 128,
+    ):
+        if n_rows < 8 or n_cols < 8:
+            raise ValueError("BEV grid must be at least 8x8")
+        self.camera = camera
+        self.roi = roi
+        self.n_rows = n_rows
+        self.n_cols = n_cols
+
+        self.x_axis = np.linspace(roi.x_near, roi.x_far, n_rows).astype(np.float32)
+        self.lat_axis = np.linspace(
+            -roi.half_width, roi.half_width, n_cols
+        ).astype(np.float32)
+
+        x_grid = self.x_axis[:, None]
+        center = roi.center_offset(x_grid)
+        y_grid = center + self.lat_axis[None, :]
+
+        u, v = camera.project(np.broadcast_to(x_grid, (n_rows, n_cols)), y_grid)
+        u = np.asarray(u, dtype=np.float32)
+        v = np.asarray(v, dtype=np.float32)
+        inside = (
+            (u >= 0) & (u <= camera.width - 1) & (v >= 0) & (v <= camera.height - 1)
+        )
+        u = np.clip(u, 0, camera.width - 1.001)
+        v = np.clip(v, 0, camera.height - 1.001)
+
+        u0 = np.floor(u).astype(np.int32)
+        v0 = np.floor(v).astype(np.int32)
+        self._inside = inside
+        self._flat00 = (v0 * camera.width + u0).ravel()
+        self._flat01 = (v0 * camera.width + u0 + 1).ravel()
+        self._flat10 = ((v0 + 1) * camera.width + u0).ravel()
+        self._flat11 = ((v0 + 1) * camera.width + u0 + 1).ravel()
+        fu = (u - u0).ravel()[:, None]
+        fv = (v - v0).ravel()[:, None]
+        self._w00 = ((1 - fu) * (1 - fv)).astype(np.float32)
+        self._w01 = (fu * (1 - fv)).astype(np.float32)
+        self._w10 = ((1 - fu) * fv).astype(np.float32)
+        self._w11 = (fu * fv).astype(np.float32)
+
+    @property
+    def inside(self) -> np.ndarray:
+        """``(n_rows, n_cols)`` mask of cells whose ground point projects
+        inside the camera frame (cells outside are zero after warping)."""
+        return self._inside
+
+    @property
+    def lateral_resolution(self) -> float:
+        """Metres per BEV column."""
+        return float(self.lat_axis[1] - self.lat_axis[0])
+
+    @property
+    def longitudinal_resolution(self) -> float:
+        """Metres per BEV row."""
+        return float(self.x_axis[1] - self.x_axis[0])
+
+    def warp(self, frame: np.ndarray) -> np.ndarray:
+        """Resample *frame* onto the BEV grid with bilinear interpolation.
+
+        Parameters
+        ----------
+        frame:
+            ``(H, W)`` or ``(H, W, C)`` image matching the camera size.
+
+        Returns
+        -------
+        ``(n_rows, n_cols)`` or ``(n_rows, n_cols, C)`` BEV image; cells
+        whose ground point projects outside the frame are zero.
+        """
+        cam = self.camera
+        if frame.shape[:2] != (cam.height, cam.width):
+            raise ValueError(
+                f"frame shape {frame.shape[:2]} does not match camera "
+                f"({cam.height}, {cam.width})"
+            )
+        channels = 1 if frame.ndim == 2 else frame.shape[2]
+        flat = frame.reshape(-1, channels).astype(np.float32, copy=False)
+        out = (
+            flat[self._flat00] * self._w00
+            + flat[self._flat01] * self._w01
+            + flat[self._flat10] * self._w10
+            + flat[self._flat11] * self._w11
+        )
+        out = out.reshape(self.n_rows, self.n_cols, channels)
+        out[~self._inside] = 0.0
+        if frame.ndim == 2:
+            return out[..., 0]
+        return out
+
+    def vehicle_lateral(self, rows: np.ndarray, cols: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Map BEV ``(row, col)`` indices back to vehicle-frame ``(x, y)``.
+
+        ``y`` includes the ROI's curvature rectification offset, i.e. it
+        is the true lateral coordinate in the vehicle frame.
+        """
+        x = self.x_axis[np.asarray(rows, dtype=int)]
+        lat = self.lat_axis[np.asarray(cols, dtype=int)]
+        return x, self.roi.center_offset(x) + lat

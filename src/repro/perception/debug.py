@@ -1,0 +1,74 @@
+"""Terminal visualization helpers for perception debugging.
+
+matplotlib is deliberately not a dependency; these render BEV masks,
+frames and track maps as compact ASCII art, which turns out to be all
+one needs to debug a thresholding or ROI problem over SSH.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.track import Track
+
+__all__ = ["mask_to_text", "frame_to_text", "track_to_text"]
+
+#: Luminance ramp from dark to bright.
+_RAMP = " .:-=+*#%@"
+
+
+def mask_to_text(mask: np.ndarray, max_width: int = 96) -> str:
+    """Render a boolean BEV mask (row 0 = near) as ASCII, far row first."""
+    if mask.ndim != 2:
+        raise ValueError(f"mask must be 2-D, got {mask.shape}")
+    step = max(1, int(np.ceil(mask.shape[1] / max_width)))
+    rows = []
+    for row in mask[::-2][::1]:
+        cells = row[::step]
+        rows.append("".join("#" if c else "." for c in cells))
+    return "\n".join(rows)
+
+
+def frame_to_text(
+    frame: np.ndarray, max_width: int = 96, max_height: int = 32
+) -> str:
+    """Render an RGB or grayscale frame as ASCII luminance art."""
+    if frame.ndim == 3:
+        luma = frame @ np.array([0.299, 0.587, 0.114], dtype=frame.dtype)
+    else:
+        luma = frame
+    step_y = max(1, int(np.ceil(luma.shape[0] / max_height)))
+    step_x = max(1, int(np.ceil(luma.shape[1] / max_width)))
+    small = luma[::step_y, ::step_x]
+    scaled = np.clip(small / max(float(small.max()), 1e-6), 0.0, 1.0)
+    indices = (scaled * (len(_RAMP) - 1)).astype(int)
+    return "\n".join("".join(_RAMP[i] for i in row) for row in indices)
+
+
+def track_to_text(
+    track: Track,
+    width: int = 72,
+    height: int = 24,
+    vehicle_s: Optional[float] = None,
+) -> str:
+    """Plot a track centerline (and optionally the vehicle) in ASCII."""
+    s_samples = np.linspace(0.0, track.length - 1e-6, 400)
+    points = np.array([track.pose_at(float(s)).position() for s in s_samples])
+    lo = points.min(axis=0) - 5.0
+    hi = points.max(axis=0) + 5.0
+    span = np.maximum(hi - lo, 1e-6)
+    canvas = [[" "] * width for _ in range(height)]
+
+    def plot(xy, char):
+        col = int((xy[0] - lo[0]) / span[0] * (width - 1))
+        row = int((xy[1] - lo[1]) / span[1] * (height - 1))
+        canvas[height - 1 - row][col] = char
+
+    for index, point in enumerate(points):
+        sector = int(track.segment_index_at(float(s_samples[index])))
+        plot(point, str((sector + 1) % 10))
+    if vehicle_s is not None:
+        plot(track.pose_at(float(vehicle_s)).position(), "X")
+    return "\n".join("".join(row) for row in canvas)

@@ -1,0 +1,161 @@
+"""Second-order polynomial lane fitting (paper Fig. 3b, last stage).
+
+Fits ``lateral(x) = a x^2 + b x + c`` (metres, in the ROI-rectified
+frame) to the pixels of each detected lane line, then derives the lane
+*center* polynomial.  With only one line visible, the center is the
+line shifted by half a lane width — the standard single-line fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.perception.sliding_window import LanePixels
+
+__all__ = ["LaneFit", "fit_line_poly", "fit_lane_lines"]
+
+#: Minimum pixels for any fit, and minimum longitudinal span (metres)
+#: before a quadratic is attempted (shorter spans fit a line).
+_MIN_PIXELS = 10
+_MIN_QUADRATIC_SPAN = 6.0
+#: Ridge penalty (per pixel) on the quadratic coefficient.  The fit is
+#: performed in the ROI-rectified frame where the expected residual
+#: curvature is ~0, so shrinking the quadratic term suppresses the
+#: far-range smear wiggle without biasing true curvature (which the
+#: rectification already carries).
+_CURVATURE_RIDGE = 60.0
+#: Distance-weight scale: pixels at x are weighted 1/(1 + (x/scale)^2),
+#: reflecting the camera's quadratically-coarsening ground resolution.
+_WEIGHT_SCALE = 8.0
+
+
+@dataclass
+class LaneFit:
+    """Result of lane-line fitting, all in ROI-rectified metres.
+
+    ``center_poly`` has highest-order coefficient first (numpy
+    convention): ``lateral(x) = p[0] x^2 + p[1] x + p[2]``.
+    """
+
+    left_poly: Optional[np.ndarray]
+    right_poly: Optional[np.ndarray]
+    center_poly: Optional[np.ndarray]
+    n_left: int
+    n_right: int
+
+    @property
+    def valid(self) -> bool:
+        """Whether a lane-center polynomial exists."""
+        return self.center_poly is not None
+
+    @property
+    def lines_used(self) -> int:
+        """How many lane lines contributed to the fit (0-2)."""
+        return int(self.left_poly is not None) + int(self.right_poly is not None)
+
+    def center_lateral(self, x: float) -> float:
+        """Rectified lateral coordinate of the lane center at distance x."""
+        if self.center_poly is None:
+            raise ValueError("no valid lane fit")
+        return float(np.polyval(self.center_poly, x))
+
+    def center_slope(self, x: float) -> float:
+        """d(lateral)/dx of the lane center at distance x."""
+        if self.center_poly is None:
+            raise ValueError("no valid lane fit")
+        return float(np.polyval(np.polyder(self.center_poly), x))
+
+    def center_curvature(self) -> float:
+        """Second derivative (2a) of the lane-center polynomial."""
+        if self.center_poly is None:
+            raise ValueError("no valid lane fit")
+        if len(self.center_poly) < 3:
+            return 0.0
+        return float(2.0 * self.center_poly[0])
+
+
+def fit_line_poly(x: np.ndarray, lateral: np.ndarray) -> Optional[np.ndarray]:
+    """Fit one lane line; returns quadratic coefficients or ``None``.
+
+    The fit is a distance-weighted ridge regression: far pixels are
+    weighted down (fewer ground centimetres per image pixel, noisier)
+    and the quadratic coefficient is shrunk toward zero (see
+    :data:`_CURVATURE_RIDGE`).  The fit falls back to a line when the
+    longitudinal span is too short for a stable quadratic (sparse
+    dashes near the window edge); too few pixels reject the fit.
+    """
+    if x.size < _MIN_PIXELS:
+        return None
+    weights = 1.0 / (1.0 + np.square(x / _WEIGHT_SCALE))
+    span = float(x.max() - x.min())
+    if span < _MIN_QUADRATIC_SPAN:
+        design = np.stack([x, np.ones_like(x)], axis=1)
+        penalty = np.zeros(2)
+    else:
+        design = np.stack([np.square(x), x, np.ones_like(x)], axis=1)
+        penalty = np.array([_CURVATURE_RIDGE * x.size, 0.0, 0.0])
+    weighted = design * weights[:, None]
+    normal = weighted.T @ design + np.diag(penalty)
+    rhs = weighted.T @ lateral
+    try:
+        coef = np.linalg.solve(normal, rhs)
+    except np.linalg.LinAlgError:
+        return None
+    if coef.size == 2:
+        coef = np.concatenate([[0.0], coef])
+    return coef
+
+
+def fit_lane_lines(
+    pixels: LanePixels,
+    x_of_row: np.ndarray,
+    lat_of_col: np.ndarray,
+    lane_width: float = 3.25,
+    require_both_lines: bool = True,
+) -> LaneFit:
+    """Fit both lane lines and the lane center from captured pixels.
+
+    Parameters
+    ----------
+    pixels:
+        Sliding-window output.
+    x_of_row, lat_of_col:
+        BEV axis arrays mapping row -> longitudinal metres and column ->
+        rectified lateral metres.
+    lane_width:
+        Lane width used by the single-line fallback.
+    require_both_lines:
+        Paper-faithful default: the lane center needs both boundaries
+        (losing one marking — e.g. outside a mis-selected ROI — is a
+        perception failure).  With ``False`` a single visible line is
+        offset by half a lane width, a later-era robustness extension
+        exercised by the ablations.
+    """
+    left = fit_line_poly(
+        x_of_row[pixels.left_rows], lat_of_col[pixels.left_cols]
+    )
+    right = fit_line_poly(
+        x_of_row[pixels.right_rows], lat_of_col[pixels.right_cols]
+    )
+
+    if left is not None and right is not None:
+        center = (left + right) / 2.0
+    elif require_both_lines:
+        center = None
+    elif left is not None:
+        center = left - np.array([0.0, 0.0, lane_width / 2.0])
+    elif right is not None:
+        center = right + np.array([0.0, 0.0, lane_width / 2.0])
+    else:
+        center = None
+
+    return LaneFit(
+        left_poly=left,
+        right_poly=right,
+        center_poly=center,
+        n_left=pixels.n_left,
+        n_right=pixels.n_right,
+    )

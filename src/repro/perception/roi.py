@@ -1,0 +1,145 @@
+"""Region-of-interest presets (paper Table II, PR knobs ROI 1-5).
+
+The paper's ROIs are trapezoids in the 512x256 camera frame; their
+*function* is to keep the bird's-eye view looking at the road as it
+turns: ROI 1 looks straight ahead, ROIs 2/3 follow a right turn, ROIs
+4/5 a left turn, and the odd member of each pair (3, 5) is widened for
+dotted lanes whose sparse dashes otherwise leave the view.
+
+This reproduction expresses the same knob in ground-plane terms: a
+*nominal curvature* that bends the sampled ground window along the
+expected road, and a *lateral half-width*.  The equivalent image-space
+trapezoid (for Table II style reporting) is recovered by projecting the
+window's corners through the camera model; the paper's original pixel
+coordinates are kept as metadata in ``paper_trapezoid``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.camera import CameraModel
+
+__all__ = ["RoiPreset", "ROI_PRESETS", "roi_preset"]
+
+#: Nominal turn radius matching the track geometry (see repro.sim.world).
+_NOMINAL_TURN_RADIUS = 50.0
+
+
+@dataclass(frozen=True)
+class RoiPreset:
+    """Ground-window form of one PR ROI knob.
+
+    Attributes
+    ----------
+    name:
+        Table II name, e.g. ``"ROI 1"``.
+    curvature:
+        Nominal road curvature the window bends along (1/m; +left).
+    half_width:
+        Lateral half extent of the window around the bent centerline (m).
+    x_near, x_far:
+        Longitudinal ground range of the window (m ahead of the camera).
+    paper_trapezoid:
+        The paper's original pixel-trapezoid corner list for 512x256
+        frames, kept for the Table II experiment output.
+    """
+
+    name: str
+    curvature: float
+    half_width: float
+    x_near: float = 7.0
+    x_far: float = 20.0
+    paper_trapezoid: Tuple[Tuple[int, int], ...] = ()
+
+    def __post_init__(self):
+        if self.half_width <= 0:
+            raise ValueError(f"{self.name}: half_width must be > 0")
+        if not 0 < self.x_near < self.x_far:
+            raise ValueError(f"{self.name}: need 0 < x_near < x_far")
+
+    def center_offset(self, x: np.ndarray) -> np.ndarray:
+        """Lateral offset of the bent window centerline at distance *x*."""
+        return 0.5 * self.curvature * np.square(x)
+
+    def image_trapezoid(self, camera: CameraModel) -> np.ndarray:
+        """Project the ground window's corners into pixel coordinates.
+
+        Returns a ``(4, 2)`` array of ``(u, v)`` corners in the order
+        near-left, near-right, far-left, far-right (mirroring how the
+        paper lists trapezoid corners in Table II).
+        """
+        xs = np.array([self.x_near, self.x_near, self.x_far, self.x_far])
+        sides = np.array([self.half_width, -self.half_width,
+                          self.half_width, -self.half_width])
+        ys = self.center_offset(xs) + sides
+        u, v = camera.project(xs, ys)
+        return np.stack([u, v], axis=-1)
+
+    def to_config(self) -> Dict[str, float]:
+        """JSON-friendly form for hashing/caching."""
+        return {
+            "name": self.name,
+            "curvature": self.curvature,
+            "half_width": self.half_width,
+            "x_near": self.x_near,
+            "x_far": self.x_far,
+        }
+
+
+ROI_PRESETS: Dict[str, RoiPreset] = {
+    preset.name: preset
+    for preset in (
+        RoiPreset(
+            "ROI 1",
+            curvature=0.0,
+            half_width=2.4,
+            paper_trapezoid=((60, 0), (300, 0), (160, 65), (280, 65)),
+        ),
+        RoiPreset(
+            "ROI 2",
+            curvature=-1.0 / _NOMINAL_TURN_RADIUS,
+            half_width=2.4,
+            x_near=6.0,
+            x_far=14.0,
+            paper_trapezoid=((208, 0), (469, 0), (308, 72), (439, 72)),
+        ),
+        RoiPreset(
+            "ROI 3",
+            curvature=-1.0 / _NOMINAL_TURN_RADIUS,
+            half_width=3.4,
+            x_near=5.5,
+            x_far=16.5,
+            paper_trapezoid=((188, 0), (469, 0), (298, 72), (429, 72)),
+        ),
+        RoiPreset(
+            "ROI 4",
+            curvature=1.0 / _NOMINAL_TURN_RADIUS,
+            half_width=2.4,
+            x_near=6.0,
+            x_far=14.0,
+            paper_trapezoid=((69, 0), (333, 0), (117, 72), (221, 72)),
+        ),
+        RoiPreset(
+            "ROI 5",
+            curvature=1.0 / _NOMINAL_TURN_RADIUS,
+            half_width=3.4,
+            x_near=5.5,
+            x_far=16.5,
+            paper_trapezoid=((49, 0), (312, 0), (109, 72), (222, 72)),
+        ),
+    )
+}
+
+
+def roi_preset(name: str) -> RoiPreset:
+    """Look up an ROI preset by Table II name (``"ROI 1"`` .. ``"ROI 5"``)."""
+    try:
+        return ROI_PRESETS[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown ROI preset {name!r}; expected one of {sorted(ROI_PRESETS)}"
+        ) from exc

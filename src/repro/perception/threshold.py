@@ -1,0 +1,132 @@
+"""Dynamic thresholding of the bird's-eye view (paper Fig. 3b).
+
+Lane markings are found as statistical outliers of the road surface:
+the road dominates the BEV, so a robust location/scale estimate
+(median / MAD) of each color channel makes paint stand out as a
+positive deviation regardless of the ISP configuration's output domain
+(linear or tone-mapped).  Two channels are thresholded and OR-ed:
+
+- *whiteness* = min(R, G, B): high only for achromatic bright paint;
+  road asphalt is mid-gray and vegetation is saturated green, so both
+  stay low.
+- *yellowness* = min(R, G) - B - 2 max(0, G - R): high for yellow paint
+  (R >= G >> B), negative for green vegetation (G > R).
+
+A final contiguity filter drops mask pixels with fewer than two
+8-neighbours, which removes the salt noise that aggressive tone-map
+gains produce in night/dark frames.
+
+The absolute floor ``min_brightness`` is what low-light frames without
+tone mapping fail: the whole BEV sits below the floor and the mask
+comes back (nearly) empty — the mechanism behind the paper's
+night/dark situations demanding tone-map-bearing ISP configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = ["ThresholdParams", "dynamic_threshold", "brightness_channels"]
+
+
+@dataclass(frozen=True)
+class ThresholdParams:
+    """Tunables of the dynamic threshold.
+
+    Attributes
+    ----------
+    z_white, z_yellow:
+        Robust z-score thresholds for the two channels.
+    min_brightness:
+        Absolute floor on the whiteness channel: below it a pixel can
+        never be a white marking, no matter how flat the frame is.
+    min_scale:
+        Lower bound on the robust scale to avoid amplifying a perfectly
+        flat (e.g. black) image into spurious detections.
+    min_neighbours:
+        Minimum count of 8-neighbourhood mask pixels for a pixel to
+        survive the contiguity filter (0 disables the filter).
+    """
+
+    z_white: float = 4.0
+    z_yellow: float = 4.5
+    min_brightness: float = 0.085
+    min_scale: float = 0.012
+    min_neighbours: int = 3
+
+
+def brightness_channels(bev_rgb: np.ndarray) -> tuple:
+    """Split a BEV RGB image into (whiteness, yellowness) channels."""
+    if bev_rgb.ndim != 3 or bev_rgb.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3) BEV image, got {bev_rgb.shape}")
+    r = bev_rgb[..., 0]
+    g = bev_rgb[..., 1]
+    b = bev_rgb[..., 2]
+    white = np.minimum(np.minimum(r, g), b)
+    # Yellow paint has R >= G >> B (blue well under 60 % of the others);
+    # vegetation has G > R and road/grass boundary mixes have B only
+    # mildly depressed, so both stay out of the mask.
+    yellow = np.clip(
+        np.minimum(r, g) - 1.6 * b - 2.0 * np.clip(g - r, 0.0, None), 0.0, None
+    )
+    return white, yellow
+
+
+def _robust_mask(
+    channel: np.ndarray,
+    z_threshold: float,
+    params: ThresholdParams,
+    valid: "np.ndarray | None" = None,
+) -> np.ndarray:
+    # Per-row statistics: each BEV row is one ground distance, so this
+    # adapts to radial illumination gradients (headlight falloff) that
+    # would fool a single global threshold.  Cells outside the camera
+    # frame (warp zeros) are excluded from the statistics.
+    if valid is not None:
+        masked = np.where(valid, channel, np.nan)
+        with np.errstate(all="ignore"):
+            median = np.nanmedian(masked, axis=1, keepdims=True)
+            mad = np.nanmedian(np.abs(masked - median), axis=1, keepdims=True)
+        median = np.nan_to_num(median)
+        mad = np.nan_to_num(mad)
+    else:
+        median = np.median(channel, axis=1, keepdims=True)
+        mad = np.median(np.abs(channel - median), axis=1, keepdims=True)
+    scale = np.maximum(1.4826 * mad, params.min_scale)
+    mask = (channel - median) / scale > z_threshold
+    if valid is not None:
+        mask &= valid
+    return mask
+
+
+_NEIGHBOUR_KERNEL = np.array([[1, 1, 1], [1, 0, 1], [1, 1, 1]], dtype=np.uint8)
+
+
+def dynamic_threshold(
+    bev_rgb: np.ndarray,
+    params: ThresholdParams = ThresholdParams(),
+    valid: "np.ndarray | None" = None,
+) -> np.ndarray:
+    """Binarize a BEV RGB image into a lane-marking candidate mask.
+
+    *valid* optionally marks BEV cells whose ground point projects
+    inside the camera frame; cells outside are excluded from both the
+    row statistics and the mask (wide windows clip at the image edges).
+    """
+    white, yellow = brightness_channels(bev_rgb)
+    mask_white = _robust_mask(white, params.z_white, params, valid) & (
+        white > params.min_brightness
+    )
+    mask_yellow = _robust_mask(yellow, params.z_yellow, params, valid) & (
+        np.maximum(bev_rgb[..., 0], bev_rgb[..., 1]) > params.min_brightness
+    )
+    mask = mask_white | mask_yellow
+    if params.min_neighbours > 0 and mask.any():
+        neighbours = ndimage.convolve(
+            mask.astype(np.uint8), _NEIGHBOUR_KERNEL, mode="constant"
+        )
+        mask &= neighbours >= params.min_neighbours
+    return mask

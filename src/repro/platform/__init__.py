@@ -1,0 +1,58 @@
+"""NVIDIA AGX Xavier platform model (paper Sec. II, Fig. 4).
+
+The paper uses the Xavier as a source of *timing*: profiled runtimes of
+the ISP configurations, perception, control and classifiers determine
+the sensor-to-actuation delay ``tau``, the sampling period ``h`` and
+the achievable FPS.  This package reproduces that role analytically:
+a resource/mapping description of Fig. 4 plus the profiled-runtime
+database of Tables II and IV, and the schedule arithmetic that turns a
+pipeline configuration into ``(tau, h, FPS)``.
+"""
+
+from repro.platform.resources import Resource, XavierPlatform, XAVIER
+from repro.platform.profiles import (
+    RuntimeProfile,
+    PROFILE_DB,
+    classifier_runtime_ms,
+    isp_runtime_ms,
+    pr_runtime_ms,
+    control_runtime_ms,
+)
+from repro.platform.mapping import LkasTask, LkasTaskGraph, default_task_graph
+from repro.platform.power import (
+    DEFAULT_POWER_MODE,
+    POWER_MODES,
+    PowerMode,
+    power_mode,
+)
+from repro.platform.schedule import (
+    SIM_STEP_MS,
+    PipelineTiming,
+    pipeline_timing,
+    period_for_delay,
+    sensing_fps,
+)
+
+__all__ = [
+    "DEFAULT_POWER_MODE",
+    "POWER_MODES",
+    "PowerMode",
+    "power_mode",
+    "Resource",
+    "XavierPlatform",
+    "XAVIER",
+    "RuntimeProfile",
+    "PROFILE_DB",
+    "classifier_runtime_ms",
+    "isp_runtime_ms",
+    "pr_runtime_ms",
+    "control_runtime_ms",
+    "LkasTask",
+    "LkasTaskGraph",
+    "default_task_graph",
+    "SIM_STEP_MS",
+    "PipelineTiming",
+    "pipeline_timing",
+    "period_for_delay",
+    "sensing_fps",
+]

@@ -1,0 +1,148 @@
+"""Task-DAG scheduling on the CPU/GPU resource pair (Fig. 4b, general).
+
+The paper's sensing chain is sequential — the classifiers must finish
+before perception because the PR knob they select applies in the same
+cycle (Sec. III-D).  But not every dependency is tight: the *scene*
+classifier only influences the ISP knob, which applies **next** cycle
+anyway, so its GPU time can overlap the CPU-side perception.  This
+module generalizes the chain model of :mod:`repro.platform.mapping`
+into a dependency DAG with list scheduling over exclusive resources, so
+such mapping optimizations can be explored and quantified
+(`bench_ablation_mapping.py`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import networkx as nx
+
+from repro.platform.profiles import PROFILE_DB, SENSING_OVERHEAD_MS
+from repro.platform.resources import Resource
+
+__all__ = ["DagTask", "TaskDag", "lkas_dag"]
+
+
+@dataclass(frozen=True)
+class DagTask:
+    """One task instance: name, resource, runtime."""
+
+    name: str
+    resource: Resource
+    runtime_ms: float
+
+    def __post_init__(self):
+        if self.runtime_ms < 0:
+            raise ValueError(f"{self.name}: runtime must be >= 0")
+
+
+class TaskDag:
+    """A dependency DAG of tasks scheduled on exclusive resources."""
+
+    def __init__(self):
+        self._graph = nx.DiGraph()
+
+    def add_task(self, task: DagTask) -> None:
+        """Register a task node (names must be unique)."""
+        if task.name in self._graph:
+            raise ValueError(f"duplicate task {task.name!r}")
+        self._graph.add_node(task.name, task=task)
+
+    def add_dependency(self, before: str, after: str) -> None:
+        """Add a precedence edge; rejects cycles."""
+        for name in (before, after):
+            if name not in self._graph:
+                raise ValueError(f"unknown task {name!r}")
+        self._graph.add_edge(before, after)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(before, after)
+            raise ValueError(f"dependency {before!r} -> {after!r} creates a cycle")
+
+    @property
+    def tasks(self) -> List[DagTask]:
+        """All registered tasks."""
+        return [self._graph.nodes[name]["task"] for name in self._graph.nodes]
+
+    def schedule(self) -> Tuple[Dict[str, Tuple[float, float]], float]:
+        """List-schedule the DAG; returns (start/end per task, makespan).
+
+        Tasks become ready when all predecessors finished; each resource
+        runs one task at a time; ready tasks are served in topological
+        order (FIFO per resource), which is optimal for the small
+        chain-with-side-branches graphs the LKAS pipeline produces.
+        """
+        finish: Dict[str, float] = {}
+        spans: Dict[str, Tuple[float, float]] = {}
+        resource_free = {resource: 0.0 for resource in Resource}
+        for name in nx.topological_sort(self._graph):
+            task: DagTask = self._graph.nodes[name]["task"]
+            ready = max(
+                (finish[p] for p in self._graph.predecessors(name)), default=0.0
+            )
+            start = max(ready, resource_free[task.resource])
+            end = start + task.runtime_ms
+            spans[name] = (start, end)
+            finish[name] = end
+            resource_free[task.resource] = end
+        makespan = max(finish.values(), default=0.0)
+        return spans, makespan
+
+    def critical_path(self) -> List[str]:
+        """Longest runtime-weighted dependency path (ignores resources)."""
+        weighted = nx.DiGraph()
+        weighted.add_nodes_from(self._graph.nodes)
+        for before, after in self._graph.edges:
+            weight = self._graph.nodes[before]["task"].runtime_ms
+            weighted.add_edge(before, after, weight=weight)
+        return nx.dag_longest_path(weighted, weight="weight")
+
+
+def _profiled(name: str) -> DagTask:
+    profile = PROFILE_DB[name]
+    return DagTask(profile.task, profile.resource, profile.runtime_ms)
+
+
+def lkas_dag(
+    isp_config: str = "S0",
+    classifiers: Sequence[str] = ("road", "lane", "scene"),
+    overlap_scene: bool = False,
+) -> TaskDag:
+    """Build the per-cycle LKAS task DAG.
+
+    With ``overlap_scene=False`` the graph is the paper's chain:
+    ISP -> classifiers -> PR -> control.  With ``overlap_scene=True``
+    the scene classifier (whose output only affects the next cycle's
+    ISP knob) depends on the ISP but not on PR, and PR no longer waits
+    for it — the GPU runs it while the CPU does perception.
+    """
+    dag = TaskDag()
+    isp = _profiled(f"isp/{isp_config}")
+    dag.add_task(isp)
+    dag.add_task(_profiled("pr"))
+    dag.add_task(_profiled("control"))
+
+    pr_waits_for: List[str] = [isp.name]
+    for clf in classifiers:
+        task = _profiled(f"classifier/{clf}")
+        dag.add_task(task)
+        dag.add_dependency(isp.name, task.name)
+        if clf == "scene" and overlap_scene:
+            continue  # only feeds the next cycle's ISP knob
+        pr_waits_for.append(task.name)
+    for name in pr_waits_for:
+        if name != "pr":
+            dag.add_dependency(name, "pr")
+    dag.add_dependency("pr", "control")
+    return dag
+
+
+def dag_delay_ms(dag: TaskDag, dynamic_isp: bool = False) -> float:
+    """Sensor-to-actuation delay implied by a scheduled DAG."""
+    from repro.platform.profiles import RECONFIG_OVERHEAD_MS
+
+    _, makespan = dag.schedule()
+    delay = makespan + SENSING_OVERHEAD_MS
+    if dynamic_isp:
+        delay += RECONFIG_OVERHEAD_MS
+    return delay

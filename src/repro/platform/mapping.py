@@ -1,0 +1,106 @@
+"""CPU/GPU task mapping of the LKAS pipeline (paper Fig. 4b).
+
+The ISP stages and the CNN classifiers run on the integrated Volta GPU;
+the sliding-window perception and the control law run on the Carmel
+CPU.  The task graph is a chain (camera -> ISP -> classifiers -> PR ->
+control -> actuate), so the sensor-to-actuation delay is the sum of the
+chain's runtimes, while throughput can pipeline across the two
+resources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.platform.profiles import PROFILE_DB, RuntimeProfile
+from repro.platform.resources import Resource
+
+__all__ = ["LkasTask", "LkasTaskGraph", "default_task_graph"]
+
+
+@dataclass(frozen=True)
+class LkasTask:
+    """One task instance in the LKAS chain."""
+
+    name: str
+    resource: Resource
+    runtime_ms: float
+
+
+class LkasTaskGraph:
+    """An ordered chain of LKAS tasks with per-resource accounting."""
+
+    def __init__(self, tasks: Sequence[LkasTask]):
+        if not tasks:
+            raise ValueError("task graph needs at least one task")
+        self.tasks: List[LkasTask] = list(tasks)
+
+    def latency_ms(self) -> float:
+        """End-to-end chain latency (the sensing part of ``tau``)."""
+        return sum(t.runtime_ms for t in self.tasks)
+
+    def resource_busy_ms(self, resource: Resource) -> float:
+        """Total busy time of one resource per frame."""
+        return sum(t.runtime_ms for t in self.tasks if t.resource is resource)
+
+    def pipelined_fps(self) -> float:
+        """Throughput when successive frames pipeline across resources."""
+        bottleneck = max(
+            self.resource_busy_ms(Resource.CPU),
+            self.resource_busy_ms(Resource.GPU),
+        )
+        return 1000.0 / max(bottleneck, 1e-9)
+
+    def sequential_fps(self) -> float:
+        """Throughput when each frame runs the full chain to completion.
+
+        This matches how the paper reports FPS in Fig. 1 (frames are
+        processed one at a time in the closed loop).
+        """
+        return 1000.0 / max(self.latency_ms(), 1e-9)
+
+
+def default_task_graph(
+    isp_config: str = "S0",
+    classifiers: Sequence[str] = (),
+    include_control: bool = True,
+    power_mode: str = "30W",
+) -> LkasTaskGraph:
+    """Build the Fig. 4(b) task chain for a pipeline configuration.
+
+    Parameters
+    ----------
+    isp_config:
+        Table II ISP knob name (``"S0"`` .. ``"S8"``).
+    classifiers:
+        Names of the classifiers invoked this frame (subset of
+        ``("road", "lane", "scene")``).
+    include_control:
+        Whether the control task is part of the chain (Fig. 1 FPS
+        excludes it; the ``tau`` computation includes it).
+    power_mode:
+        nvpmodel preset; runtimes are scaled from the paper's 30 W
+        measurements (see :mod:`repro.platform.power`).
+    """
+    from repro.platform.power import power_mode as lookup_mode
+
+    mode = lookup_mode(power_mode)
+    tasks = [_task(f"isp/{isp_config}", mode)]
+    for clf in classifiers:
+        tasks.append(_task(f"classifier/{clf}", mode))
+    tasks.append(_task("pr", mode))
+    if include_control:
+        tasks.append(_task("control", mode))
+    return LkasTaskGraph(tasks)
+
+
+def _task(profile_name: str, mode=None) -> LkasTask:
+    try:
+        profile: RuntimeProfile = PROFILE_DB[profile_name]
+    except KeyError as exc:
+        raise ValueError(f"no runtime profile for task {profile_name!r}") from exc
+    runtime = profile.runtime_ms
+    if mode is not None:
+        runtime *= mode.scale_for(profile.resource)
+    return LkasTask(profile.task, profile.resource, runtime)

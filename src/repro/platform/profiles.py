@@ -1,0 +1,108 @@
+"""Profiled-runtime database (paper Tables II and IV).
+
+All values are the paper's measurements on the NVIDIA AGX Xavier at a
+30 W power budget for 512x256 frames.  They drive the platform timing
+model; our Python execution times play no role in ``(tau, h)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.isp.configs import ISP_CONFIGS
+from repro.platform.resources import Resource
+
+__all__ = [
+    "RuntimeProfile",
+    "PROFILE_DB",
+    "isp_runtime_ms",
+    "pr_runtime_ms",
+    "control_runtime_ms",
+    "classifier_runtime_ms",
+    "SENSING_OVERHEAD_MS",
+    "RECONFIG_OVERHEAD_MS",
+    "REFERENCE_DETECTOR_RUNTIMES_MS",
+]
+
+
+@dataclass(frozen=True)
+class RuntimeProfile:
+    """One profiled task runtime."""
+
+    task: str
+    resource: Resource
+    runtime_ms: float
+
+    def __post_init__(self):
+        if self.runtime_ms < 0:
+            raise ValueError(f"{self.task}: runtime must be >= 0")
+
+
+#: Perception (sliding-window PR) runtime, Table II.
+_PR_MS = 3.0
+#: Control computation runtime, Table II (2.5 us).
+_CONTROL_MS = 0.0025
+#: Each ResNet-18 classifier, Table IV.
+_CLASSIFIER_MS = 5.5
+#: Fixed sensing/actuation overhead calibrated so that case 1 reproduces
+#: the paper's tau = 24.6 ms (S0 21.5 + PR 3.0 + control 0.0025 + 0.1).
+SENSING_OVERHEAD_MS = 0.1
+#: Extra cost of applying a dynamic ISP knob change (case 4 rows of
+#: Table III carry ~0.2 ms above the static sum).
+RECONFIG_OVERHEAD_MS = 0.2
+
+#: Xavier-equivalent runtimes of the Fig. 1 reference detectors.
+REFERENCE_DETECTOR_RUNTIMES_MS: Dict[str, float] = {
+    "VPGNet": 180.0,
+    "LaneNet": 250.0,
+}
+
+
+def _build_db() -> Dict[str, RuntimeProfile]:
+    db: Dict[str, RuntimeProfile] = {}
+    for name, cfg in ISP_CONFIGS.items():
+        db[f"isp/{name}"] = RuntimeProfile(
+            f"isp/{name}", Resource.GPU, cfg.xavier_runtime_ms
+        )
+    db["pr"] = RuntimeProfile("pr", Resource.CPU, _PR_MS)
+    db["control"] = RuntimeProfile("control", Resource.CPU, _CONTROL_MS)
+    for clf in ("road", "lane", "scene"):
+        db[f"classifier/{clf}"] = RuntimeProfile(
+            f"classifier/{clf}", Resource.GPU, _CLASSIFIER_MS
+        )
+    for det, runtime in REFERENCE_DETECTOR_RUNTIMES_MS.items():
+        db[f"detector/{det}"] = RuntimeProfile(
+            f"detector/{det}", Resource.GPU, runtime
+        )
+    return db
+
+
+#: Task name -> profile, the single source of truth for the timing model.
+PROFILE_DB: Dict[str, RuntimeProfile] = _build_db()
+
+
+def isp_runtime_ms(config_name: str) -> float:
+    """Profiled runtime of an ISP configuration (Table II)."""
+    try:
+        return PROFILE_DB[f"isp/{config_name}"].runtime_ms
+    except KeyError as exc:
+        raise ValueError(f"unknown ISP config {config_name!r}") from exc
+
+
+def pr_runtime_ms() -> float:
+    """Profiled runtime of the sliding-window perception (Table II)."""
+    return PROFILE_DB["pr"].runtime_ms
+
+
+def control_runtime_ms() -> float:
+    """Profiled runtime of the LQR control computation (Table II)."""
+    return PROFILE_DB["control"].runtime_ms
+
+
+def classifier_runtime_ms(name: str = "road") -> float:
+    """Profiled runtime of one situation classifier (Table IV)."""
+    try:
+        return PROFILE_DB[f"classifier/{name}"].runtime_ms
+    except KeyError as exc:
+        raise ValueError(f"unknown classifier {name!r}") from exc

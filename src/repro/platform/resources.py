@@ -1,0 +1,44 @@
+"""Compute resources of the NVIDIA AGX Xavier (paper Fig. 4a).
+
+Only the IPs the paper uses are modelled: the 8-core Carmel CPU cluster
+and the 512-core integrated Volta GPU, sharing 16 GB of LPDDR4x, under
+a 30 W power budget (the paper's deployment constraint for EVs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["Resource", "XavierPlatform", "XAVIER"]
+
+
+class Resource(str, Enum):
+    """Where a task runs (Fig. 4b mapping)."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+
+
+@dataclass(frozen=True)
+class XavierPlatform:
+    """Static platform description used by the timing model."""
+
+    name: str = "NVIDIA AGX Xavier"
+    cpu_cores: int = 8
+    cpu_arch: str = "Carmel ARMv8.2"
+    gpu_cuda_cores: int = 512
+    gpu_arch: str = "Volta"
+    dram_gb: int = 16
+    dram_type: str = "LPDDR4x"
+    power_budget_w: float = 30.0
+
+    def validate_power(self, draw_w: float) -> bool:
+        """Whether a hypothetical power draw fits the deployment budget."""
+        if draw_w < 0:
+            raise ValueError("power draw cannot be negative")
+        return draw_w <= self.power_budget_w
+
+
+#: The platform instance used throughout the reproduction.
+XAVIER = XavierPlatform()

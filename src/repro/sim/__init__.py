@@ -1,0 +1,45 @@
+"""Simulation substrate: replaces the paper's Webots HiL plant.
+
+Contains road/track geometry, a projective road-scene renderer with a
+camera sensor model, and a nonlinear bicycle vehicle model integrated at
+the paper's 5 ms simulation step.
+"""
+
+from repro.sim.geometry import Pose2D, wrap_angle
+from repro.sim.track import Track, TrackSegment, SectorSpec
+from repro.sim.camera import CameraModel
+from repro.sim.photometry import ScenePhotometry, photometry_for
+from repro.sim.renderer import RoadSceneRenderer, RenderOptions
+from repro.sim.vehicle import Vehicle, VehicleParams, VehicleState
+from repro.sim.imu import ImuModel, ImuSpec
+from repro.sim.scenario import parse_scenario, ScenarioError
+from repro.sim.world import (
+    fig7_track,
+    fig7_sector_situations,
+    static_situation_track,
+    DEFAULT_TURN_RADIUS,
+)
+
+__all__ = [
+    "Pose2D",
+    "wrap_angle",
+    "Track",
+    "TrackSegment",
+    "SectorSpec",
+    "CameraModel",
+    "ScenePhotometry",
+    "photometry_for",
+    "RoadSceneRenderer",
+    "RenderOptions",
+    "Vehicle",
+    "VehicleParams",
+    "VehicleState",
+    "ImuModel",
+    "ImuSpec",
+    "parse_scenario",
+    "ScenarioError",
+    "fig7_track",
+    "fig7_sector_situations",
+    "static_situation_track",
+    "DEFAULT_TURN_RADIUS",
+]

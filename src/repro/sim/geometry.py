@@ -1,0 +1,75 @@
+"""Planar geometry primitives shared by the track, renderer and vehicle."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["Pose2D", "wrap_angle", "rotation_matrix", "transform_points"]
+
+
+def wrap_angle(angle):
+    """Wrap an angle (scalar or array) to the interval ``(-pi, pi]``."""
+    wrapped = np.mod(np.asarray(angle) + np.pi, 2.0 * np.pi) - np.pi
+    # np.mod maps exact +pi to -pi; keep +pi representable.
+    wrapped = np.where(wrapped == -np.pi, np.pi, wrapped)
+    if np.isscalar(angle) or np.ndim(angle) == 0:
+        return float(wrapped)
+    return wrapped
+
+
+def rotation_matrix(angle: float) -> np.ndarray:
+    """2x2 counter-clockwise rotation matrix."""
+    c, s = np.cos(angle), np.sin(angle)
+    return np.array([[c, -s], [s, c]])
+
+
+@dataclass(frozen=True)
+class Pose2D:
+    """A planar pose: position ``(x, y)`` in metres, heading in radians.
+
+    Heading follows the usual mathematical convention (0 along +x,
+    counter-clockwise positive).
+    """
+
+    x: float
+    y: float
+    heading: float
+
+    def position(self) -> np.ndarray:
+        """Position as a length-2 array."""
+        return np.array([self.x, self.y])
+
+    def forward(self) -> np.ndarray:
+        """Unit vector along the heading."""
+        return np.array([np.cos(self.heading), np.sin(self.heading)])
+
+    def left(self) -> np.ndarray:
+        """Unit vector 90 degrees to the left of the heading."""
+        return np.array([-np.sin(self.heading), np.cos(self.heading)])
+
+    def transform_to_world(self, local_xy: np.ndarray) -> np.ndarray:
+        """Map points from this pose's local frame to the world frame.
+
+        Local frame: x forward, y left.  *local_xy* is ``(..., 2)``.
+        """
+        pts = np.asarray(local_xy, dtype=float)
+        rot = rotation_matrix(self.heading)
+        return pts @ rot.T + self.position()
+
+    def transform_to_local(self, world_xy: np.ndarray) -> np.ndarray:
+        """Map points from the world frame into this pose's local frame."""
+        pts = np.asarray(world_xy, dtype=float) - self.position()
+        rot = rotation_matrix(-self.heading)
+        return pts @ rot.T
+
+    def advanced(self, forward: float, lateral: float = 0.0) -> "Pose2D":
+        """A pose translated in the local frame, keeping the heading."""
+        pos = self.position() + forward * self.forward() + lateral * self.left()
+        return Pose2D(float(pos[0]), float(pos[1]), self.heading)
+
+    def as_tuple(self) -> Tuple[float, float, float]:
+        """The pose as an ``(x, y, heading)`` tuple."""
+        return (self.x, self.y, self.heading)

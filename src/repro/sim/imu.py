@@ -1,0 +1,75 @@
+"""Inertial measurement model for the controller's body-frame feedback.
+
+The LKAS controller consumes the body lateral velocity and yaw rate —
+on a production vehicle these come from the ESC/IMU cluster, not from
+the camera.  By default the HiL engine feeds the true values (the
+paper's Webots setup does the same); this model adds the realistic
+imperfections — white noise and a slowly-drifting bias — so their
+effect on QoC can be studied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.sim.vehicle import VehicleState
+from repro.utils.rng import derive_rng
+
+__all__ = ["ImuModel", "ImuSpec"]
+
+
+@dataclass(frozen=True)
+class ImuSpec:
+    """Noise/bias magnitudes of an automotive-grade IMU.
+
+    Defaults are typical ESC-cluster numbers: yaw-rate noise ~0.2 deg/s
+    RMS with a slowly wandering bias, lateral-velocity estimate noise a
+    few cm/s.
+    """
+
+    lateral_velocity_noise: float = 0.03  # m/s RMS
+    yaw_rate_noise: float = 0.0035  # rad/s RMS
+    yaw_rate_bias_walk: float = 1e-4  # rad/s per sqrt(s)
+    steer_noise: float = 0.002  # rad RMS (steering-angle sensor)
+
+    def __post_init__(self):
+        for name in (
+            "lateral_velocity_noise",
+            "yaw_rate_noise",
+            "yaw_rate_bias_walk",
+            "steer_noise",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+
+class ImuModel:
+    """Samples noisy body-frame measurements from the true state."""
+
+    def __init__(self, spec: ImuSpec = ImuSpec(), seed: int = 0):
+        self.spec = spec
+        self._rng = derive_rng(seed, "imu")
+        self._yaw_bias = 0.0
+
+    def reset(self) -> None:
+        """Clear the accumulated yaw-rate bias."""
+        self._yaw_bias = 0.0
+
+    def sample(
+        self, state: VehicleState, dt: float
+    ) -> Tuple[float, float, float]:
+        """Measured ``(v_y, r, steer)`` for the current step.
+
+        ``dt`` scales the yaw-bias random walk.
+        """
+        spec = self.spec
+        self._yaw_bias += (
+            spec.yaw_rate_bias_walk * np.sqrt(max(dt, 0.0)) * self._rng.standard_normal()
+        )
+        v_y = state.lateral_velocity + spec.lateral_velocity_noise * self._rng.standard_normal()
+        r = state.yaw_rate + self._yaw_bias + spec.yaw_rate_noise * self._rng.standard_normal()
+        steer = state.steer + spec.steer_noise * self._rng.standard_normal()
+        return float(v_y), float(r), float(steer)

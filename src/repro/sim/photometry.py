@@ -1,0 +1,121 @@
+"""Scene photometry: how day/night/dark/dawn/dusk change the image.
+
+Each :class:`~repro.core.situation.Scene` maps to exposure, color cast,
+ambient light and sensor-noise levels.  These are the levers that make
+ISP stage selection situation-dependent in the reproduction:
+
+- low exposure (night/dark) makes the tone-mapping stage critical,
+- color casts (dawn/dusk/night sodium lights) make color mapping matter,
+- high noise (dark) makes denoising matter.
+
+Values are in linear light, normalized so a white lane marking in full
+daylight lands near 0.9 before sensor noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.situation import Scene
+
+__all__ = ["ScenePhotometry", "photometry_for", "SCENE_PHOTOMETRY"]
+
+
+@dataclass(frozen=True)
+class ScenePhotometry:
+    """Photometric parameters of one scene condition.
+
+    Attributes
+    ----------
+    exposure:
+        Global multiplier on scene radiance (1.0 = daylight).
+    tint:
+        Per-channel RGB multipliers modelling the illuminant color cast.
+    ambient:
+        Additive ambient level (e.g. sky glow) in linear light.
+    read_noise:
+        Standard deviation of signal-independent sensor noise.
+    shot_noise:
+        Scale of signal-dependent (sqrt) sensor noise.
+    sky:
+        Linear RGB of the sky above the horizon.
+    headlight_falloff:
+        e-folding distance (metres) of the illumination reaching the road
+        ahead.  ``inf`` means uniformly lit (daylight); small values model
+        driving on headlights alone.
+    """
+
+    exposure: float
+    tint: Tuple[float, float, float]
+    ambient: float
+    read_noise: float
+    shot_noise: float
+    sky: Tuple[float, float, float]
+    headlight_falloff: float = float("inf")
+
+    def tint_array(self) -> np.ndarray:
+        """The illuminant tint as a numpy array."""
+        return np.array(self.tint, dtype=float)
+
+    def sky_array(self) -> np.ndarray:
+        """The sky color as a numpy array."""
+        return np.array(self.sky, dtype=float)
+
+
+SCENE_PHOTOMETRY: Dict[Scene, ScenePhotometry] = {
+    Scene.DAY: ScenePhotometry(
+        exposure=1.0,
+        tint=(1.0, 1.0, 1.0),
+        ambient=0.02,
+        read_noise=0.008,
+        shot_noise=0.010,
+        sky=(0.55, 0.70, 0.95),
+    ),
+    Scene.NIGHT: ScenePhotometry(
+        # Street lights: dim warm illumination (sodium-vapor cast).
+        exposure=0.34,
+        tint=(1.12, 0.98, 0.72),
+        ambient=0.010,
+        read_noise=0.014,
+        shot_noise=0.016,
+        sky=(0.03, 0.03, 0.05),
+        headlight_falloff=45.0,
+    ),
+    Scene.DARK: ScenePhotometry(
+        # No street lights: headlights only — very dim, noisy.
+        exposure=0.15,
+        tint=(1.0, 1.0, 0.95),
+        ambient=0.004,
+        read_noise=0.013,
+        shot_noise=0.020,
+        sky=(0.01, 0.01, 0.02),
+        headlight_falloff=26.0,
+    ),
+    Scene.DAWN: ScenePhotometry(
+        exposure=0.62,
+        tint=(0.88, 0.95, 1.15),
+        ambient=0.015,
+        read_noise=0.012,
+        shot_noise=0.013,
+        sky=(0.45, 0.52, 0.75),
+    ),
+    Scene.DUSK: ScenePhotometry(
+        exposure=0.68,
+        tint=(1.18, 0.95, 0.78),
+        ambient=0.015,
+        read_noise=0.012,
+        shot_noise=0.013,
+        sky=(0.75, 0.50, 0.35),
+    ),
+}
+
+
+def photometry_for(scene: Scene) -> ScenePhotometry:
+    """Return the photometry of *scene* (KeyError-safe with message)."""
+    try:
+        return SCENE_PHOTOMETRY[scene]
+    except KeyError as exc:  # pragma: no cover - Scene enum is closed
+        raise ValueError(f"no photometry registered for scene {scene!r}") from exc

@@ -1,0 +1,291 @@
+"""Projective road-scene renderer (the Webots camera substitute).
+
+For every frame the renderer:
+
+1. transforms the camera's precomputed ground-plane pixel map into the
+   world using the vehicle pose,
+2. Frenet-projects those ground points onto the track centerline to get
+   per-pixel road coordinates ``(s, d)``,
+3. evaluates the lane-marking appearance field (color, dash pattern,
+   single/double lines, per-sector lane types) with footprint-based
+   anti-aliasing,
+4. applies the scene photometry (exposure, illuminant tint, headlight
+   falloff) of the sector the vehicle is in,
+5. optionally mosaics to an RGGB Bayer RAW frame with sensor noise —
+   the input the :mod:`repro.isp` pipeline expects.
+
+The output RGB is *linear light*; the tone-mapping ISP stage is what
+moves it to a display/perception-friendly domain, which is exactly why
+skipping that stage hurts low-light situations in the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.situation import LaneColor, LaneForm, Scene
+from repro.sim.camera import CameraModel, GroundMap
+from repro.sim.geometry import Pose2D
+from repro.sim.photometry import ScenePhotometry, photometry_for
+from repro.sim.sensor import add_sensor_noise, mosaic
+from repro.sim.track import Track
+from repro.utils.rng import derive_rng
+
+__all__ = ["RenderOptions", "RoadSceneRenderer"]
+
+# Lane-marking geometry (metres). Widths follow common road standards.
+MARK_HALF_WIDTH = 0.075
+DOUBLE_LINE_OFFSET = 0.19
+DOUBLE_LINE_HALF_WIDTH = 0.055
+DASH_LENGTH = 3.0
+DASH_PERIOD = 7.5
+#: Extra light returned by retroreflective lane paint under headlights.
+RETROREFLECTIVE_GAIN = 0.6
+
+#: Bumped whenever rendered appearance changes; cache keys of artifacts
+#: derived from renders (classifier datasets, characterization tables)
+#: include it so stale artifacts are regenerated automatically.
+RENDERER_VERSION = 4
+
+# Linear-light albedos.
+WHITE_ALBEDO = np.array([0.85, 0.85, 0.85])
+YELLOW_ALBEDO = np.array([0.82, 0.62, 0.10])
+ROAD_ALBEDO = np.array([0.21, 0.21, 0.22])
+SHOULDER_ALBEDO = np.array([0.10, 0.20, 0.08])
+
+_FORM_CODE = {LaneForm.CONTINUOUS: 0, LaneForm.DOTTED: 1, LaneForm.DOUBLE: 2}
+_COLOR_CODE = {LaneColor.WHITE: 0, LaneColor.YELLOW: 1}
+
+
+@dataclass(frozen=True)
+class RenderOptions:
+    """Rendering tweaks that are not situation-dependent.
+
+    Attributes
+    ----------
+    lane_width:
+        Lane width in metres (paper Sec. IV-A: 3.25 m).
+    texture_amplitude:
+        Amplitude of the position-stable asphalt texture.
+    adjacent_lane_width:
+        Width of the asphalt strip left of the left marking (the
+        oncoming lane); grass begins beyond it.
+    right_shoulder:
+        Width of the asphalt shoulder right of the right marking.
+    noise:
+        Whether the RAW output carries sensor noise.
+    """
+
+    lane_width: float = 3.25
+    texture_amplitude: float = 0.015
+    adjacent_lane_width: float = 3.25
+    right_shoulder: float = 0.6
+    noise: bool = True
+
+
+class RoadSceneRenderer:
+    """Render RGB / RAW road frames for a vehicle pose on a track."""
+
+    def __init__(
+        self,
+        camera: CameraModel,
+        track: Track,
+        options: Optional[RenderOptions] = None,
+        seed: int = 0,
+    ):
+        self.camera = camera
+        self.track = track
+        self.options = options or RenderOptions()
+        self.seed = seed
+        self._noise_rng = derive_rng(seed, "camera-noise")
+        self._ground: GroundMap = camera.ground_map()
+        gm = self._ground
+        self._valid = gm.on_ground
+        self._vidx = np.nonzero(self._valid.ravel())[0]
+        self._fwd = gm.forward.ravel()[self._vidx].astype(np.float32)
+        self._lat = gm.lateral.ravel()[self._vidx].astype(np.float32)
+        self._lat_fp = np.maximum(
+            gm.lateral_footprint.ravel()[self._vidx], 1e-4
+        ).astype(np.float32)
+        self._fwd_fp = np.maximum(
+            gm.forward_footprint.ravel()[self._vidx], 1e-4
+        ).astype(np.float32)
+        self._local = np.stack([self._fwd, self._lat], axis=-1)
+        self._segment_tables = self._build_segment_tables()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def render_rgb(
+        self, pose: Pose2D, scene: Optional[Scene] = None
+    ) -> np.ndarray:
+        """Render the linear-light RGB frame seen from *pose*.
+
+        When *scene* is ``None`` the scene condition of the sector the
+        vehicle currently occupies is used (dynamic-track behaviour).
+        """
+        s_vehicle, _ = self.track.frenet(pose.x, pose.y)
+        if scene is None:
+            scene = self.track.situation_at(s_vehicle).scene
+        photometry = photometry_for(scene)
+        return self._render(pose, photometry, s_vehicle)
+
+    def render_raw(
+        self, pose: Pose2D, scene: Optional[Scene] = None
+    ) -> np.ndarray:
+        """Render the RGGB Bayer RAW frame (what the ISP consumes)."""
+        s_vehicle, _ = self.track.frenet(pose.x, pose.y)
+        if scene is None:
+            scene = self.track.situation_at(s_vehicle).scene
+        photometry = photometry_for(scene)
+        rgb = self._render(pose, photometry, s_vehicle)
+        raw = mosaic(rgb)
+        if self.options.noise:
+            raw = add_sensor_noise(
+                raw, self._noise_rng, photometry.read_noise, photometry.shot_noise
+            )
+        return raw
+
+    def scene_at(self, pose: Pose2D) -> Scene:
+        """The scene condition of the sector containing *pose*."""
+        s, _ = self.track.frenet(pose.x, pose.y)
+        return self.track.situation_at(s).scene
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _build_segment_tables(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-segment (s_start, lane-form code, lane-color code) arrays."""
+        bounds = np.array([seg.s_start for seg in self.track.segments])
+        forms = np.array(
+            [_FORM_CODE[seg.situation.lane_form] for seg in self.track.segments]
+        )
+        colors = np.array(
+            [_COLOR_CODE[seg.situation.lane_color] for seg in self.track.segments]
+        )
+        return bounds, forms, colors
+
+    def _render(
+        self, pose: Pose2D, photometry: ScenePhotometry, s_vehicle: float
+    ) -> np.ndarray:
+        cam = self.camera
+        opts = self.options
+        height, width = cam.height, cam.width
+
+        # 1. ground pixels -> world -> road coordinates
+        from repro.sim.geometry import rotation_matrix
+
+        rot = rotation_matrix(pose.heading).astype(np.float32)
+        world = self._local @ rot.T + pose.position().astype(np.float32)
+        window = (s_vehicle - 25.0, s_vehicle + cam.max_distance + 30.0)
+        s_pt, d_pt, on_track = self.track.locate_points(world, window)
+        s_pt = np.where(on_track, s_pt, np.float32(0.0))
+        d_pt = np.where(on_track, d_pt, np.float32(1e6))  # far off-road
+
+        # 2. base albedo: asphalt / shoulder, with position-stable texture
+        half = opts.lane_width / 2.0
+        on_road = (d_pt >= -(half + opts.right_shoulder)) & (
+            d_pt <= half + opts.adjacent_lane_width
+        )
+        albedo = np.where(
+            on_road[:, None],
+            ROAD_ALBEDO[None, :].astype(np.float32),
+            SHOULDER_ALBEDO[None, :].astype(np.float32),
+        )
+        texture = np.float32(opts.texture_amplitude) * _position_hash(s_pt, d_pt)
+        albedo = albedo * (np.float32(1.0) + texture[:, None])
+
+        # 3. lane markings
+        seg_idx = (
+            np.searchsorted(self._segment_tables[0], s_pt, side="right") - 1
+        ).clip(0, len(self.track.segments) - 1)
+        form_code = self._segment_tables[1][seg_idx]
+        color_code = self._segment_tables[2][seg_idx]
+
+        left_cov = self._marking_coverage(
+            d_pt - half, s_pt, form_code, self._lat_fp, self._fwd_fp
+        )
+        right_cov = self._marking_coverage(
+            d_pt + half,
+            s_pt,
+            np.full_like(form_code, _FORM_CODE[LaneForm.DOTTED]),
+            self._lat_fp,
+            self._fwd_fp,
+        )
+        left_color = np.where(
+            color_code[:, None] == _COLOR_CODE[LaneColor.YELLOW],
+            YELLOW_ALBEDO[None, :].astype(np.float32),
+            WHITE_ALBEDO[None, :].astype(np.float32),
+        )
+        albedo = albedo + left_cov[:, None] * (left_color - albedo)
+        albedo = albedo + right_cov[:, None] * (
+            WHITE_ALBEDO[None, :].astype(np.float32) - albedo
+        )
+
+        # 4. photometry: exposure, headlight falloff, tint, ambient.
+        # Lane paint is retroreflective (glass beads): under headlight
+        # illumination the markings return extra light to the camera.
+        if np.isfinite(photometry.headlight_falloff):
+            illum = np.float32(photometry.exposure) * (
+                np.float32(0.25)
+                + np.float32(0.75)
+                * np.exp(-self._fwd / np.float32(photometry.headlight_falloff))
+            )
+            marking_cov = np.maximum(left_cov, right_cov)
+            retro = np.float32(1.0) + np.float32(RETROREFLECTIVE_GAIN) * marking_cov
+            radiance = albedo * (illum * retro)[:, None]
+        else:
+            radiance = albedo * np.float32(photometry.exposure)
+        radiance = radiance * photometry.tint_array().astype(np.float32)
+        radiance = radiance + np.float32(photometry.ambient)
+
+        # 5. scatter into the frame; sky everywhere else
+        sky = photometry.sky_array() * max(photometry.exposure, 0.05)
+        frame = np.empty((height * width, 3), dtype=np.float32)
+        frame[:] = sky.astype(np.float32)
+        frame[self._vidx] = radiance
+        return np.clip(frame.reshape(height, width, 3), 0.0, 1.0)
+
+    @staticmethod
+    def _marking_coverage(
+        delta: np.ndarray,
+        s: np.ndarray,
+        form_code: np.ndarray,
+        lat_fp: np.ndarray,
+        fwd_fp: np.ndarray,
+    ) -> np.ndarray:
+        """Anti-aliased coverage of a marking centred at ``delta == 0``.
+
+        *delta* is the lateral distance to the marking centerline;
+        *form_code* selects continuous / dotted / double per point.
+        """
+        single = _line_coverage(delta, MARK_HALF_WIDTH, lat_fp)
+        double = np.maximum(
+            _line_coverage(delta - DOUBLE_LINE_OFFSET, DOUBLE_LINE_HALF_WIDTH, lat_fp),
+            _line_coverage(delta + DOUBLE_LINE_OFFSET, DOUBLE_LINE_HALF_WIDTH, lat_fp),
+        )
+        lateral = np.where(form_code == _FORM_CODE[LaneForm.DOUBLE], double, single)
+        dash_pos = np.mod(s, DASH_PERIOD)
+        dash = np.clip(
+            (DASH_LENGTH / 2.0 - np.abs(dash_pos - DASH_LENGTH / 2.0)) / fwd_fp + 0.5,
+            0.0,
+            1.0,
+        )
+        modulation = np.where(form_code == _FORM_CODE[LaneForm.DOTTED], dash, 1.0)
+        return lateral * modulation
+
+
+def _line_coverage(delta: np.ndarray, half_width: float, footprint: np.ndarray) -> np.ndarray:
+    """Fraction of a pixel's lateral footprint covered by a painted line."""
+    return np.clip((half_width - np.abs(delta)) / footprint + 0.5, 0.0, 1.0)
+
+
+def _position_hash(s: np.ndarray, d: np.ndarray) -> np.ndarray:
+    """Cheap position-stable pseudo-noise in [-1, 1] for asphalt texture."""
+    q = np.sin(s * 12.9898 + d * 78.233) * 43758.5453
+    return 2.0 * (q - np.floor(q)) - 1.0

@@ -1,0 +1,115 @@
+"""Compact scenario DSL for building custom evaluation tracks.
+
+Downstream users (and our own tests) often want a one-liner track:
+``parse_scenario("S100 R60:80 S50@night L50:90/wd")`` builds a track of
+
+- 100 m straight,
+- a right turn of radius 60 m and arc length 80 m,
+- 50 m straight at night,
+- a left turn of radius 50 m, arc 90 m, with a white-dotted left lane.
+
+Grammar (whitespace-separated sections)::
+
+    section   := shape [ "/" lane ] [ "@" scene ]
+    shape     := "S" length | ("L" | "R") radius ":" length
+    lane      := "wc" | "wd" | "yc" | "yd"     (white/yellow x cont/dotted,
+                                                "yy" = yellow double)
+    scene     := "day" | "night" | "dark" | "dawn" | "dusk"
+
+Unspecified lane/scene inherit from the previous section (first section
+defaults to white continuous, day).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.core.situation import (
+    LaneColor,
+    LaneForm,
+    RoadLayout,
+    Scene,
+    Situation,
+)
+from repro.sim.geometry import Pose2D
+from repro.sim.track import SectorSpec, Track
+
+__all__ = ["parse_scenario", "ScenarioError"]
+
+
+class ScenarioError(ValueError):
+    """Raised for malformed scenario strings."""
+
+
+_SECTION_RE = re.compile(
+    r"^(?P<shape>[SLR])(?P<a>\d+(?:\.\d+)?)(?::(?P<b>\d+(?:\.\d+)?))?"
+    r"(?:/(?P<lane>[a-z]{2}))?"
+    r"(?:@(?P<scene>[a-z]+))?$"
+)
+
+_LANE_CODES = {
+    "wc": (LaneColor.WHITE, LaneForm.CONTINUOUS),
+    "wd": (LaneColor.WHITE, LaneForm.DOTTED),
+    "yc": (LaneColor.YELLOW, LaneForm.CONTINUOUS),
+    "yd": (LaneColor.YELLOW, LaneForm.DOTTED),
+    "yy": (LaneColor.YELLOW, LaneForm.DOUBLE),
+    "ww": (LaneColor.WHITE, LaneForm.DOUBLE),
+}
+
+
+def parse_scenario(spec: str, start: Pose2D = Pose2D(0.0, 0.0, 0.0)) -> Track:
+    """Build a :class:`~repro.sim.track.Track` from a scenario string."""
+    sections = spec.split()
+    if not sections:
+        raise ScenarioError("empty scenario")
+
+    lane = (LaneColor.WHITE, LaneForm.CONTINUOUS)
+    scene = Scene.DAY
+    specs: List[SectorSpec] = []
+    for section in sections:
+        match = _SECTION_RE.match(section)
+        if match is None:
+            raise ScenarioError(f"malformed section {section!r}")
+        shape = match.group("shape")
+        a = float(match.group("a"))
+        b = match.group("b")
+
+        if match.group("lane"):
+            code = match.group("lane")
+            if code not in _LANE_CODES:
+                raise ScenarioError(
+                    f"unknown lane code {code!r} in {section!r} "
+                    f"(expected one of {sorted(_LANE_CODES)})"
+                )
+            lane = _LANE_CODES[code]
+        if match.group("scene"):
+            try:
+                scene = Scene(match.group("scene"))
+            except ValueError as exc:
+                raise ScenarioError(
+                    f"unknown scene {match.group('scene')!r} in {section!r}"
+                ) from exc
+
+        if shape == "S":
+            if b is not None:
+                raise ScenarioError(f"straight section {section!r} takes one number")
+            layout = RoadLayout.STRAIGHT
+            curvature = 0.0
+            length = a
+        else:
+            if b is None:
+                raise ScenarioError(
+                    f"turn section {section!r} needs radius:length"
+                )
+            radius = a
+            length = float(b)
+            if radius <= 0:
+                raise ScenarioError(f"radius must be > 0 in {section!r}")
+            layout = RoadLayout.LEFT if shape == "L" else RoadLayout.RIGHT
+            curvature = (1.0 if shape == "L" else -1.0) / radius
+
+        situation = Situation(layout, lane[0], lane[1], scene)
+        specs.append(SectorSpec(length, curvature, situation))
+
+    return Track.from_sections(specs, start)

@@ -1,0 +1,69 @@
+"""Camera sensor model: Bayer mosaic and noise injection.
+
+The paper's ISP consumes RAW frames in the Bayer domain (Fig. 3a).  This
+module turns the renderer's linear RGB radiance into a single-channel
+RGGB Bayer mosaic with signal-dependent sensor noise, which
+:mod:`repro.isp` then reconstructs.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "BAYER_PATTERN",
+    "bayer_channel_masks",
+    "mosaic",
+    "add_sensor_noise",
+]
+
+#: RGGB: rows 0,2,... start R G, rows 1,3,... start G B.
+BAYER_PATTERN = "RGGB"
+
+
+def bayer_channel_masks(height: int, width: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Boolean masks (R, G, B) of an RGGB mosaic of the given size."""
+    rows = np.arange(height)[:, None]
+    cols = np.arange(width)[None, :]
+    even_row = rows % 2 == 0
+    even_col = cols % 2 == 0
+    red = even_row & even_col
+    blue = ~even_row & ~even_col
+    green = ~(red | blue)
+    return red, green, blue
+
+
+def mosaic(rgb: np.ndarray) -> np.ndarray:
+    """Subsample a linear ``(H, W, 3)`` RGB image to an RGGB Bayer plane."""
+    if rgb.ndim != 3 or rgb.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3) RGB image, got shape {rgb.shape}")
+    height, width = rgb.shape[:2]
+    raw = np.empty((height, width), dtype=rgb.dtype)
+    raw[0::2, 0::2] = rgb[0::2, 0::2, 0]  # R
+    raw[0::2, 1::2] = rgb[0::2, 1::2, 1]  # G
+    raw[1::2, 0::2] = rgb[1::2, 0::2, 1]  # G
+    raw[1::2, 1::2] = rgb[1::2, 1::2, 2]  # B
+    return raw
+
+
+def add_sensor_noise(
+    raw: np.ndarray,
+    rng: np.random.Generator,
+    read_noise: float,
+    shot_noise: float,
+) -> np.ndarray:
+    """Add read (Gaussian) and shot (signal-dependent) noise, clip to [0, 1].
+
+    The shot-noise term scales with the square root of the signal, the
+    standard approximation of Poisson photon noise in the continuous
+    domain.
+    """
+    if read_noise < 0 or shot_noise < 0:
+        raise ValueError("noise levels must be non-negative")
+    signal = np.clip(raw, 0.0, None)
+    sigma = np.sqrt(read_noise**2 + (shot_noise**2) * signal)
+    dtype = raw.dtype if raw.dtype in (np.float32, np.float64) else np.float64
+    noisy = signal + sigma * rng.standard_normal(raw.shape, dtype=dtype)
+    return np.clip(noisy, 0.0, 1.0)

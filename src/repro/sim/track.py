@@ -1,0 +1,293 @@
+"""Road centerline geometry: piecewise line/arc tracks with per-sector
+situations.
+
+A :class:`Track` is a chain of :class:`TrackSegment` objects, each a
+straight line (curvature 0) or a constant-curvature arc.  Positive
+curvature turns left.  Each segment carries the :class:`~repro.core.situation.Situation`
+that holds while the vehicle drives it, which is how the Fig. 7 world
+model encodes its nine sectors.
+
+The essential operations are *Frenet projections*: mapping world points
+to ``(s, d)`` road coordinates (arc length along the centerline, signed
+lateral offset, positive left).  The renderer projects every ground-plane
+pixel this way; the HiL engine projects the vehicle pose and the
+look-ahead point to obtain the ground-truth lateral deviation
+``y_L`` used by the QoC metric (Eq. 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.situation import Situation
+from repro.sim.geometry import Pose2D, wrap_angle
+
+__all__ = ["SectorSpec", "TrackSegment", "Track"]
+
+#: Curvatures below this magnitude are treated as straight lines.
+_STRAIGHT_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class SectorSpec:
+    """Declarative description of one track sector.
+
+    Parameters
+    ----------
+    length:
+        Arc length of the sector in metres.
+    curvature:
+        Signed centerline curvature in 1/m (positive = left turn).
+    situation:
+        The situation active in this sector.
+    """
+
+    length: float
+    curvature: float
+    situation: Situation
+
+    def __post_init__(self):
+        if not self.length > 0:
+            raise ValueError(f"sector length must be > 0, got {self.length}")
+
+
+class TrackSegment:
+    """One line or arc piece of a track centerline."""
+
+    def __init__(
+        self,
+        start: Pose2D,
+        length: float,
+        curvature: float,
+        situation: Situation,
+        s_start: float,
+    ):
+        if length <= 0:
+            raise ValueError(f"segment length must be > 0, got {length}")
+        self.start = start
+        self.length = float(length)
+        self.curvature = float(curvature)
+        self.situation = situation
+        self.s_start = float(s_start)
+        self._is_arc = abs(self.curvature) > _STRAIGHT_EPS
+        if self._is_arc:
+            radius = 1.0 / self.curvature
+            self._center = start.position() + radius * start.left()
+            self._start_angle = float(
+                np.arctan2(
+                    start.y - self._center[1], start.x - self._center[0]
+                )
+            )
+
+    @property
+    def s_end(self) -> float:
+        """Arc length at the end of the segment."""
+        return self.s_start + self.length
+
+    @property
+    def is_arc(self) -> bool:
+        """Whether the segment is curved (vs a straight line)."""
+        return self._is_arc
+
+    def end_pose(self) -> Pose2D:
+        """Pose at the end of the segment (start of the next one)."""
+        return self.pose_at(self.length)
+
+    def pose_at(self, s_local: float) -> Pose2D:
+        """Centerline pose at local arc length *s_local* (may extrapolate)."""
+        if not self._is_arc:
+            return self.start.advanced(s_local)
+        heading = wrap_angle(self.start.heading + self.curvature * s_local)
+        angle = self._start_angle + self.curvature * s_local
+        radius = 1.0 / self.curvature
+        pos = self._center + abs(radius) * np.array([np.cos(angle), np.sin(angle)])
+        return Pose2D(float(pos[0]), float(pos[1]), heading)
+
+    def locate(self, points_xy: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Frenet-project world points onto this segment.
+
+        Parameters
+        ----------
+        points_xy:
+            Array of shape ``(..., 2)`` of world coordinates.
+
+        Returns
+        -------
+        (s_local, d):
+            Local arc length (0 at segment start, unclamped) and signed
+            lateral offset (positive left of the travel direction).
+        """
+        pts = np.asarray(points_xy)
+        if pts.dtype not in (np.float32, np.float64):
+            pts = pts.astype(np.float64)
+        dtype = pts.dtype
+        if not self._is_arc:
+            rel = pts - self.start.position().astype(dtype)
+            t = self.start.forward().astype(dtype)
+            n = self.start.left().astype(dtype)
+            s_local = rel @ t
+            d = rel @ n
+            return s_local, d
+        v = pts - self._center.astype(dtype)
+        r = np.hypot(v[..., 0], v[..., 1])
+        d = dtype.type(1.0 / self.curvature) - dtype.type(np.sign(self.curvature)) * r
+        angle = np.arctan2(v[..., 1], v[..., 0])
+        sweep = wrap_angle(angle - dtype.type(self._start_angle))
+        s_local = sweep / dtype.type(self.curvature)
+        return np.asarray(s_local, dtype=dtype), np.asarray(d, dtype=dtype)
+
+
+class Track:
+    """A chain of :class:`TrackSegment` pieces forming a road centerline."""
+
+    def __init__(self, segments: Sequence[TrackSegment]):
+        if not segments:
+            raise ValueError("a track needs at least one segment")
+        self.segments: List[TrackSegment] = list(segments)
+        self._s_bounds = np.array(
+            [seg.s_start for seg in self.segments] + [self.segments[-1].s_end]
+        )
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_sections(
+        cls, sections: Sequence[SectorSpec], start: Optional[Pose2D] = None
+    ) -> "Track":
+        """Build a track by chaining sector specs head-to-tail."""
+        if start is None:
+            start = Pose2D(0.0, 0.0, 0.0)
+        segments: List[TrackSegment] = []
+        pose = start
+        s = 0.0
+        for spec in sections:
+            seg = TrackSegment(pose, spec.length, spec.curvature, spec.situation, s)
+            segments.append(seg)
+            pose = seg.end_pose()
+            s = seg.s_end
+        return cls(segments)
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def length(self) -> float:
+        """Total arc length of the track."""
+        return float(self._s_bounds[-1])
+
+    def segment_index_at(self, s) -> np.ndarray:
+        """Index of the segment containing arc length *s* (clamped)."""
+        idx = np.searchsorted(self._s_bounds, np.asarray(s, dtype=float), "right") - 1
+        return np.clip(idx, 0, len(self.segments) - 1)
+
+    def curvature_at(self, s) -> np.ndarray:
+        """Centerline curvature at arc length *s* (vectorized)."""
+        curvatures = np.array([seg.curvature for seg in self.segments])
+        result = curvatures[self.segment_index_at(s)]
+        if np.ndim(s) == 0:
+            return float(result)
+        return result
+
+    def situation_at(self, s: float) -> Situation:
+        """The situation active at arc length *s*."""
+        return self.segments[int(self.segment_index_at(s))].situation
+
+    def pose_at(self, s: float, d: float = 0.0) -> Pose2D:
+        """World pose at road coordinates ``(s, d)``."""
+        seg = self.segments[int(self.segment_index_at(s))]
+        center = seg.pose_at(s - seg.s_start)
+        if d == 0.0:
+            return center
+        pos = center.position() + d * center.left()
+        return Pose2D(float(pos[0]), float(pos[1]), center.heading)
+
+    def frenet(
+        self, x: float, y: float, s_hint: Optional[float] = None
+    ) -> Tuple[float, float]:
+        """Project a single world point to ``(s, d)`` road coordinates.
+
+        When *s_hint* is given, only segments near the hint are searched,
+        which is both faster and unambiguous on self-approaching tracks.
+        """
+        point = np.array([x, y])
+        candidates = self._candidate_segments(s_hint)
+        best: Optional[Tuple[float, float]] = None
+        best_cost = np.inf
+        for seg in candidates:
+            s_local, d = seg.locate(point)
+            s_local = float(s_local)
+            d = float(d)
+            overshoot = max(0.0, -s_local, s_local - seg.length)
+            # Allow extrapolation off the first/last segment ends.
+            if seg is self.segments[0]:
+                overshoot = max(0.0, s_local - seg.length)
+            if seg is self.segments[-1]:
+                overshoot = max(0.0, -s_local)
+            cost = overshoot + 1e-3 * abs(d)
+            if cost < best_cost:
+                best_cost = cost
+                best = (seg.s_start + s_local, d)
+        assert best is not None
+        return best
+
+    def _candidate_segments(self, s_hint: Optional[float]) -> List[TrackSegment]:
+        if s_hint is None:
+            return self.segments
+        idx = int(self.segment_index_at(s_hint))
+        lo = max(0, idx - 1)
+        hi = min(len(self.segments), idx + 2)
+        return self.segments[lo:hi]
+
+    def locate_points(
+        self,
+        points_xy: np.ndarray,
+        s_window: Tuple[float, float],
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Frenet-project many world points, restricted to an s-window.
+
+        Used by the renderer, which only needs road coordinates for ground
+        points within the camera's look-ahead range.
+
+        Parameters
+        ----------
+        points_xy:
+            ``(..., 2)`` world coordinates.
+        s_window:
+            ``(s_min, s_max)`` arc-length window of interest.
+
+        Returns
+        -------
+        (s, d, valid):
+            Arrays of the points' arc lengths, lateral offsets, and a
+            boolean mask marking points that fell inside some candidate
+            segment (or its extrapolation at the track ends).
+        """
+        pts = np.asarray(points_xy)
+        if pts.dtype not in (np.float32, np.float64):
+            pts = pts.astype(np.float64)
+        shape = pts.shape[:-1]
+        s_out = np.full(shape, np.nan, dtype=pts.dtype)
+        d_out = np.full(shape, np.nan, dtype=pts.dtype)
+        valid = np.zeros(shape, dtype=bool)
+
+        s_min, s_max = s_window
+        for i, seg in enumerate(self.segments):
+            if seg.s_end < s_min or seg.s_start > s_max:
+                continue
+            s_local, d = seg.locate(pts)
+            inside = (s_local >= 0.0) & (s_local < seg.length)
+            if i == 0:
+                inside |= s_local < 0.0
+            if i == len(self.segments) - 1:
+                inside |= s_local >= seg.length
+            take = inside & ~valid
+            s_out[take] = seg.s_start + s_local[take]
+            d_out[take] = d[take]
+            valid |= take
+        return s_out, d_out, valid
+
+    def start_pose(self, d: float = 0.0) -> Pose2D:
+        """World pose at the beginning of the track, offset *d* laterally."""
+        return self.pose_at(0.0, d)

@@ -1,0 +1,18 @@
+"""Shared utilities: deterministic RNG, image helpers, caching, validation."""
+
+from repro.utils.rng import derive_rng, seed_everything
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_positive,
+    check_shape,
+)
+
+__all__ = [
+    "derive_rng",
+    "seed_everything",
+    "check_finite",
+    "check_in_range",
+    "check_positive",
+    "check_shape",
+]

@@ -1,0 +1,58 @@
+"""Small argument-validation helpers used across the library.
+
+These raise ``ValueError`` with a consistent message format so call sites
+stay one-liners and tests can assert on behaviour uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["check_positive", "check_in_range", "check_shape", "check_finite"]
+
+
+def check_positive(name: str, value: float) -> float:
+    """Validate that *value* is strictly positive and return it."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: float,
+    high: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Validate that *value* lies in ``[low, high]`` (or ``(low, high)``)."""
+    if inclusive:
+        ok = low <= value <= high
+        bounds = f"[{low}, {high}]"
+    else:
+        ok = low < value < high
+        bounds = f"({low}, {high})"
+    if not ok:
+        raise ValueError(f"{name} must be in {bounds}, got {value!r}")
+    return value
+
+
+def check_shape(name: str, array: np.ndarray, shape: Sequence[int]) -> np.ndarray:
+    """Validate the shape of *array*; ``-1`` entries match any extent."""
+    actual = np.asarray(array).shape
+    if len(actual) != len(shape) or any(
+        want not in (-1, got) for want, got in zip(shape, actual)
+    ):
+        raise ValueError(f"{name} must have shape {tuple(shape)}, got {actual}")
+    return array
+
+
+def check_finite(name: str, array: np.ndarray) -> np.ndarray:
+    """Validate that every element of *array* is finite."""
+    arr = np.asarray(array)
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite values")
+    return array

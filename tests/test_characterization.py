@@ -1,0 +1,90 @@
+"""Tests for the design-time characterization flow (reduced scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.characterization import (
+    CharacterizationConfig,
+    characterize,
+    characterize_situation,
+    prescreen_isp,
+    roi_candidates,
+    _select_isp_candidates,
+)
+from repro.core.situation import situation_by_index
+
+#: Tiny sweep: 2 ISP candidates max, one speed, short track.
+TINY = CharacterizationConfig(
+    isp_names=("S0", "S7"),
+    speeds_kmph=(50.0,),
+    track_length=70.0,
+    prescreen_frames=10,
+    max_isp_candidates=2,
+    seed=5,
+)
+
+
+class TestRoiCandidates:
+    def test_straight(self):
+        assert roi_candidates(situation_by_index(1)) == ["ROI 1"]
+
+    def test_right_turn(self):
+        assert roi_candidates(situation_by_index(8)) == ["ROI 2", "ROI 3"]
+
+    def test_left_turn(self):
+        assert roi_candidates(situation_by_index(15)) == ["ROI 4", "ROI 5"]
+
+
+class TestPrescreen:
+    def test_returns_all_candidates(self):
+        results = prescreen_isp(situation_by_index(1), TINY)
+        assert [isp for isp, _ in results] == ["S0", "S7"]
+        assert all(0.0 <= bad <= 1.0 for _, bad in results)
+
+    def test_candidate_selection_prefers_cheap(self):
+        # S7 (3.1 ms) detectable -> must be first candidate (cheapest).
+        chosen = _select_isp_candidates([("S0", 0.0), ("S7", 0.0)], TINY)
+        assert chosen[0] == "S7"
+
+    def test_candidate_selection_falls_back_when_none_detectable(self):
+        chosen = _select_isp_candidates([("S0", 0.9), ("S7", 0.8)], TINY)
+        assert chosen == ["S7"]
+
+
+class TestCharacterizeSituation:
+    @pytest.fixture(scope="class")
+    def evaluations(self):
+        return characterize_situation(situation_by_index(1), TINY)
+
+    def test_crashes_ranked_last(self, evaluations):
+        crashed_flags = [e.crashed for e in evaluations]
+        # once a crashed entry appears, everything after is crashed too
+        if True in crashed_flags:
+            first_crash = crashed_flags.index(True)
+            assert all(crashed_flags[first_crash:])
+
+    def test_non_crashing_config_exists(self, evaluations):
+        assert not evaluations[0].crashed
+
+    def test_tie_break_prefers_fast_design(self, evaluations):
+        """Among QoC ties the winner has the fastest design point."""
+        best = evaluations[0]
+        band = min(e.mae for e in evaluations if not e.crashed)
+        band = band * 1.15 + 0.002
+        tied = [e for e in evaluations if not e.crashed and e.mae <= band]
+        assert best.period_ms == min(e.period_ms for e in tied)
+
+    def test_timing_attached(self, evaluations):
+        best = evaluations[0]
+        assert best.period_ms >= best.delay_ms > 0
+
+
+class TestCharacterizeTable:
+    def test_cached_round_trip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        situations = [situation_by_index(1)]
+        first = characterize(situations, TINY, use_cache=True)
+        second = characterize(situations, TINY, use_cache=True)
+        assert first == second
+        assert situations[0] in first

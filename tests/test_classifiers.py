@@ -1,0 +1,182 @@
+"""Tests for datasets, classifier models and runtime identification.
+
+Training tests use tiny datasets and few epochs: they verify learning
+mechanics and plumbing; the full Table IV accuracies are produced by the
+benchmark harness with the paper's dataset sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.classifiers.dataset import (
+    LANE_CLASSES,
+    ROAD_CLASSES,
+    SCENE_CLASSES,
+    TABLE4_SPLITS,
+    ClassifierDataset,
+    DatasetConfig,
+    block_downsample,
+    generate_dataset,
+    to_network_input,
+)
+from repro.classifiers.models import SituationClassifier, build_tiny_resnet
+from repro.classifiers.runtime import CnnIdentifier
+from repro.classifiers.train import train_classifier
+from repro.core.situation import RoadLayout, situation_by_index
+from repro.nn.trainer import TrainConfig
+
+
+class TestDatasetConfig:
+    def test_table4_split_sizes(self):
+        assert TABLE4_SPLITS["road"] == (5866, 5353, 513)
+        assert TABLE4_SPLITS["lane"] == (4781, 3939, 842)
+        assert TABLE4_SPLITS["scene"] == (4703, 3892, 811)
+
+    def test_resolved_sizes_default_to_table4(self):
+        cfg = DatasetConfig("road")
+        assert cfg.resolved_sizes() == (5353, 513)
+
+    def test_input_shape(self):
+        cfg = DatasetConfig("road", render_width=96, render_height=48, downsample=2)
+        assert cfg.input_shape == (3, 24, 48)
+
+    def test_unknown_classifier_rejected(self):
+        with pytest.raises(ValueError):
+            DatasetConfig("weather")
+
+    def test_indivisible_downsample_rejected(self):
+        with pytest.raises(ValueError):
+            DatasetConfig("road", render_width=97, downsample=2)
+
+
+class TestPreprocessing:
+    def test_block_downsample_averages(self):
+        img = np.arange(16, dtype=np.float32).reshape(4, 4, 1)
+        out = block_downsample(img, 2)
+        assert out.shape == (2, 2, 1)
+        assert out[0, 0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+
+    def test_block_downsample_factor_one_identity(self):
+        img = np.random.default_rng(0).random((4, 4, 3)).astype(np.float32)
+        np.testing.assert_array_equal(block_downsample(img, 1), img)
+
+    def test_to_network_input_standardized(self):
+        img = np.random.default_rng(0).random((8, 8, 3)).astype(np.float32)
+        chw = to_network_input(img, 2)
+        assert chw.shape == (3, 4, 4)
+        assert chw.mean() == pytest.approx(0.0, abs=1e-5)
+        assert chw.std() == pytest.approx(1.0, abs=1e-3)
+
+
+class TestDatasetGeneration:
+    @pytest.fixture(scope="class")
+    def small_dataset(self) -> ClassifierDataset:
+        return generate_dataset(DatasetConfig("road", n_train=60, n_val=24))
+
+    def test_shapes(self, small_dataset):
+        assert small_dataset.x_train.shape == (60, 3, 24, 48)
+        assert small_dataset.y_train.shape == (60,)
+        assert small_dataset.x_val.shape == (24, 3, 24, 48)
+
+    def test_labels_are_balanced(self, small_dataset):
+        labels = np.concatenate([small_dataset.y_train, small_dataset.y_val])
+        counts = np.bincount(labels, minlength=3)
+        assert counts.min() >= len(labels) // 3 - 1
+
+    def test_deterministic_given_seed(self):
+        cfg = DatasetConfig("scene", n_train=10, n_val=5, seed=3)
+        a = generate_dataset(cfg)
+        b = generate_dataset(cfg)
+        np.testing.assert_array_equal(a.x_train, b.x_train)
+        np.testing.assert_array_equal(a.y_train, b.y_train)
+
+    def test_class_lists(self):
+        assert len(ROAD_CLASSES) == 3
+        assert len(LANE_CLASSES) == 4
+        assert len(SCENE_CLASSES) == 5
+
+
+class TestTraining:
+    def test_learns_scene_from_small_data(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cfg = DatasetConfig("scene", n_train=150, n_val=50)
+        result = train_classifier(
+            "scene", cfg, TrainConfig(epochs=5, lr=3e-3), use_cache=False
+        )
+        # Scene (brightness) separates quickly even at this scale.
+        assert result.val_accuracy > 0.7
+
+    def test_cache_round_trip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cfg = DatasetConfig("scene", n_train=30, n_val=10)
+        tc = TrainConfig(epochs=1)
+        first = train_classifier("scene", cfg, tc, use_cache=True)
+        second = train_classifier("scene", cfg, tc, use_cache=True)
+        assert not first.from_cache
+        assert second.from_cache
+        assert second.val_accuracy == pytest.approx(first.val_accuracy)
+
+    def test_cached_model_predicts_identically(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cfg = DatasetConfig("road", n_train=30, n_val=12)
+        tc = TrainConfig(epochs=1)
+        dataset = generate_dataset(cfg)
+        first = train_classifier("road", cfg, tc, use_cache=True, dataset=dataset)
+        second = train_classifier("road", cfg, tc, use_cache=True)
+        x = dataset.x_val[0]
+        np.testing.assert_allclose(
+            first.classifier.predict_proba(x),
+            second.classifier.predict_proba(x),
+            atol=1e-6,
+        )
+
+    def test_mismatched_config_rejected(self):
+        with pytest.raises(ValueError):
+            train_classifier("road", DatasetConfig("lane"))
+
+
+class TestInference:
+    @pytest.fixture(scope="class")
+    def classifier(self) -> SituationClassifier:
+        model = build_tiny_resnet(3, seed=0)
+        return SituationClassifier(
+            "road", model, ROAD_CLASSES, input_shape=(3, 24, 48)
+        )
+
+    def test_predict_proba_normalized(self, classifier):
+        x = np.random.default_rng(0).standard_normal((3, 24, 48)).astype(np.float32)
+        probs = classifier.predict_proba(x)
+        assert probs.shape == (3,)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_predict_returns_class(self, classifier):
+        x = np.zeros((3, 24, 48), dtype=np.float32)
+        assert classifier.predict(x) in ROAD_CLASSES
+
+    def test_wrong_input_shape_rejected(self, classifier):
+        with pytest.raises(ValueError):
+            classifier.predict_proba(np.zeros((3, 10, 10), dtype=np.float32))
+
+    def test_predict_frame_downsamples(self, classifier):
+        frame = np.random.default_rng(0).random((192, 384, 3)).astype(np.float32)
+        assert classifier.predict_frame(frame) in ROAD_CLASSES
+
+    def test_predict_frame_rejects_incompatible(self, classifier):
+        frame = np.zeros((100, 384, 3), dtype=np.float32)
+        with pytest.raises(ValueError):
+            classifier.predict_frame(frame)
+
+    def test_cnn_identifier_requires_all_three(self, classifier):
+        with pytest.raises(ValueError):
+            CnnIdentifier({"road": classifier})
+
+    def test_cnn_identifier_partial_invocation(self, classifier):
+        identifier = CnnIdentifier(
+            {"road": classifier, "lane": classifier, "scene": classifier}
+        )
+        frame = np.random.default_rng(1).random((192, 384, 3)).astype(np.float32)
+        out = identifier.identify(frame, ("road",), situation_by_index(1))
+        assert set(out) == {"road"}
+        assert out["road"] in ROAD_CLASSES

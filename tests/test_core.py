@@ -1,0 +1,286 @@
+"""Tests for the core contribution: situations, knobs, cases, scheduling,
+runtime reconfiguration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cases import CASES, case_config
+from repro.core.defaults import (
+    default_characterization,
+    natural_roi,
+    natural_speed_kmph,
+)
+from repro.core.knobs import SPEED_CHOICES_KMPH, KnobSetting, knob_space
+from repro.core.reconfiguration import (
+    OracleIdentifier,
+    ReconfigurationManager,
+)
+from repro.core.scheduler import (
+    CLASSIFIER_NAMES,
+    EveryFrameScheme,
+    VariableScheme,
+)
+from repro.core.situation import (
+    LaneColor,
+    LaneForm,
+    RoadLayout,
+    Scene,
+    Situation,
+    TABLE3_SITUATIONS,
+    full_situation_space,
+    situation_by_index,
+)
+
+
+class TestSituation:
+    def test_table3_has_21_situations(self):
+        assert len(TABLE3_SITUATIONS) == 21
+
+    def test_situation_by_index_bounds(self):
+        assert situation_by_index(1).describe() == "straight, white continuous, day"
+        assert situation_by_index(21).describe() == "left, white dotted, night"
+        with pytest.raises(ValueError):
+            situation_by_index(0)
+        with pytest.raises(ValueError):
+            situation_by_index(22)
+
+    def test_full_space_size(self):
+        # 3 layouts x 2 colors x 3 forms x 5 scenes
+        assert len(list(full_situation_space())) == 90
+
+    def test_situations_hashable_and_unique(self):
+        assert len(set(TABLE3_SITUATIONS)) == 21
+
+    def test_config_round_trip(self):
+        for situation in TABLE3_SITUATIONS:
+            assert Situation.from_config(situation.to_config()) == situation
+
+    def test_lane_label(self):
+        assert situation_by_index(4).lane_label() == "yellow double"
+
+
+class TestKnobs:
+    def test_valid_setting(self):
+        knobs = KnobSetting("S3", "ROI 2", 30.0)
+        assert knobs.speed_mps == pytest.approx(30.0 / 3.6)
+
+    def test_invalid_isp_rejected(self):
+        with pytest.raises(ValueError):
+            KnobSetting("S9", "ROI 1", 50.0)
+
+    def test_invalid_roi_rejected(self):
+        with pytest.raises(ValueError):
+            KnobSetting("S0", "ROI 7", 50.0)
+
+    def test_timing_derivation(self):
+        knobs = KnobSetting("S3", "ROI 1", 50.0)
+        timing = knobs.timing(CLASSIFIER_NAMES, dynamic_isp=True)
+        assert timing.delay_ms == pytest.approx(23.1, abs=0.05)
+        assert timing.period_ms == 25.0
+
+    def test_knob_space_size(self):
+        assert len(list(knob_space())) == 9 * 5 * len(SPEED_CHOICES_KMPH)
+
+    def test_config_round_trip(self):
+        knobs = KnobSetting("S2", "ROI 5", 30.0)
+        assert KnobSetting.from_config(knobs.to_config()) == knobs
+
+
+class TestDefaults:
+    def test_natural_roi_mapping(self):
+        assert natural_roi(situation_by_index(1)) == "ROI 1"
+        assert natural_roi(situation_by_index(8)) == "ROI 2"
+        assert natural_roi(situation_by_index(13)) == "ROI 3"
+        assert natural_roi(situation_by_index(15)) == "ROI 4"
+        assert natural_roi(situation_by_index(20)) == "ROI 5"
+
+    def test_natural_speed(self):
+        assert natural_speed_kmph(situation_by_index(1)) == 50.0
+        assert natural_speed_kmph(situation_by_index(8)) == 30.0
+
+    def test_default_table_covers_table3(self):
+        table = default_characterization()
+        assert set(table) == set(TABLE3_SITUATIONS)
+
+    def test_dark_situation_uses_expensive_isp(self):
+        table = default_characterization()
+        assert table[situation_by_index(7)].isp == "S2"
+
+
+class TestCases:
+    def test_all_cases_present(self):
+        assert set(CASES) == {
+            "case1",
+            "case2",
+            "case3",
+            "case4",
+            "variable",
+            "adaptive",
+        }
+
+    def test_case1_has_no_classifiers(self):
+        assert case_config("case1").classifiers == ()
+
+    def test_case_budgets(self):
+        assert case_config("case2").classifier_budget() == ("road",)
+        assert case_config("case3").classifier_budget() == ("road", "lane")
+        assert len(case_config("case4").classifier_budget()) == 3
+        # Variable: only one classifier per frame counts for tau.
+        assert len(case_config("variable").classifier_budget()) == 1
+
+    def test_unknown_case_raises(self):
+        with pytest.raises(ValueError):
+            case_config("case9")
+
+
+class TestSchedulers:
+    def test_every_frame_constant(self):
+        scheme = EveryFrameScheme(("road", "lane"))
+        assert scheme.classifiers_for_cycle(0.0) == ("road", "lane")
+        assert scheme.classifiers_for_cycle(1234.0) == ("road", "lane")
+        assert scheme.max_concurrent() == 2
+
+    def test_every_frame_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            EveryFrameScheme(("weather",))
+
+    def test_variable_scheme_sequence(self):
+        """Road every frame; lane then scene right after each window."""
+        scheme = VariableScheme(window_ms=300.0)
+        invocations = [scheme.classifiers_for_cycle(t) for t in range(0, 800, 25)]
+        flat = [i[0] for i in invocations]
+        assert flat[0] == "road"
+        assert "lane" in flat and "scene" in flat
+        lane_idx = flat.index("lane")
+        assert flat[lane_idx + 1] == "scene"
+        assert all(len(i) == 1 for i in invocations)
+
+    def test_variable_scheme_road_dominates(self):
+        scheme = VariableScheme(window_ms=300.0)
+        flat = [scheme.classifiers_for_cycle(t)[0] for t in range(0, 3000, 25)]
+        assert flat.count("road") > 0.8 * len(flat)
+
+    def test_variable_reset_restarts_phase(self):
+        scheme = VariableScheme(window_ms=300.0)
+        first = [scheme.classifiers_for_cycle(t)[0] for t in range(0, 700, 25)]
+        scheme.reset()
+        second = [scheme.classifiers_for_cycle(t)[0] for t in range(0, 700, 25)]
+        assert first == second
+
+    def test_variable_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            VariableScheme(window_ms=0.0)
+
+
+class TestOracleIdentifier:
+    def test_perfect_oracle(self):
+        oracle = OracleIdentifier(accuracy=1.0)
+        situation = situation_by_index(8)
+        out = oracle.identify(None, ("road", "lane", "scene"), situation)
+        assert out["road"] == RoadLayout.RIGHT
+        assert out["lane"] == (LaneColor.WHITE, LaneForm.CONTINUOUS)
+        assert out["scene"] == Scene.DAY
+
+    def test_partial_invocation(self):
+        oracle = OracleIdentifier()
+        out = oracle.identify(None, ("road",), situation_by_index(1))
+        assert set(out) == {"road"}
+
+    def test_noisy_oracle_flips_sometimes(self):
+        oracle = OracleIdentifier(accuracy=0.5, seed=0)
+        situation = situation_by_index(1)
+        outputs = [
+            oracle.identify(None, ("road",), situation)["road"] for _ in range(200)
+        ]
+        wrong = sum(1 for o in outputs if o is not RoadLayout.STRAIGHT)
+        assert 50 < wrong < 150
+
+    def test_invalid_accuracy_rejected(self):
+        with pytest.raises(ValueError):
+            OracleIdentifier(accuracy=0.0)
+
+
+class TestReconfigurationManager:
+    def _manager(self, case_name: str, **kwargs) -> ReconfigurationManager:
+        manager = ReconfigurationManager(case_config(case_name), **kwargs)
+        manager.reset(situation_by_index(1))
+        return manager
+
+    def test_requires_reset(self):
+        manager = ReconfigurationManager(case_config("case1"))
+        with pytest.raises(RuntimeError):
+            _ = manager.believed
+
+    def test_case1_fixed_knobs(self):
+        manager = self._manager("case1")
+        isp, invoked = manager.begin_cycle(0.0)
+        decision = manager.decide(0.0, invoked)
+        assert decision.roi == "ROI 1"
+        assert decision.speed_kmph == 50.0
+        assert decision.active_isp == "S0"
+        assert invoked == ()
+
+    def test_case2_coarse_roi_only(self):
+        manager = self._manager("case2")
+        manager.integrate_identification({"road": RoadLayout.RIGHT})
+        decision = manager.decide(0.0, ("road",))
+        assert decision.roi == "ROI 2"  # coarse: never ROI 3/5
+
+    def test_case2_ignores_lane_classifier(self):
+        manager = self._manager("case2")
+        _, invoked = manager.begin_cycle(0.0)
+        assert invoked == ("road",)
+
+    def test_case3_fine_roi_for_dotted(self):
+        manager = self._manager("case3")
+        manager.integrate_identification(
+            {
+                "road": RoadLayout.LEFT,
+                "lane": (LaneColor.WHITE, LaneForm.DOTTED),
+            }
+        )
+        decision = manager.decide(0.0, ("road", "lane"))
+        assert decision.roi == "ROI 5"
+
+    def test_case3_keeps_full_isp(self):
+        manager = self._manager("case3")
+        manager.integrate_identification({"road": RoadLayout.LEFT})
+        decision = manager.decide(0.0, ())
+        assert decision.active_isp == "S0"
+
+    def test_case4_isp_applies_next_cycle(self):
+        table = default_characterization()
+        manager = self._manager("case4", table=table)
+        # Move into a dark situation: the ISP knob changes to S2, but
+        # only from the next cycle.
+        manager.begin_cycle(0.0)
+        manager.integrate_identification({"scene": Scene.DARK})
+        decision_now = manager.decide(0.0, ("scene",))
+        assert decision_now.active_isp != "S2"
+        isp_next, _ = manager.begin_cycle(25.0)
+        assert isp_next == "S2"
+
+    def test_isp_lag_zero_applies_immediately(self):
+        manager = self._manager("case4", isp_apply_lag=0)
+        manager.begin_cycle(0.0)
+        manager.integrate_identification({"scene": Scene.DARK})
+        decision = manager.decide(0.0, ("scene",))
+        assert decision.active_isp == "S2"
+
+    def test_speed_follows_layout(self):
+        manager = self._manager("case2")
+        manager.integrate_identification({"road": RoadLayout.LEFT})
+        decision = manager.decide(0.0, ("road",))
+        assert decision.speed_kmph == 30.0
+
+    def test_timing_uses_case_budget(self):
+        manager = self._manager("case3")
+        decision = manager.decide(0.0, ())
+        assert decision.timing.delay_ms == pytest.approx(35.6, abs=0.05)
+        assert decision.timing.period_ms == 40.0
+
+    def test_negative_lag_rejected(self):
+        with pytest.raises(ValueError):
+            ReconfigurationManager(case_config("case4"), isp_apply_lag=-1)

@@ -1,0 +1,87 @@
+"""Tests for the task-DAG scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platform.dag import DagTask, TaskDag, dag_delay_ms, lkas_dag
+from repro.platform.resources import Resource
+from repro.platform.schedule import pipeline_timing
+
+
+class TestTaskDag:
+    def test_chain_makespan_is_sum(self):
+        dag = TaskDag()
+        dag.add_task(DagTask("a", Resource.GPU, 2.0))
+        dag.add_task(DagTask("b", Resource.CPU, 3.0))
+        dag.add_dependency("a", "b")
+        _, makespan = dag.schedule()
+        assert makespan == pytest.approx(5.0)
+
+    def test_parallel_on_distinct_resources(self):
+        dag = TaskDag()
+        dag.add_task(DagTask("gpu", Resource.GPU, 4.0))
+        dag.add_task(DagTask("cpu", Resource.CPU, 3.0))
+        _, makespan = dag.schedule()
+        assert makespan == pytest.approx(4.0)
+
+    def test_same_resource_serializes(self):
+        dag = TaskDag()
+        dag.add_task(DagTask("a", Resource.GPU, 4.0))
+        dag.add_task(DagTask("b", Resource.GPU, 3.0))
+        _, makespan = dag.schedule()
+        assert makespan == pytest.approx(7.0)
+
+    def test_cycle_rejected(self):
+        dag = TaskDag()
+        dag.add_task(DagTask("a", Resource.GPU, 1.0))
+        dag.add_task(DagTask("b", Resource.GPU, 1.0))
+        dag.add_dependency("a", "b")
+        with pytest.raises(ValueError, match="cycle"):
+            dag.add_dependency("b", "a")
+
+    def test_duplicate_task_rejected(self):
+        dag = TaskDag()
+        dag.add_task(DagTask("a", Resource.GPU, 1.0))
+        with pytest.raises(ValueError, match="duplicate"):
+            dag.add_task(DagTask("a", Resource.CPU, 1.0))
+
+    def test_unknown_dependency_rejected(self):
+        dag = TaskDag()
+        dag.add_task(DagTask("a", Resource.GPU, 1.0))
+        with pytest.raises(ValueError, match="unknown"):
+            dag.add_dependency("a", "zzz")
+
+    def test_critical_path_of_chain(self):
+        dag = lkas_dag("S0", ("road",))
+        path = dag.critical_path()
+        assert path[0] == "isp/S0"
+        assert path[-1] == "control"
+
+
+class TestLkasDag:
+    def test_sequential_matches_chain_model(self):
+        """Without overlap the DAG reproduces the chain-model tau."""
+        for isp in ("S0", "S3"):
+            for clfs in ((), ("road",), ("road", "lane", "scene")):
+                dag = lkas_dag(isp, clfs, overlap_scene=False)
+                chain = pipeline_timing(isp, clfs).delay_ms
+                assert dag_delay_ms(dag) == pytest.approx(chain, abs=1e-9)
+
+    def test_scene_overlap_saves_gpu_time(self):
+        """Overlapping the scene classifier with CPU perception shortens
+        the cycle by up to min(scene runtime, PR runtime)."""
+        chain = dag_delay_ms(lkas_dag("S3", ("road", "lane", "scene")))
+        overlapped = dag_delay_ms(
+            lkas_dag("S3", ("road", "lane", "scene"), overlap_scene=True)
+        )
+        assert overlapped < chain
+        # PR (3.0 ms CPU) hides up to 3.0 ms of the 5.5 ms scene task.
+        assert chain - overlapped == pytest.approx(3.0, abs=0.01)
+
+    def test_overlap_without_scene_changes_nothing(self):
+        plain = dag_delay_ms(lkas_dag("S0", ("road", "lane")))
+        overlapped = dag_delay_ms(
+            lkas_dag("S0", ("road", "lane"), overlap_scene=True)
+        )
+        assert plain == pytest.approx(overlapped)

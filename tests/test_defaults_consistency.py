@@ -1,0 +1,58 @@
+"""Consistency checks of the shipped characterization table and its
+interaction with the timing model and the controller designs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.gains import GainScheduler
+from repro.control.switching import find_cqlf, verify_cqlf
+from repro.core.cases import case_config
+from repro.core.defaults import default_characterization
+from repro.core.situation import RoadLayout, TABLE3_SITUATIONS
+from repro.sim.vehicle import VehicleParams
+
+
+class TestShippedTable:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return default_characterization()
+
+    def test_every_situation_present(self, table):
+        assert set(table) == set(TABLE3_SITUATIONS)
+
+    def test_speed_rule(self, table):
+        for situation, knobs in table.items():
+            expected = 50.0 if situation.layout is RoadLayout.STRAIGHT else 30.0
+            assert knobs.speed_kmph == expected
+
+    def test_roi_family_matches_layout(self, table):
+        for situation, knobs in table.items():
+            if situation.layout is RoadLayout.STRAIGHT:
+                assert knobs.roi == "ROI 1"
+            elif situation.layout is RoadLayout.RIGHT:
+                assert knobs.roi in ("ROI 2", "ROI 3")
+            else:
+                assert knobs.roi in ("ROI 4", "ROI 5")
+
+    def test_timings_are_feasible(self, table):
+        budget = case_config("case4").classifier_budget()
+        for knobs in table.values():
+            timing = knobs.timing(budget, dynamic_isp=True)
+            assert 0 < timing.delay_ms <= timing.period_ms
+
+    def test_all_design_points_stable_and_switchable(self, table):
+        """Every (v, h, tau) the shipped table can demand admits a
+        stable LQR, and the whole set shares a CQLF — the paper's
+        switching-stability requirement holds for the shipped defaults."""
+        scheduler = GainScheduler(VehicleParams())
+        budget = case_config("case4").classifier_budget()
+        for knobs in table.values():
+            timing = knobs.timing(budget, dynamic_isp=True)
+            gains = scheduler.gains_for(
+                knobs.speed_mps, timing.period_s, timing.delay_s
+            )
+            assert gains.closed_loop_radius < 1.0
+        modes = [g.a_closed for g in scheduler.cached_designs()]
+        p = find_cqlf(modes)
+        assert p is not None and verify_cqlf(p, modes)

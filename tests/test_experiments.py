@@ -1,0 +1,183 @@
+"""Light tests of the experiment modules (full runs live in benchmarks/)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.situation import situation_by_index
+from repro.experiments.common import format_table, full_scale
+from repro.experiments.fig1 import PAPER_FIG1, DetectorPoint, format_fig1
+from repro.experiments.fig6 import SituationCaseResult, format_fig6
+from repro.experiments.fig7 import format_fig7, run_fig7
+from repro.experiments.fig8 import PAPER_AGGREGATES, aggregate_improvements
+from repro.experiments.table2 import format_table2, run_table2
+from repro.experiments.table3 import PAPER_TABLE3
+from repro.experiments.table5 import format_table5, run_table5
+
+
+class TestCommon:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "222"], ["33", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a ")
+
+    def test_full_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert full_scale()
+        monkeypatch.setenv("REPRO_FULL", "0")
+        assert not full_scale()
+
+
+class TestFig1:
+    def test_paper_points_cover_detectors(self):
+        assert "sliding window (static)" in PAPER_FIG1
+        assert PAPER_FIG1["sliding window (static)"]["accuracy"] == 0.52
+
+    def test_format_handles_unknown_detector(self):
+        point = DetectorPoint("novel", 0.9, 12.0, {})
+        text = format_fig1([point])
+        assert "novel" in text
+
+
+class TestTable2:
+    def test_runs_and_reports_all_knobs(self):
+        data = run_table2(repeats=1)
+        assert len(data["isp"]) == 9
+        assert len(data["roi"]) == 5
+        text = format_table2(data)
+        assert "S0" in text and "ROI 5" in text
+
+    def test_python_runtimes_positive(self):
+        data = run_table2(repeats=1)
+        assert all(row.python_ms > 0 for row in data["isp"])
+
+
+class TestTable3Data:
+    def test_paper_table_complete(self):
+        assert set(PAPER_TABLE3) == set(range(1, 22))
+
+    def test_paper_hard_situations_use_s2(self):
+        assert PAPER_TABLE3[20][0] == "S2"
+        assert PAPER_TABLE3[20][2][1] == 45
+
+
+class TestTable5:
+    def test_rows_and_format(self):
+        rows = run_table5()
+        assert {r.case.name for r in rows} == {
+            "case1",
+            "case2",
+            "case3",
+            "case4",
+            "variable",
+            "adaptive",
+        }
+        assert "case3" in format_table5(rows)
+
+
+class TestFig7:
+    def test_nine_rows(self):
+        rows = run_fig7()
+        assert len(rows) == 9
+        assert "sector" in format_fig7(rows)
+
+
+class TestFig6Formatting:
+    def test_fail_marker(self):
+        sit = situation_by_index(8)
+        results = []
+        for case, crashed in [
+            ("case1", True),
+            ("case2", False),
+            ("case3", False),
+            ("case4", False),
+        ]:
+            results.append(
+                SituationCaseResult(
+                    index=8,
+                    situation=sit,
+                    case=case,
+                    mae=0.05,
+                    crashed=crashed,
+                    normalized=1.0,
+                )
+            )
+        text = format_fig6(results)
+        assert "FAIL" in text
+
+
+class TestFig8Aggregates:
+    def test_paper_aggregates_defined(self):
+        assert PAPER_AGGREGATES[("case4", "case3")] == 0.30
+        assert PAPER_AGGREGATES[("variable", "case3")] == 0.32
+
+    def test_aggregate_improvements_math(self):
+        from repro.experiments.fig8 import DynamicCaseResult
+        from repro.hil.record import HilResult, SectorQoC
+
+        def fake(mae_values):
+            sectors = [
+                SectorQoC(
+                    sector=i + 1,
+                    s_start=0,
+                    s_end=1,
+                    mae=m,
+                    reached=True,
+                    completed=True,
+                )
+                for i, m in enumerate(mae_values)
+            ]
+            result = HilResult(
+                time_s=np.array([0.1]),
+                s=np.array([1.0]),
+                lateral_offset=np.zeros(1),
+                y_l_true=np.zeros(1),
+                steering=np.zeros(1),
+                speed=np.zeros(1),
+            )
+            return DynamicCaseResult(case="x", result=result, sectors=sectors)
+
+        results = {
+            "case3": fake([0.02, 0.02]),
+            "case4": fake([0.01, 0.01]),
+        }
+        aggregates = aggregate_improvements(results)
+        assert aggregates[("case4", "case3")] == pytest.approx(0.5)
+
+
+class TestFig8SeedMerging:
+    def test_merge_sector_runs(self):
+        from repro.experiments.fig8 import _merge_sector_runs
+        from repro.hil.record import SectorQoC
+
+        def sector(mae, reached=True, completed=True):
+            return SectorQoC(
+                sector=1, s_start=0, s_end=10, mae=mae,
+                reached=reached, completed=completed,
+            )
+
+        merged = _merge_sector_runs(
+            [[sector(0.02)], [sector(0.04)]]
+        )
+        assert merged[0].mae == pytest.approx(0.03)
+        assert merged[0].completed
+
+    def test_merge_completion_is_worst_case(self):
+        from repro.experiments.fig8 import _merge_sector_runs
+        from repro.hil.record import SectorQoC
+
+        good = SectorQoC(1, 0, 10, 0.02, True, True)
+        bad = SectorQoC(1, 0, 10, 0.05, True, False)
+        merged = _merge_sector_runs([[good], [bad]])
+        assert not merged[0].completed
+        assert merged[0].reached
+
+    def test_merge_handles_missing_mae(self):
+        from repro.experiments.fig8 import _merge_sector_runs
+        from repro.hil.record import SectorQoC
+
+        none_mae = SectorQoC(1, 0, 10, None, False, False)
+        merged = _merge_sector_runs([[none_mae], [none_mae]])
+        assert merged[0].mae is None

@@ -1,0 +1,205 @@
+"""Tests for planar geometry and the track substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.situation import situation_by_index
+from repro.sim.geometry import Pose2D, rotation_matrix, wrap_angle
+from repro.sim.track import SectorSpec, Track, TrackSegment
+from repro.sim.world import (
+    DEFAULT_TURN_RADIUS,
+    fig7_sector_situations,
+    fig7_track,
+    layout_curvature,
+    static_situation_track,
+)
+
+SIT = situation_by_index(1)
+
+
+class TestWrapAngle:
+    def test_identity_in_range(self):
+        assert wrap_angle(0.5) == pytest.approx(0.5)
+
+    def test_wraps_large_positive(self):
+        assert wrap_angle(3 * np.pi) == pytest.approx(np.pi)
+
+    def test_wraps_large_negative(self):
+        assert wrap_angle(-3 * np.pi) == pytest.approx(np.pi)
+
+    @given(st.floats(min_value=-50.0, max_value=50.0))
+    @settings(max_examples=100, deadline=None)
+    def test_result_in_interval(self, angle):
+        wrapped = wrap_angle(angle)
+        assert -np.pi < wrapped <= np.pi
+
+    @given(st.floats(min_value=-20.0, max_value=20.0))
+    @settings(max_examples=60, deadline=None)
+    def test_wrap_preserves_direction(self, angle):
+        wrapped = wrap_angle(angle)
+        assert np.cos(wrapped) == pytest.approx(np.cos(angle), abs=1e-9)
+        assert np.sin(wrapped) == pytest.approx(np.sin(angle), abs=1e-9)
+
+    def test_vectorized(self):
+        out = wrap_angle(np.array([0.0, 2 * np.pi, -2 * np.pi]))
+        np.testing.assert_allclose(out, [0.0, 0.0, 0.0], atol=1e-12)
+
+
+class TestPose2D:
+    def test_forward_left_orthogonal(self):
+        pose = Pose2D(1.0, 2.0, 0.7)
+        assert pose.forward() @ pose.left() == pytest.approx(0.0, abs=1e-12)
+
+    def test_transform_round_trip(self):
+        pose = Pose2D(3.0, -1.0, 1.2)
+        pts = np.array([[1.0, 2.0], [-0.5, 0.25]])
+        back = pose.transform_to_local(pose.transform_to_world(pts))
+        np.testing.assert_allclose(back, pts, atol=1e-12)
+
+    def test_advanced_moves_forward(self):
+        pose = Pose2D(0.0, 0.0, 0.0).advanced(2.0, 1.0)
+        assert (pose.x, pose.y) == pytest.approx((2.0, 1.0))
+
+    def test_rotation_matrix_orthonormal(self):
+        rot = rotation_matrix(0.3)
+        np.testing.assert_allclose(rot @ rot.T, np.eye(2), atol=1e-12)
+
+
+class TestTrackSegment:
+    def test_straight_locate(self):
+        seg = TrackSegment(Pose2D(0, 0, 0), 100.0, 0.0, SIT, 0.0)
+        s, d = seg.locate(np.array([[10.0, 2.0]]))
+        assert s[0] == pytest.approx(10.0)
+        assert d[0] == pytest.approx(2.0)
+
+    def test_arc_locate_on_centerline(self):
+        seg = TrackSegment(Pose2D(0, 0, 0), 50.0, 1.0 / 40.0, SIT, 0.0)
+        pose = seg.pose_at(30.0)
+        s, d = seg.locate(pose.position()[None])
+        assert s[0] == pytest.approx(30.0, abs=1e-9)
+        assert d[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_arc_positive_curvature_turns_left(self):
+        seg = TrackSegment(Pose2D(0, 0, 0), 50.0, 1.0 / 40.0, SIT, 0.0)
+        end = seg.end_pose()
+        assert end.heading > 0  # heading increased = left turn
+        assert end.y > 0
+
+    def test_arc_lateral_sign(self):
+        # A point left of the travel direction has positive d.
+        seg = TrackSegment(Pose2D(0, 0, 0), 50.0, -1.0 / 60.0, SIT, 0.0)
+        pose = seg.pose_at(20.0)
+        left_point = pose.position() + 1.0 * pose.left()
+        _, d = seg.locate(left_point[None])
+        assert d[0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_end_pose_continuity(self):
+        seg = TrackSegment(Pose2D(1, 2, 0.3), 80.0, 1 / 70.0, SIT, 0.0)
+        end_a = seg.pose_at(80.0)
+        end_b = seg.end_pose()
+        assert end_a.as_tuple() == pytest.approx(end_b.as_tuple())
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ValueError):
+            TrackSegment(Pose2D(0, 0, 0), 0.0, 0.0, SIT, 0.0)
+
+    @given(
+        st.floats(min_value=-1 / 30.0, max_value=1 / 30.0),
+        st.floats(min_value=1.0, max_value=70.0),
+        st.floats(min_value=-2.0, max_value=2.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_locate_inverts_pose_at(self, curvature, s_local, d):
+        seg = TrackSegment(Pose2D(0, 0, 0.2), 80.0, curvature, SIT, 0.0)
+        pose = seg.pose_at(s_local)
+        point = pose.position() + d * pose.left()
+        s_found, d_found = seg.locate(point[None])
+        assert s_found[0] == pytest.approx(s_local, abs=1e-6)
+        assert d_found[0] == pytest.approx(d, abs=1e-6)
+
+
+class TestTrack:
+    def test_from_sections_chains_lengths(self):
+        track = Track.from_sections(
+            [SectorSpec(50.0, 0.0, SIT), SectorSpec(30.0, 1 / 60.0, SIT)]
+        )
+        assert track.length == pytest.approx(80.0)
+
+    def test_segments_are_continuous(self, dynamic_track):
+        for first, second in zip(dynamic_track.segments, dynamic_track.segments[1:]):
+            end = first.end_pose()
+            start = second.start
+            assert end.as_tuple() == pytest.approx(start.as_tuple(), abs=1e-9)
+
+    def test_curvature_at_vectorized(self, dynamic_track):
+        s = np.array([10.0, 150.0])
+        kappa = dynamic_track.curvature_at(s)
+        assert kappa[0] == 0.0
+        assert kappa[1] == pytest.approx(-1.0 / DEFAULT_TURN_RADIUS)
+
+    def test_situation_at_sector_boundaries(self, dynamic_track):
+        situations = fig7_sector_situations()
+        for seg, expected in zip(dynamic_track.segments, situations):
+            mid = (seg.s_start + seg.s_end) / 2
+            assert dynamic_track.situation_at(mid) == expected
+
+    def test_frenet_round_trip(self, dynamic_track):
+        pose = dynamic_track.pose_at(321.0, 0.8)
+        s, d = dynamic_track.frenet(pose.x, pose.y, s_hint=320.0)
+        assert s == pytest.approx(321.0, abs=1e-6)
+        assert d == pytest.approx(0.8, abs=1e-6)
+
+    def test_locate_points_marks_window(self, dynamic_track):
+        pose = dynamic_track.pose_at(50.0)
+        pts = np.array([pose.position(), [1e6, 1e6]])
+        s, d, valid = dynamic_track.locate_points(pts, (0.0, 120.0))
+        assert valid[0]
+        assert s[0] == pytest.approx(50.0, abs=1e-6)
+
+    def test_pose_at_lateral_offset(self, dynamic_track):
+        center = dynamic_track.pose_at(40.0)
+        left = dynamic_track.pose_at(40.0, 1.5)
+        assert np.hypot(left.x - center.x, left.y - center.y) == pytest.approx(1.5)
+
+    def test_empty_track_rejected(self):
+        with pytest.raises(ValueError):
+            Track([])
+
+
+class TestWorld:
+    def test_fig7_has_nine_sectors(self, dynamic_track):
+        assert len(dynamic_track.segments) == 9
+
+    def test_fig7_scene_transition_night_to_dark(self, dynamic_track):
+        scenes = [seg.situation.scene.value for seg in dynamic_track.segments]
+        assert scenes[-2:] == ["night", "dark"]
+
+    def test_layout_curvature_signs(self):
+        from repro.core.situation import RoadLayout
+
+        assert layout_curvature(RoadLayout.STRAIGHT) == 0.0
+        assert layout_curvature(RoadLayout.LEFT) > 0
+        assert layout_curvature(RoadLayout.RIGHT) < 0
+
+    def test_static_track_caps_arc_length(self):
+        situation = situation_by_index(8)  # right turn
+        track = static_situation_track(situation, length=1000.0, lead_in=35.0)
+        assert track.length <= 35.0 + 0.75 * np.pi * DEFAULT_TURN_RADIUS + 1e-9
+
+    def test_turn_track_has_straight_lead_in(self):
+        situation = situation_by_index(8)
+        track = static_situation_track(situation, lead_in=35.0)
+        assert track.segments[0].curvature == 0.0
+        from repro.core.situation import RoadLayout
+
+        assert track.segments[0].situation.layout is RoadLayout.STRAIGHT
+        assert track.segments[0].situation.scene == situation.scene
+        assert track.segments[1].curvature != 0.0
+
+    def test_static_track_straight_keeps_length(self):
+        track = static_situation_track(SIT, length=500.0)
+        assert track.length == pytest.approx(500.0)

@@ -1,0 +1,165 @@
+"""Integration tests for the closed-loop HiL engine.
+
+These use a reduced camera (192x96) and short tracks; behaviour at the
+default fidelity is exercised by the benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.situation import situation_by_index
+from repro.hil.engine import HilConfig, HilEngine
+from repro.hil.record import HilResult
+from repro.sim.world import fig7_track, static_situation_track
+
+FAST = dict(frame_width=192, frame_height=96)
+
+
+def _run(case: str, sit_index: int = 1, length: float = 80.0, **kwargs):
+    track = static_situation_track(situation_by_index(sit_index), length=length)
+    config = HilConfig(seed=7, **FAST, **kwargs)
+    return HilEngine(track, case, config=config).run(), track
+
+
+class TestHilEngine:
+    def test_straight_day_case1_regulates(self):
+        result, _ = _run("case1")
+        assert result.completed and not result.crashed
+        # Starts 0.2 m off-center and must end close to the centerline.
+        assert abs(result.lateral_offset[-1]) < 0.15
+        assert result.mae(skip_time_s=2.0) < 0.10
+
+    def test_cycles_recorded_at_case_period(self):
+        result, _ = _run("case1")
+        times = [c.time_ms for c in result.cycles]
+        diffs = np.diff(times)
+        assert np.all(diffs == 25.0)  # case 1: h = 25 ms
+
+    def test_case3_runs_slower_cycles(self):
+        result, _ = _run("case3")
+        diffs = np.diff([c.time_ms for c in result.cycles])
+        assert np.all(diffs == 40.0)  # case 3: h = 40 ms
+
+    def test_case2_invokes_only_road(self):
+        result, _ = _run("case2")
+        invoked = {c.invoked for c in result.cycles}
+        assert invoked == {("road",)}
+
+    def test_variable_scheme_one_classifier_per_cycle(self):
+        result, _ = _run("variable", length=120.0)
+        assert all(len(c.invoked) == 1 for c in result.cycles)
+        names = {c.invoked[0] for c in result.cycles}
+        assert names == {"road", "lane", "scene"}
+
+    def test_case4_switches_isp_per_scene(self):
+        """On the dark situation, case 4 must settle on the S2 knob."""
+        result, _ = _run("case4", sit_index=7)
+        assert result.cycles[-1].active_isp == "S2"
+
+    def test_case1_never_reconfigures(self):
+        result, _ = _run("case1", sit_index=8)
+        assert {c.active_isp for c in result.cycles} == {"S0"}
+        assert {c.roi for c in result.cycles} == {"ROI 1"}
+
+    def test_speed_knob_on_turn(self):
+        result, _ = _run("case2", sit_index=8, length=120.0)
+        assert result.cycles[-1].speed_kmph == 30.0
+        # The vehicle must actually slow down towards the knob value.
+        assert result.speed[-1] == pytest.approx(30.0 / 3.6, abs=0.3)
+
+    def test_crash_detection_cuts_run(self):
+        """Starting outside the lane with an outward heading crashes."""
+        track = static_situation_track(situation_by_index(1), length=120.0)
+        config = HilConfig(
+            seed=7, initial_offset_m=1.9, initial_heading_err=0.15, **FAST
+        )
+        result = HilEngine(track, "case1", config=config).run()
+        assert result.crashed
+        assert result.crash_s is not None
+
+    def test_result_arrays_consistent(self):
+        result, _ = _run("case1")
+        n = result.time_s.size
+        for arr in (result.s, result.lateral_offset, result.y_l_true, result.steering):
+            assert arr.size == n
+        assert np.all(np.diff(result.s) > -1e-6)  # monotone progress
+
+    def test_seed_reproducibility(self):
+        a, _ = _run("case1")
+        b, _ = _run("case1")
+        np.testing.assert_array_equal(a.y_l_true, b.y_l_true)
+
+    def test_max_time_cutoff(self):
+        track = static_situation_track(situation_by_index(1), length=500.0)
+        config = HilConfig(seed=7, max_sim_time_s=1.0, **FAST)
+        result = HilEngine(track, "case1", config=config).run()
+        assert not result.completed
+        assert result.duration_s() <= 1.0 + 1e-9
+
+
+class TestSectorQoC:
+    def test_sector_aggregation_on_dynamic_track(self):
+        track = fig7_track()
+        config = HilConfig(seed=7, max_sim_time_s=12.0, **FAST)
+        result = HilEngine(track, "case3", config=config).run()
+        sectors = result.sector_qoc(track)
+        assert len(sectors) == 9
+        assert sectors[0].reached
+        assert sectors[0].mae is not None
+        # The 12 s budget cannot finish the 890 m track.
+        assert not sectors[-1].reached
+
+    def test_crash_marks_sector_failed(self):
+        track = fig7_track()
+        config = HilConfig(
+            seed=7, initial_offset_m=1.9, initial_heading_err=0.15, **FAST
+        )
+        result = HilEngine(track, "case1", config=config).run()
+        sectors = result.sector_qoc(track)
+        assert result.crashed
+        assert sectors[0].failed
+
+    def test_mae_skip_window(self):
+        result, _ = _run("case1")
+        assert result.mae(skip_time_s=2.0) <= result.mae(skip_time_s=0.0) + 1e-9
+
+
+class TestHilResultHelpers:
+    def test_empty_skip_falls_back(self):
+        result = HilResult(
+            time_s=np.array([0.1, 0.2]),
+            s=np.array([1.0, 2.0]),
+            lateral_offset=np.array([0.1, 0.2]),
+            y_l_true=np.array([0.1, -0.1]),
+            steering=np.zeros(2),
+            speed=np.zeros(2),
+        )
+        assert result.mae(skip_time_s=10.0) == pytest.approx(0.1)
+
+    def test_max_offset(self):
+        result = HilResult(
+            time_s=np.array([0.1]),
+            s=np.array([1.0]),
+            lateral_offset=np.array([-0.7]),
+            y_l_true=np.array([0.0]),
+            steering=np.zeros(1),
+            speed=np.zeros(1),
+        )
+        assert result.max_offset() == pytest.approx(0.7)
+
+
+class TestTraceSerialization:
+    def test_save_load_round_trip(self, tmp_path):
+        result, _ = _run("case2", length=60.0)
+        path = tmp_path / "trace.npz"
+        result.save(str(path))
+        loaded = HilResult.load(str(path))
+        np.testing.assert_array_equal(loaded.y_l_true, result.y_l_true)
+        np.testing.assert_array_equal(loaded.s, result.s)
+        assert loaded.crashed == result.crashed
+        assert loaded.completed == result.completed
+        assert len(loaded.cycles) == len(result.cycles)
+        assert loaded.cycles[0].invoked == result.cycles[0].invoked
+        assert loaded.mae(2.0) == pytest.approx(result.mae(2.0))

@@ -1,0 +1,173 @@
+"""Tests for the ISP stages, configurations and pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isp.configs import ISP_CONFIGS, IspConfig, isp_config
+from repro.isp.pipeline import IspPipeline
+from repro.isp.stages import (
+    IspStage,
+    color_map,
+    demosaic,
+    denoise,
+    gamut_map,
+    tone_map,
+)
+from repro.sim.sensor import mosaic
+
+
+def _flat_raw(value: float = 0.5, size: int = 16) -> np.ndarray:
+    return np.full((size, size), value, dtype=np.float32)
+
+
+class TestDemosaic:
+    def test_flat_field_is_preserved(self):
+        rgb = demosaic(_flat_raw(0.4))
+        np.testing.assert_allclose(rgb, 0.4, atol=1e-6)
+
+    def test_mosaic_round_trip_smooth_image(self, rng):
+        """Demosaic of a mosaiced smooth image recovers it closely."""
+        x = np.linspace(0, 1, 32)
+        smooth = np.stack(
+            [np.outer(x, x), np.outer(x, 1 - x), np.outer(1 - x, x)], axis=-1
+        ).astype(np.float32)
+        recovered = demosaic(mosaic(smooth))
+        assert np.abs(recovered[2:-2, 2:-2] - smooth[2:-2, 2:-2]).max() < 0.08
+
+    def test_output_shape_and_dtype(self):
+        rgb = demosaic(_flat_raw())
+        assert rgb.shape == (16, 16, 3)
+        assert rgb.dtype == np.float32
+
+    def test_rejects_rgb_input(self):
+        with pytest.raises(ValueError):
+            demosaic(np.zeros((8, 8, 3)))
+
+
+class TestDenoise:
+    def test_reduces_noise_variance(self, rng):
+        clean = np.full((64, 64, 3), 0.5, dtype=np.float32)
+        noisy = clean + 0.05 * rng.standard_normal(clean.shape).astype(np.float32)
+        out = denoise(noisy)
+        assert out.std() < noisy.std() * 0.7
+
+    def test_preserves_mean(self, rng):
+        noisy = (0.5 + 0.05 * rng.standard_normal((32, 32, 3))).astype(np.float32)
+        out = denoise(noisy)
+        assert out.mean() == pytest.approx(noisy.mean(), abs=1e-3)
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            denoise(np.zeros((4, 4, 3)), sigma=0.0)
+
+
+class TestColorMap:
+    def test_removes_color_cast(self):
+        base = np.random.default_rng(0).random((32, 32, 3)).astype(np.float32) * 0.5
+        tinted = base * np.array([1.3, 1.0, 0.7], dtype=np.float32)
+        corrected = color_map(tinted)
+        means = corrected.reshape(-1, 3).mean(axis=0)
+        assert means.max() / means.min() < 1.25
+
+    def test_low_light_fades_to_identity(self):
+        dark = np.full((16, 16, 3), 0.005, dtype=np.float32)
+        dark[..., 2] = 0.002  # strong cast that must NOT be "corrected"
+        out = color_map(dark)
+        np.testing.assert_allclose(out, dark, atol=5e-4)
+
+
+class TestGamutMap:
+    def test_clips_negative(self):
+        out = gamut_map(np.full((4, 4, 3), -0.2, dtype=np.float32))
+        assert out.min() >= 0.0
+
+    def test_compresses_highlights_monotonically(self):
+        lo = gamut_map(np.full((2, 2, 3), 0.9, dtype=np.float32))
+        hi = gamut_map(np.full((2, 2, 3), 1.2, dtype=np.float32))
+        assert np.all(hi >= lo)
+        assert hi.max() <= 1.0 + 1e-6
+
+    def test_identity_below_knee(self):
+        x = np.full((2, 2, 3), 0.5, dtype=np.float32)
+        np.testing.assert_allclose(gamut_map(x), x)
+
+    def test_rejects_bad_knee(self):
+        with pytest.raises(ValueError):
+            gamut_map(np.zeros((2, 2, 3)), knee=1.5)
+
+
+class TestToneMap:
+    def test_brightens_dark_frames(self):
+        dark = np.full((16, 16, 3), 0.02, dtype=np.float32)
+        out = tone_map(dark)
+        assert out.mean() > 0.2
+
+    def test_day_frame_mostly_gamma(self):
+        mid = np.full((16, 16, 3), 0.5, dtype=np.float32)
+        out = tone_map(mid)
+        assert out.mean() == pytest.approx(0.5 ** (1 / 2.2), abs=0.05)
+
+    def test_gain_is_bounded(self):
+        black = np.full((16, 16, 3), 1e-5, dtype=np.float32)
+        out = tone_map(black, max_gain=8.0)
+        assert out.max() < 0.1  # 8x of almost nothing stays almost nothing
+
+    @given(st.floats(min_value=0.05, max_value=0.9))
+    @settings(max_examples=25, deadline=None)
+    def test_output_in_unit_interval(self, level):
+        frame = np.full((8, 8, 3), level, dtype=np.float32)
+        out = tone_map(frame)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+
+class TestConfigs:
+    def test_table2_has_nine_configs(self):
+        assert set(ISP_CONFIGS) == {f"S{i}" for i in range(9)}
+
+    def test_s0_has_all_stages(self):
+        assert len(isp_config("S0").stages) == 5
+
+    def test_runtimes_match_table2(self):
+        assert isp_config("S0").xavier_runtime_ms == 21.5
+        assert isp_config("S3").xavier_runtime_ms == 3.3
+        assert isp_config("S8").xavier_runtime_ms == 3.2
+
+    def test_demosaic_always_present(self):
+        for cfg in ISP_CONFIGS.values():
+            assert cfg.has(IspStage.DEMOSAIC)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown ISP config"):
+            isp_config("S9")
+
+    def test_config_without_demosaic_rejected(self):
+        with pytest.raises(ValueError, match="demosaic"):
+            IspConfig("bad", (IspStage.DENOISE,), 1.0)
+
+
+class TestPipeline:
+    def test_output_is_rgb_unit_interval(self, rng):
+        raw = rng.random((32, 32)).astype(np.float32)
+        out = IspPipeline("S0").process(raw)
+        assert out.shape == (32, 32, 3)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_accepts_config_object(self):
+        pipeline = IspPipeline(isp_config("S5"))
+        assert pipeline.name == "S5"
+
+    @pytest.mark.parametrize("name", sorted(ISP_CONFIGS))
+    def test_every_config_runs(self, name, rng):
+        raw = rng.random((16, 16)).astype(np.float32)
+        out = IspPipeline(name).process(raw)
+        assert np.all(np.isfinite(out))
+
+    def test_tone_map_configs_brighten_dark_raw(self, rng):
+        raw = (0.02 + 0.002 * rng.standard_normal((32, 32))).astype(np.float32)
+        with_tm = IspPipeline("S8").process(raw)
+        without_tm = IspPipeline("S5").process(raw)
+        assert with_tm.mean() > 4 * without_tm.mean()

@@ -1,0 +1,73 @@
+"""Tests for QoC and detection-accuracy metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.accuracy import DetectionSample, detection_accuracy
+from repro.metrics.qoc import mae, max_abs, normalize_to, rmse
+
+
+class TestQoc:
+    def test_mae_definition(self):
+        assert mae([1.0, -1.0, 2.0]) == pytest.approx(4.0 / 3.0)
+
+    def test_mae_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mae([])
+
+    def test_rmse_dominates_mae(self):
+        samples = [0.1, -0.5, 2.0, 0.0]
+        assert rmse(samples) >= mae(samples)
+
+    def test_max_abs(self):
+        assert max_abs([-3.0, 2.0]) == 3.0
+
+    def test_normalize_to(self):
+        out = normalize_to([2.0, 4.0], 2.0)
+        np.testing.assert_allclose(out, [1.0, 2.0])
+
+    def test_normalize_rejects_zero_reference(self):
+        with pytest.raises(ValueError):
+            normalize_to([1.0], 0.0)
+
+    @given(st.lists(st.floats(min_value=-10, max_value=10), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_mae_nonnegative_and_bounded(self, samples):
+        value = mae(samples)
+        assert 0.0 <= value <= max(abs(s) for s in samples) + 1e-12
+
+    @given(
+        st.lists(st.floats(min_value=-5, max_value=5), min_size=1, max_size=20),
+        st.floats(min_value=0.1, max_value=5.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mae_scales_linearly(self, samples, factor):
+        scaled = [s * factor for s in samples]
+        assert mae(scaled) == pytest.approx(factor * mae(samples), rel=1e-9)
+
+
+class TestDetectionAccuracy:
+    def test_perfect_detections(self):
+        samples = [DetectionSample(0.1, 0.1, True)] * 5
+        assert detection_accuracy(samples) == 1.0
+
+    def test_invalid_counts_as_miss(self):
+        samples = [
+            DetectionSample(0.0, 0.0, True),
+            DetectionSample(0.0, 0.0, False),
+        ]
+        assert detection_accuracy(samples) == 0.5
+
+    def test_tolerance_boundary(self):
+        inside = DetectionSample(0.3, 0.0, True)
+        outside = DetectionSample(0.31, 0.0, True)
+        assert inside.correct(tolerance=0.3)
+        assert not outside.correct(tolerance=0.3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            detection_accuracy([])

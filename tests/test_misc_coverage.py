@@ -1,0 +1,141 @@
+"""Additional coverage: formatting helpers, CLI parsing, edge cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.situation import situation_by_index
+from repro.experiments.table3 import PAPER_TABLE3, Table3Row, format_table3
+from repro.perception.roi import roi_preset
+from repro.perception.sliding_window import find_lane_pixels
+from repro.sim.geometry import Pose2D
+from repro.sim.renderer import RenderOptions, RoadSceneRenderer
+from repro.sim.track import TrackSegment
+
+
+class TestTable3Formatting:
+    def test_format_includes_both_columns(self):
+        from repro.core.knobs import KnobSetting
+
+        situation = situation_by_index(1)
+        row = Table3Row(
+            index=1,
+            situation=situation,
+            knobs=KnobSetting("S5", "ROI 1", 50.0),
+            period_ms=25.0,
+            delay_ms=22.9,
+            paper_isp="S3",
+            paper_roi="ROI 1",
+            paper_vht=(50, 25, 23.1),
+        )
+        text = format_table3([row])
+        assert "S5 ROI 1 [50, 25, 22.9]" in text
+        assert "S3 ROI 1 [50, 25, 23.1]" in text
+
+    def test_paper_table_h_values_are_step_multiples(self):
+        for _, _, (v, h, tau) in PAPER_TABLE3.values():
+            assert h % 5 == 0
+            assert tau <= h
+
+
+class TestCliParsing:
+    def test_all_subcommands_parse(self):
+        from repro.__main__ import build_parser
+
+        parser = build_parser()
+        for argv in (
+            ["run"],
+            ["track", "--cases", "case1,case3"],
+            ["characterize", "--situation", "20"],
+            ["train", "--no-cache"],
+            ["sensitivity", "--samples", "4"],
+            ["report", "--output", "x.md", "--skip-dynamic"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_unknown_case_rejected_by_parser(self):
+        from repro.__main__ import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--case", "case9"])
+
+
+class TestSlidingWindowHintEdges:
+    def test_hint_outside_grid_ignored(self):
+        mask = np.zeros((96, 128), dtype=bool)
+        mask[:, 96:98] = True
+        res = 4.8 / 128
+        pixels = find_lane_pixels(mask, res, base_hints=(50.0, None))
+        # An absurd hint cannot produce a base; the expected-position
+        # fallback is not used for hinted lines, so left is dropped...
+        # unless the histogram near the hint (clamped) catches the line.
+        assert pixels.n_left >= 0  # must not raise
+
+    def test_both_hints_none_equals_no_hints(self):
+        mask = np.zeros((96, 128), dtype=bool)
+        mask[:, 96:98] = True
+        mask[:, 30:32] = True
+        res = 4.8 / 128
+        plain = find_lane_pixels(mask, res)
+        hinted = find_lane_pixels(mask, res, base_hints=(None, None))
+        assert plain.n_left == hinted.n_left
+        assert plain.n_right == hinted.n_right
+
+
+class TestRendererOptions:
+    def test_noise_flag_controls_determinism(self, small_camera, day_track):
+        quiet = RoadSceneRenderer(
+            small_camera, day_track, options=RenderOptions(noise=False), seed=1
+        )
+        noisy = RoadSceneRenderer(
+            small_camera, day_track, options=RenderOptions(noise=True), seed=1
+        )
+        pose = day_track.pose_at(30.0)
+        a = quiet.render_raw(pose)
+        b = noisy.render_raw(pose)
+        assert not np.array_equal(a, b)
+
+    def test_lane_width_option_moves_markings(self, small_camera, day_track):
+        wide = RoadSceneRenderer(
+            small_camera,
+            day_track,
+            options=RenderOptions(noise=False, lane_width=5.0),
+            seed=1,
+        )
+        normal = RoadSceneRenderer(
+            small_camera, day_track, options=RenderOptions(noise=False), seed=1
+        )
+        pose = day_track.pose_at(30.0)
+        assert not np.array_equal(
+            wide.render_rgb(pose), normal.render_rgb(pose)
+        )
+
+
+class TestTrackSegmentExtrapolation:
+    def test_locate_before_start(self):
+        seg = TrackSegment(Pose2D(0, 0, 0), 50.0, 0.0, situation_by_index(1), 0.0)
+        s, d = seg.locate(np.array([[-5.0, 0.0]]))
+        assert s[0] == pytest.approx(-5.0)
+
+    def test_pose_extrapolates_past_end(self):
+        seg = TrackSegment(Pose2D(0, 0, 0), 50.0, 1 / 60.0, situation_by_index(1), 0.0)
+        pose = seg.pose_at(60.0)  # beyond the 50 m segment
+        s, d = seg.locate(pose.position()[None])
+        assert s[0] == pytest.approx(60.0, abs=1e-6)
+        assert d[0] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestRoiMetadata:
+    def test_paper_trapezoids_kept(self):
+        for name in ("ROI 1", "ROI 2", "ROI 3", "ROI 4", "ROI 5"):
+            preset = roi_preset(name)
+            assert len(preset.paper_trapezoid) == 4
+
+    def test_to_config_round_trips_fields(self):
+        preset = roi_preset("ROI 3")
+        config = preset.to_config()
+        assert config["name"] == "ROI 3"
+        assert config["half_width"] == preset.half_width
+        assert config["x_near"] == preset.x_near

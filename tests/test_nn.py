@@ -1,0 +1,282 @@
+"""Tests for the numpy NN framework: layers, losses, optimizers, training."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.layers import (
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    Flatten,
+    GlobalAvgPool2D,
+    MaxPool2D,
+    Parameter,
+    ReLU,
+)
+from repro.nn.losses import softmax, softmax_cross_entropy
+from repro.nn.model import ResidualBlock, Sequential
+from repro.nn.optim import SGD, Adam
+from repro.nn.serialize import load_state, model_state
+from repro.nn.trainer import TrainConfig, Trainer
+from repro.utils.rng import derive_rng
+
+RNG = derive_rng(0, "nn-tests")
+
+
+def _numeric_grad(fn, param: Parameter, index, eps: float = 1e-3) -> float:
+    orig = param.value[index]
+    param.value[index] = orig + eps
+    hi = fn()
+    param.value[index] = orig - eps
+    lo = fn()
+    param.value[index] = orig
+    return (hi - lo) / (2 * eps)
+
+
+class TestGradients:
+    """Backprop matches numeric differentiation for every layer type."""
+
+    def _check(self, net, x, y, param_idx=0, index=None):
+        logits = net.forward(x, training=True)
+        loss, grad = softmax_cross_entropy(logits, y)
+        for p in net.parameters():
+            p.zero_grad()
+        net.backward(grad)
+        param = net.parameters()[param_idx]
+        if index is None:
+            index = np.unravel_index(
+                np.argmax(np.abs(param.grad)), param.grad.shape
+            )
+
+        def loss_fn():
+            out = net.forward(x, training=True)
+            return softmax_cross_entropy(out, y)[0]
+
+        numeric = _numeric_grad(loss_fn, param, index)
+        analytic = param.grad[index]
+        assert analytic == pytest.approx(numeric, rel=0.05, abs=1e-4)
+
+    def test_dense(self):
+        net = Sequential(Flatten(), Dense(12, 4, RNG))
+        x = RNG.standard_normal((6, 3, 2, 2)).astype(np.float32)
+        y = RNG.integers(0, 4, 6)
+        self._check(net, x, y)
+
+    def test_conv(self):
+        net = Sequential(Conv2D(2, 3, 3, RNG), GlobalAvgPool2D(), Dense(3, 3, RNG))
+        x = RNG.standard_normal((4, 2, 8, 8)).astype(np.float32)
+        y = RNG.integers(0, 3, 4)
+        self._check(net, x, y)
+
+    def test_conv_without_bias(self):
+        net = Sequential(
+            Conv2D(2, 3, 3, RNG, bias=False), GlobalAvgPool2D(), Dense(3, 3, RNG)
+        )
+        x = RNG.standard_normal((4, 2, 8, 8)).astype(np.float32)
+        y = RNG.integers(0, 3, 4)
+        self._check(net, x, y)
+
+    def test_batchnorm(self):
+        net = Sequential(
+            Conv2D(2, 3, 3, RNG),
+            BatchNorm2D(3),
+            ReLU(),
+            GlobalAvgPool2D(),
+            Dense(3, 3, RNG),
+        )
+        x = RNG.standard_normal((8, 2, 6, 6)).astype(np.float32)
+        y = RNG.integers(0, 3, 8)
+        # check the batchnorm gamma (parameter index 2)
+        self._check(net, x, y, param_idx=2, index=(1,))
+
+    def test_maxpool_and_residual(self):
+        net = Sequential(
+            Conv2D(2, 4, 3, RNG),
+            MaxPool2D(2),
+            ResidualBlock(4, 6, RNG),
+            GlobalAvgPool2D(),
+            Dense(6, 3, RNG),
+        )
+        x = RNG.standard_normal((4, 2, 8, 8)).astype(np.float32)
+        y = RNG.integers(0, 3, 4)
+        self._check(net, x, y)
+
+
+class TestLayers:
+    def test_conv_output_shape(self):
+        conv = Conv2D(3, 8, 3, RNG)
+        out = conv.forward(np.zeros((2, 3, 10, 12), dtype=np.float32))
+        assert out.shape == (2, 8, 10, 12)
+
+    def test_conv_stride(self):
+        conv = Conv2D(3, 8, 3, RNG, stride=2, padding=1)
+        out = conv.forward(np.zeros((2, 3, 10, 12), dtype=np.float32))
+        assert out.shape == (2, 8, 5, 6)
+
+    def test_relu_zeros_negative(self):
+        relu = ReLU()
+        out = relu.forward(np.array([[-1.0, 2.0]]), training=True)
+        np.testing.assert_array_equal(out, [[0.0, 2.0]])
+        grad = relu.backward(np.array([[1.0, 1.0]]))
+        np.testing.assert_array_equal(grad, [[0.0, 1.0]])
+
+    def test_maxpool_values(self):
+        pool = MaxPool2D(2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = pool.forward(x)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            MaxPool2D(2).forward(np.zeros((1, 1, 5, 4), dtype=np.float32))
+
+    def test_global_avg_pool(self):
+        gap = GlobalAvgPool2D()
+        x = np.ones((2, 3, 4, 4), dtype=np.float32)
+        np.testing.assert_allclose(gap.forward(x), np.ones((2, 3)))
+
+    def test_batchnorm_normalizes_in_training(self):
+        bn = BatchNorm2D(2)
+        x = (RNG.standard_normal((16, 2, 8, 8)) * 3 + 5).astype(np.float32)
+        out = bn.forward(x, training=True)
+        assert out.mean() == pytest.approx(0.0, abs=1e-4)
+        assert out.std() == pytest.approx(1.0, abs=1e-2)
+
+    def test_batchnorm_inference_uses_running_stats(self):
+        bn = BatchNorm2D(1)
+        x = (RNG.standard_normal((64, 1, 4, 4)) + 2.0).astype(np.float32)
+        for _ in range(60):
+            bn.forward(x, training=True)
+        out = bn.forward(x, training=False)
+        assert out.mean() == pytest.approx(0.0, abs=0.1)
+
+    def test_sequential_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Sequential()
+
+    def test_residual_projection_on_channel_change(self):
+        block = ResidualBlock(4, 8, RNG)
+        assert block.projection is not None
+        block_same = ResidualBlock(4, 4, RNG)
+        assert block_same.projection is None
+
+
+class TestLosses:
+    def test_softmax_rows_sum_to_one(self):
+        logits = RNG.standard_normal((5, 7))
+        probs = softmax(logits)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_softmax_stable_for_large_logits(self):
+        probs = softmax(np.array([[1e4, 0.0]]))
+        assert np.all(np.isfinite(probs))
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss, grad = softmax_cross_entropy(logits, np.array([0, 1]))
+        assert loss == pytest.approx(0.0, abs=1e-6)
+        np.testing.assert_allclose(grad, 0.0, atol=1e-6)
+
+    def test_cross_entropy_grad_sums_to_zero(self):
+        logits = RNG.standard_normal((6, 4))
+        _, grad = softmax_cross_entropy(logits, RNG.integers(0, 4, 6))
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-7)
+
+    def test_label_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros((3, 2)), np.zeros(4, dtype=int))
+
+
+class TestOptimizers:
+    def _quadratic_param(self):
+        return Parameter(np.array([5.0], dtype=np.float32))
+
+    def test_sgd_converges_on_quadratic(self):
+        p = self._quadratic_param()
+        opt = SGD([p], lr=0.1, momentum=0.5)
+        for _ in range(120):
+            p.grad[...] = 2 * p.value
+            opt.step()
+        assert abs(p.value[0]) < 1e-3
+
+    def test_adam_converges_on_quadratic(self):
+        p = self._quadratic_param()
+        opt = Adam([p], lr=0.3)
+        for _ in range(200):
+            p.grad[...] = 2 * p.value
+            opt.step()
+        assert abs(p.value[0]) < 1e-2
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        opt = SGD([p], lr=0.1, momentum=0.0, weight_decay=1.0)
+        p.grad[...] = 0.0
+        opt.step()
+        assert p.value[0] < 1.0
+
+    def test_zero_grad(self):
+        p = Parameter(np.ones(3))
+        p.grad[...] = 5.0
+        SGD([p]).zero_grad()
+        np.testing.assert_array_equal(p.grad, 0.0)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.ones(1))], lr=0.0)
+
+
+class TestTrainerAndSerialization:
+    def _toy_problem(self, n=256):
+        rng = derive_rng(3, "toy")
+        x = rng.standard_normal((n, 2, 8, 8)).astype(np.float32)
+        # Label = which channel is brighter (survives global pooling).
+        y = (x[:, 0].mean(axis=(1, 2)) > x[:, 1].mean(axis=(1, 2))).astype(np.int64)
+        return x, y
+
+    def _toy_net(self):
+        rng = derive_rng(4, "toy-net")
+        return Sequential(
+            Conv2D(2, 4, 3, rng), ReLU(), GlobalAvgPool2D(), Dense(4, 2, rng)
+        )
+
+    def test_training_improves_accuracy(self):
+        x, y = self._toy_problem()
+        net = self._toy_net()
+        trainer = Trainer(net, TrainConfig(epochs=6, batch_size=32, lr=5e-3))
+        report = trainer.fit(x[:200], y[:200], x[200:], y[200:])
+        assert report.train_accuracy[-1] > report.train_accuracy[0]
+        assert report.final_val_accuracy > 0.7
+
+    def test_early_stop(self):
+        x, y = self._toy_problem()
+        net = self._toy_net()
+        trainer = Trainer(
+            net, TrainConfig(epochs=50, batch_size=32, lr=5e-3, early_stop_accuracy=0.5)
+        )
+        report = trainer.fit(x[:200], y[:200], x[200:], y[200:])
+        assert report.epochs_run < 50
+
+    def test_state_round_trip(self):
+        net = self._toy_net()
+        x = RNG.standard_normal((4, 2, 8, 8)).astype(np.float32)
+        before = net.forward(x)
+        state = model_state(net)
+        clone = self._toy_net()
+        load_state(clone, state)
+        np.testing.assert_allclose(clone.forward(x), before, atol=1e-6)
+
+    def test_load_state_shape_mismatch(self):
+        net = self._toy_net()
+        state = model_state(net)
+        key = next(iter(state))
+        state[key] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            load_state(self._toy_net(), state)
+
+    def test_invalid_train_config(self):
+        with pytest.raises(ValueError):
+            TrainConfig(epochs=0)

@@ -1,0 +1,95 @@
+"""Conv2D against a naive reference implementation, and related checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.layers import Conv2D
+from repro.utils.rng import derive_rng
+
+RNG = derive_rng(0, "nn-ref")
+
+
+def naive_conv2d(x, w, b, stride, pad):
+    """Direct nested-loop convolution (the obviously-correct oracle)."""
+    n, c, h, width = x.shape
+    out_c, fan_in = w.shape
+    k = int(np.sqrt(fan_in // c))
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    out_h = (h + 2 * pad - k) // stride + 1
+    out_w = (width + 2 * pad - k) // stride + 1
+    out = np.zeros((n, out_c, out_h, out_w), dtype=np.float64)
+    kernels = w.reshape(out_c, c, k, k)
+    for ni in range(n):
+        for oc in range(out_c):
+            for i in range(out_h):
+                for j in range(out_w):
+                    patch = xp[
+                        ni,
+                        :,
+                        i * stride : i * stride + k,
+                        j * stride : j * stride + k,
+                    ]
+                    out[ni, oc, i, j] = np.sum(patch * kernels[oc])
+            if b is not None:
+                out[ni, oc] += b[oc]
+    return out
+
+
+class TestConvAgainstReference:
+    @pytest.mark.parametrize(
+        "cin,cout,k,stride,pad,h,w",
+        [
+            (1, 1, 3, 1, 1, 6, 6),
+            (2, 3, 3, 1, 1, 5, 7),
+            (3, 2, 3, 2, 1, 8, 8),
+            (2, 4, 1, 1, 0, 4, 4),
+            (1, 2, 5, 1, 2, 9, 9),
+        ],
+    )
+    def test_forward_matches_naive(self, cin, cout, k, stride, pad, h, w):
+        conv = Conv2D(cin, cout, k, RNG, stride=stride, padding=pad)
+        x = RNG.standard_normal((2, cin, h, w)).astype(np.float32)
+        fast = conv.forward(x)
+        slow = naive_conv2d(
+            x.astype(np.float64),
+            conv.w.value.astype(np.float64),
+            None if conv.b is None else conv.b.value.astype(np.float64),
+            stride,
+            pad,
+        )
+        np.testing.assert_allclose(fast, slow, rtol=1e-4, atol=1e-5)
+
+    @given(st.integers(min_value=1, max_value=3), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=15, deadline=None)
+    def test_forward_matches_naive_random_channels(self, cin, cout):
+        conv = Conv2D(cin, cout, 3, RNG)
+        x = RNG.standard_normal((1, cin, 6, 6)).astype(np.float32)
+        fast = conv.forward(x)
+        slow = naive_conv2d(
+            x.astype(np.float64), conv.w.value.astype(np.float64),
+            conv.b.value.astype(np.float64), 1, 1,
+        )
+        np.testing.assert_allclose(fast, slow, rtol=1e-4, atol=1e-5)
+
+    def test_input_gradient_matches_numeric(self):
+        conv = Conv2D(2, 3, 3, RNG)
+        x = RNG.standard_normal((2, 2, 5, 5)).astype(np.float32)
+        out = conv.forward(x, training=True)
+        grad_out = RNG.standard_normal(out.shape).astype(np.float32)
+        grad_in = conv.backward(grad_out)
+
+        def loss(inp):
+            return float((conv.forward(inp, training=True) * grad_out).sum())
+
+        eps = 1e-2
+        idx = (1, 0, 2, 3)
+        bumped = x.copy()
+        bumped[idx] += eps
+        dipped = x.copy()
+        dipped[idx] -= eps
+        numeric = (loss(bumped) - loss(dipped)) / (2 * eps)
+        assert grad_in[idx] == pytest.approx(numeric, rel=0.02, abs=1e-3)

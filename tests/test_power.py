@@ -1,0 +1,71 @@
+"""Tests for the Xavier power-mode model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platform.power import DEFAULT_POWER_MODE, POWER_MODES, PowerMode, power_mode
+from repro.platform.resources import Resource
+from repro.platform.schedule import pipeline_timing, sensing_fps
+
+
+class TestPowerModes:
+    def test_default_is_paper_condition(self):
+        assert DEFAULT_POWER_MODE == "30W"
+        assert power_mode("30W").cpu_scale == 1.0
+        assert power_mode("30W").gpu_scale == 1.0
+
+    def test_all_presets_registered(self):
+        assert set(POWER_MODES) == {"MAXN", "30W", "15W", "10W"}
+
+    def test_lower_budget_slower(self):
+        assert power_mode("10W").gpu_scale > power_mode("15W").gpu_scale > 1.0
+
+    def test_maxn_not_slower_than_30w(self):
+        maxn = power_mode("MAXN")
+        assert maxn.cpu_scale <= 1.0 and maxn.gpu_scale <= 1.0
+
+    def test_scale_for_resource(self):
+        mode = power_mode("15W")
+        assert mode.scale_for(Resource.CPU) == mode.cpu_scale
+        assert mode.scale_for(Resource.GPU) == mode.gpu_scale
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            power_mode("5W")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            PowerMode("bad", 1.0, 0.0, 1.0)
+
+
+class TestPowerAwareTiming:
+    def test_30w_reproduces_paper(self):
+        timing = pipeline_timing("S0", power_mode="30W")
+        assert timing.delay_ms == pytest.approx(24.6, abs=0.05)
+
+    def test_budget_ordering(self):
+        delays = [
+            pipeline_timing("S0", power_mode=mode).delay_ms
+            for mode in ("MAXN", "30W", "15W", "10W")
+        ]
+        assert delays == sorted(delays)
+
+    def test_fps_drops_with_budget(self):
+        assert sensing_fps("S0", power_mode="10W") < sensing_fps(
+            "S0", power_mode="30W"
+        )
+
+    def test_overheads_not_scaled(self):
+        """Only profiled task runtimes scale; the calibration overheads
+        are platform-independent constants."""
+        t30 = pipeline_timing("S5", power_mode="30W")
+        t15 = pipeline_timing("S5", power_mode="15W")
+        # S5 task sum: 3.1 (GPU) + 3.0 (CPU) + 0.0025 (CPU).
+        expected = (
+            3.1 * power_mode("15W").gpu_scale
+            + (3.0 + 0.0025) * power_mode("15W").cpu_scale
+            + 0.1
+        )
+        assert t15.delay_ms == pytest.approx(expected, abs=1e-6)
+        assert t30.delay_ms < t15.delay_ms

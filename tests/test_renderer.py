@@ -1,0 +1,200 @@
+"""Tests for the camera model, sensor and road-scene renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.situation import Scene, situation_by_index
+from repro.sim.camera import CameraModel
+from repro.sim.geometry import Pose2D
+from repro.sim.photometry import SCENE_PHOTOMETRY, photometry_for
+from repro.sim.renderer import RenderOptions, RoadSceneRenderer
+from repro.sim.sensor import add_sensor_noise, bayer_channel_masks, mosaic
+from repro.sim.world import static_situation_track
+
+
+class TestCameraModel:
+    def test_ground_map_shapes(self, small_camera):
+        gm = small_camera.ground_map()
+        assert gm.forward.shape == (small_camera.height, small_camera.width)
+        assert gm.on_ground.dtype == bool
+
+    def test_ground_points_are_in_front(self, small_camera):
+        gm = small_camera.ground_map()
+        assert np.all(gm.forward[gm.on_ground] >= small_camera.min_distance)
+        assert np.all(gm.forward[gm.on_ground] <= small_camera.max_distance)
+
+    def test_no_ground_above_horizon(self, small_camera):
+        gm = small_camera.ground_map()
+        horizon = small_camera.horizon_row()
+        assert not gm.on_ground[: max(horizon, 0)].any()
+
+    def test_projection_round_trip(self, small_camera):
+        gm = small_camera.ground_map()
+        rows, cols = np.nonzero(gm.on_ground)
+        take = slice(0, None, 97)
+        fwd = gm.forward[rows[take], cols[take]]
+        lat = gm.lateral[rows[take], cols[take]]
+        u, v = small_camera.project(fwd, lat)
+        np.testing.assert_allclose(u, cols[take], atol=0.1)
+        np.testing.assert_allclose(v, rows[take], atol=0.1)
+
+    def test_center_pixel_looks_straight(self, small_camera):
+        gm = small_camera.ground_map()
+        col = small_camera.width // 2
+        rows = np.nonzero(gm.on_ground[:, col])[0]
+        lat = gm.lateral[rows, col]
+        fwd = gm.forward[rows, col]
+        # The column sits half a pixel off the optical center, so the
+        # lateral offset grows linearly with distance; bound the angle.
+        assert np.all(np.abs(lat) < 0.01 * fwd + 0.02)
+
+    def test_scaled_keeps_field_of_view(self):
+        cam = CameraModel(width=512, height=256)
+        half = cam.scaled(256, 128)
+        # Same ray direction at the image corner -> same ground point.
+        gm_full = cam.ground_map()
+        gm_half = half.ground_map()
+        assert gm_full.forward[255, 0] == pytest.approx(
+            gm_half.forward[127, 0], rel=0.05
+        )
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            CameraModel(width=0, height=10)
+
+
+class TestSensor:
+    def test_bayer_masks_partition(self):
+        r, g, b = bayer_channel_masks(6, 8)
+        total = r.astype(int) + g.astype(int) + b.astype(int)
+        assert np.all(total == 1)
+        assert g.sum() == 2 * r.sum() == 2 * b.sum()
+
+    def test_mosaic_picks_correct_channels(self):
+        rgb = np.zeros((4, 4, 3), dtype=np.float32)
+        rgb[..., 0] = 1.0
+        rgb[..., 1] = 2.0
+        rgb[..., 2] = 3.0
+        raw = mosaic(rgb)
+        assert raw[0, 0] == 1.0  # R
+        assert raw[0, 1] == 2.0  # G
+        assert raw[1, 0] == 2.0  # G
+        assert raw[1, 1] == 3.0  # B
+
+    def test_mosaic_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            mosaic(np.zeros((4, 4)))
+
+    def test_noise_zero_levels_is_identity(self, rng):
+        raw = rng.random((8, 8)).astype(np.float32)
+        out = add_sensor_noise(raw, np.random.default_rng(0), 0.0, 0.0)
+        np.testing.assert_allclose(out, raw)
+
+    def test_noise_clips_to_unit_interval(self):
+        raw = np.ones((16, 16), dtype=np.float32)
+        out = add_sensor_noise(raw, np.random.default_rng(0), 0.5, 0.5)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_noise_rejects_negative_levels(self):
+        with pytest.raises(ValueError):
+            add_sensor_noise(np.zeros((2, 2)), np.random.default_rng(0), -0.1, 0.0)
+
+    @given(st.floats(min_value=0.0, max_value=0.05))
+    @settings(max_examples=20, deadline=None)
+    def test_noise_scale_bounded(self, level):
+        raw = np.full((32, 32), 0.5, dtype=np.float32)
+        out = add_sensor_noise(raw, np.random.default_rng(1), level, 0.0)
+        # 6-sigma bound on the deviation of the mean.
+        assert abs(float(out.mean()) - 0.5) < max(6 * level / 32, 1e-6)
+
+
+class TestPhotometry:
+    def test_all_scenes_registered(self):
+        for scene in Scene:
+            assert photometry_for(scene) is SCENE_PHOTOMETRY[scene]
+
+    def test_day_is_brightest(self):
+        day = photometry_for(Scene.DAY).exposure
+        for scene in (Scene.NIGHT, Scene.DARK, Scene.DAWN, Scene.DUSK):
+            assert photometry_for(scene).exposure < day
+
+    def test_dark_noisier_than_day(self):
+        assert (
+            photometry_for(Scene.DARK).read_noise
+            > photometry_for(Scene.DAY).read_noise
+        )
+
+
+class TestRenderer:
+    def test_rgb_shape_and_range(self, day_renderer, day_track, small_camera):
+        rgb = day_renderer.render_rgb(day_track.pose_at(30.0))
+        assert rgb.shape == (small_camera.height, small_camera.width, 3)
+        assert rgb.dtype == np.float32
+        assert rgb.min() >= 0.0 and rgb.max() <= 1.0
+
+    def test_raw_is_bayer_plane(self, day_renderer, day_track, small_camera):
+        raw = day_renderer.render_raw(day_track.pose_at(30.0))
+        assert raw.shape == (small_camera.height, small_camera.width)
+
+    def test_lane_markings_visible(self, day_renderer, day_track, small_camera):
+        """The left (continuous) marking must produce bright pixels on
+        the left half of the lower image."""
+        rgb = day_renderer.render_rgb(day_track.pose_at(30.0))
+        lower = rgb[small_camera.height // 2 :, : small_camera.width // 2]
+        road_level = np.median(lower)
+        assert lower.max() > road_level + 0.2
+
+    def test_night_darker_than_day(self, day_renderer, day_track):
+        pose = day_track.pose_at(30.0)
+        day = day_renderer.render_rgb(pose, Scene.DAY)
+        night = day_renderer.render_rgb(pose, Scene.NIGHT)
+        assert night.mean() < day.mean() * 0.6
+
+    def test_scene_from_track_sector(self, small_camera, dynamic_track):
+        renderer = RoadSceneRenderer(small_camera, dynamic_track, seed=0)
+        # Sector 9 of the Fig. 7 track is dark.
+        pose = dynamic_track.pose_at(850.0)
+        assert renderer.scene_at(pose) == Scene.DARK
+
+    def test_noise_disabled_is_deterministic(self, small_camera, day_track):
+        options = RenderOptions(noise=False)
+        r1 = RoadSceneRenderer(small_camera, day_track, options=options, seed=0)
+        r2 = RoadSceneRenderer(small_camera, day_track, options=options, seed=99)
+        pose = day_track.pose_at(25.0)
+        np.testing.assert_array_equal(r1.render_raw(pose), r2.render_raw(pose))
+
+    def test_dotted_lane_has_gaps(self, small_camera):
+        """A dotted marking must disappear in dash gaps along s."""
+        situation = situation_by_index(2)  # straight, white dotted
+        track = static_situation_track(situation, length=300.0)
+        renderer = RoadSceneRenderer(
+            small_camera, track, options=RenderOptions(noise=False), seed=0
+        )
+        # Left half max brightness at many longitudinal offsets: with a
+        # dotted left lane it must vary strongly (dash vs gap).
+        maxima = []
+        for s in np.arange(30.0, 70.0, 1.5):
+            rgb = renderer.render_rgb(track.pose_at(float(s)), Scene.DAY)
+            strip = rgb[small_camera.height * 2 // 3 :, : small_camera.width // 2]
+            maxima.append(float(strip.max()))
+        maxima = np.array(maxima)
+        assert maxima.max() - maxima.min() > 0.2
+
+    def test_yellow_lane_is_yellow(self, small_camera):
+        situation = situation_by_index(3)  # yellow continuous
+        track = static_situation_track(situation, length=200.0)
+        renderer = RoadSceneRenderer(
+            small_camera, track, options=RenderOptions(noise=False), seed=0
+        )
+        rgb = renderer.render_rgb(track.pose_at(30.0), Scene.DAY)
+        lower_left = rgb[small_camera.height // 2 :, : small_camera.width // 2]
+        # Find the brightest pixel: it should be the marking, with R >> B.
+        idx = np.unravel_index(
+            np.argmax(lower_left[..., 0] + lower_left[..., 1]), lower_left.shape[:2]
+        )
+        pixel = lower_left[idx]
+        assert pixel[0] > 2.0 * pixel[2]

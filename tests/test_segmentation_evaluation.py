@@ -1,0 +1,110 @@
+"""Tests for the dense lane detector and the evaluation harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.situation import situation_by_index
+from repro.isp.pipeline import IspPipeline
+from repro.metrics.accuracy import DetectionSample
+from repro.perception.evaluation import (
+    SequenceStats,
+    evaluate_sequence,
+    trajectory_poses,
+)
+from repro.perception.segmentation import DenseLaneDetector
+from repro.sim.camera import CameraModel
+from repro.sim.renderer import RoadSceneRenderer
+from repro.sim.world import static_situation_track
+
+CAMERA = CameraModel(width=192, height=96)
+
+
+class TestDenseLaneDetector:
+    def _measure(self, sit_index: int, d0: float = 0.15):
+        situation = situation_by_index(sit_index)
+        track = static_situation_track(situation, length=200.0)
+        renderer = RoadSceneRenderer(CAMERA, track, seed=1)
+        detector = DenseLaneDetector(CAMERA)
+        pose = track.pose_at(50.0, d0)
+        rgb = IspPipeline("S0").process(renderer.render_raw(pose, situation.scene))
+        result = detector.process(rgb)
+        look = pose.position() + 5.5 * pose.forward()
+        _, truth = track.frenet(look[0], look[1])
+        return result, float(truth)
+
+    def test_detects_straight_lane(self):
+        result, truth = self._measure(1)
+        assert result.valid
+        assert result.y_l == pytest.approx(truth, abs=0.25)
+
+    def test_robust_to_turns_without_roi_knob(self):
+        """The dense detector has no ROI to mis-set: turns just work."""
+        result, truth = self._measure(8)
+        assert result.valid
+        assert result.y_l == pytest.approx(truth, abs=0.3)
+
+    def test_handles_dotted_lanes(self):
+        result, truth = self._measure(2)
+        assert result.valid
+
+    def test_row_candidates_finds_runs(self):
+        detector = DenseLaneDetector(CAMERA)
+        row = np.zeros(32, dtype=bool)
+        row[4:7] = True
+        row[20:22] = True
+        centers = detector._row_candidates(row)
+        np.testing.assert_allclose(centers, [5.0, 20.5])
+
+    def test_empty_frame_invalid(self):
+        detector = DenseLaneDetector(CAMERA)
+        frame = np.zeros((CAMERA.height, CAMERA.width, 3), dtype=np.float32)
+        assert not detector.process(frame).valid
+
+    def test_reference_runtime_is_cnn_class(self):
+        assert DenseLaneDetector.xavier_runtime_ms >= 100.0
+
+
+class TestEvaluationHarness:
+    def test_trajectory_poses_follow_track(self):
+        track = static_situation_track(situation_by_index(1), length=200.0)
+        poses = trajectory_poses(track, 20, seed=1)
+        for pose in poses:
+            _, d = track.frenet(pose.x, pose.y)
+            assert abs(d) <= 0.3
+
+    def test_sequence_stats_accuracy(self):
+        stats = SequenceStats(
+            samples=[DetectionSample(0.0, 0.0, True)] * 4,
+            errors=np.array([0.1, 0.1, 0.5]),
+            n_invalid=1,
+        )
+        assert stats.n_frames == 4
+        assert stats.bad_frame_rate(0.3) == pytest.approx(0.5)
+        assert stats.accuracy(0.3) == pytest.approx(0.5)
+
+    def test_evaluate_sequence_clean_configuration(self):
+        stats = evaluate_sequence(
+            situation_by_index(1),
+            "S0",
+            "ROI 1",
+            n_frames=12,
+            seed=3,
+            camera=CAMERA,
+        )
+        assert stats.n_frames == 12
+        assert stats.bad_frame_rate() < 0.5
+
+    def test_evaluate_sequence_custom_detector(self):
+        detector = DenseLaneDetector(CAMERA)
+        stats = evaluate_sequence(
+            situation_by_index(1),
+            "S0",
+            "ROI 1",
+            n_frames=6,
+            seed=3,
+            camera=CAMERA,
+            detector=detector.process,
+        )
+        assert stats.n_frames == 6

@@ -1,0 +1,148 @@
+"""Tests for transient metrics, the scenario DSL and fault injection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.situation import LaneColor, LaneForm, RoadLayout, Scene
+from repro.metrics.transient import TransientMetrics, transient_metrics
+from repro.sim.scenario import ScenarioError, parse_scenario
+
+
+class TestTransientMetrics:
+    def test_exponential_decay(self):
+        t = np.linspace(0, 10, 500)
+        y = 0.5 * np.exp(-t)
+        m = transient_metrics(t, y, band=0.05)
+        assert m.settled
+        assert m.settling_time_s == pytest.approx(np.log(10), abs=0.1)
+        assert m.overshoot_m == 0.0
+        assert m.steady_state_mae < 0.05
+
+    def test_overshoot_detected(self):
+        t = np.linspace(0, 10, 500)
+        y = 0.5 * np.exp(-t) * np.cos(2 * t)
+        m = transient_metrics(t, y)
+        assert m.overshoot_m > 0.05
+
+    def test_never_settles(self):
+        t = np.linspace(0, 10, 100)
+        y = np.full(100, 0.3)
+        m = transient_metrics(t, y, band=0.05)
+        assert not m.settled
+        assert np.isnan(m.steady_state_mae)
+
+    def test_peak(self):
+        m = transient_metrics(np.array([0.0, 1.0]), np.array([0.2, -0.7]))
+        assert m.peak_abs_m == pytest.approx(0.7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            transient_metrics(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            transient_metrics(np.zeros(3), np.zeros(3), band=0.0)
+
+    @given(st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_all_inside_band_settles_immediately(self, band):
+        t = np.linspace(0, 1, 50)
+        y = np.zeros(50)
+        m = transient_metrics(t, y, band=band)
+        assert m.settling_time_s == 0.0
+
+
+class TestScenarioDsl:
+    def test_simple_straight(self):
+        track = parse_scenario("S100")
+        assert track.length == pytest.approx(100.0)
+        situation = track.situation_at(50.0)
+        assert situation.layout is RoadLayout.STRAIGHT
+        assert situation.lane_color is LaneColor.WHITE
+        assert situation.scene is Scene.DAY
+
+    def test_turns_with_radius(self):
+        track = parse_scenario("R60:80 L50:90")
+        assert track.segments[0].curvature == pytest.approx(-1 / 60)
+        assert track.segments[1].curvature == pytest.approx(1 / 50)
+        assert track.length == pytest.approx(170.0)
+
+    def test_lane_and_scene_modifiers(self):
+        track = parse_scenario("S50/yd@night S50")
+        first = track.situation_at(10.0)
+        assert first.lane_color is LaneColor.YELLOW
+        assert first.lane_form is LaneForm.DOTTED
+        assert first.scene is Scene.NIGHT
+        # Modifiers inherit into the next section.
+        second = track.situation_at(75.0)
+        assert second.lane_color is LaneColor.YELLOW
+        assert second.scene is Scene.NIGHT
+
+    def test_double_lane_code(self):
+        track = parse_scenario("S50/yy")
+        assert track.situation_at(10.0).lane_form is LaneForm.DOUBLE
+
+    def test_fig7_like_scenario(self):
+        spec = "S110 R50:85 S110/yc L50:85/wc S110/yy L50:85/wd R50:85/yc S110/wc@night S110@dark"
+        track = parse_scenario(spec)
+        assert len(track.segments) == 9
+        assert track.situation_at(track.length - 10).scene is Scene.DARK
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "X100", "S", "R60", "S100:50", "S50/zz", "S50@noon", "L0:50"],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ScenarioError):
+            parse_scenario(bad)
+
+    def test_scenario_drivable(self):
+        """A DSL-built track runs in the closed loop end to end."""
+        from repro.hil import HilConfig, HilEngine
+
+        track = parse_scenario("S60 R60:40 S40")
+        config = HilConfig(seed=7, frame_width=192, frame_height=96)
+        result = HilEngine(track, "case3", config=config).run()
+        assert not result.crashed
+
+
+class TestFrameDropInjection:
+    def test_drop_rate_validated(self):
+        from repro.core.situation import situation_by_index
+        from repro.hil import HilConfig, HilEngine
+        from repro.sim.world import static_situation_track
+
+        track = static_situation_track(situation_by_index(1), length=60.0)
+        with pytest.raises(ValueError):
+            HilEngine(track, "case1", config=HilConfig(frame_drop_rate=1.5))
+
+    def test_loop_survives_moderate_drops(self):
+        from repro.core.situation import situation_by_index
+        from repro.hil import HilConfig, HilEngine
+        from repro.sim.world import static_situation_track
+
+        track = static_situation_track(situation_by_index(1), length=80.0)
+        config = HilConfig(
+            seed=7, frame_width=192, frame_height=96, frame_drop_rate=0.2
+        )
+        result = HilEngine(track, "case1", config=config).run()
+        assert not result.crashed
+        invalid = sum(1 for c in result.cycles if not c.measurement_valid)
+        assert invalid >= 0.08 * len(result.cycles)
+
+    def test_heavy_drops_remain_bounded(self):
+        """Even at 40 % frame loss the hold mechanism keeps the loop
+        bounded on a steady road (graceful degradation, not failure)."""
+        from repro.core.situation import situation_by_index
+        from repro.hil import HilConfig, HilEngine
+        from repro.sim.world import static_situation_track
+
+        track = static_situation_track(situation_by_index(5), length=80.0)
+        drop_cfg = HilConfig(
+            seed=7, frame_width=192, frame_height=96, frame_drop_rate=0.4
+        )
+        dropped = HilEngine(track, "case1", config=drop_cfg).run()
+        assert not dropped.crashed
+        assert dropped.mae(2.0) < 0.2

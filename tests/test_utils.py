@@ -1,0 +1,115 @@
+"""Tests for repro.utils: rng derivation, validation, artifact cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.cache import ArtifactCache, config_hash
+from repro.utils.rng import derive_rng, seed_everything, stream_seed
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_positive,
+    check_shape,
+)
+
+
+class TestRng:
+    def test_same_seed_same_stream_is_deterministic(self):
+        a = derive_rng(42, "camera").random(8)
+        b = derive_rng(42, "camera").random(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_streams_are_independent(self):
+        a = derive_rng(42, "camera").random(8)
+        b = derive_rng(42, "dataset").random(8)
+        assert not np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        assert stream_seed(1, "x") != stream_seed(2, "x")
+
+    def test_stream_seed_is_63_bit(self):
+        assert 0 <= stream_seed(123, "abc") < 2**63
+
+    @given(st.integers(min_value=0, max_value=2**40), st.text(max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_stream_seed_stable_under_repetition(self, seed, stream):
+        assert stream_seed(seed, stream) == stream_seed(seed, stream)
+
+    def test_seed_everything_returns_generator(self):
+        gen = seed_everything(7)
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestValidation:
+    def test_check_positive_accepts(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0.0)
+
+    def test_check_in_range_inclusive_bounds(self):
+        assert check_in_range("x", 1.0, 1.0, 2.0) == 1.0
+
+    def test_check_in_range_exclusive_rejects_bound(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.0, 1.0, 2.0, inclusive=False)
+
+    def test_check_shape_wildcard(self):
+        arr = np.zeros((3, 5))
+        check_shape("a", arr, (-1, 5))
+
+    def test_check_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            check_shape("a", np.zeros((3, 4)), (3, 5))
+
+    def test_check_finite_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_finite("a", np.array([1.0, np.nan]))
+
+
+class TestArtifactCache:
+    def test_round_trip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = ArtifactCache("unit", enabled=True)
+        config = {"a": 1, "b": [1, 2]}
+        assert cache.load(config) is None
+        cache.store(config, {"x": np.arange(4)})
+        loaded = cache.load(config)
+        np.testing.assert_array_equal(loaded["x"], np.arange(4))
+
+    def test_different_config_misses(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = ArtifactCache("unit", enabled=True)
+        cache.store({"a": 1}, {"x": np.zeros(1)})
+        assert cache.load({"a": 2}) is None
+
+    def test_disabled_cache_never_hits(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = ArtifactCache("unit", enabled=False)
+        cache.store({"a": 1}, {"x": np.zeros(1)})
+        assert cache.load({"a": 1}) is None
+
+    def test_clear_removes_entries(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = ArtifactCache("unit", enabled=True)
+        cache.store({"a": 1}, {"x": np.zeros(1)})
+        assert cache.clear() == 1
+        assert cache.load({"a": 1}) is None
+
+    def test_corrupt_entry_behaves_as_miss(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = ArtifactCache("unit", enabled=True)
+        path = cache.store({"a": 1}, {"x": np.zeros(1)})
+        path.write_bytes(b"not an npz")
+        assert cache.load({"a": 1}) is None
+
+    def test_config_hash_order_independent(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+
+    def test_config_hash_handles_numpy_scalars(self):
+        assert config_hash({"a": np.int64(3)}) == config_hash({"a": 3})

@@ -1,0 +1,110 @@
+"""Tests for the nonlinear vehicle model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.geometry import Pose2D
+from repro.sim.vehicle import Vehicle, VehicleParams, VehicleState
+
+PARAMS = VehicleParams()
+
+
+def _vehicle(speed: float = 13.9) -> Vehicle:
+    return Vehicle(PARAMS, VehicleState(pose=Pose2D(0, 0, 0), speed=speed))
+
+
+class TestVehicle:
+    def test_straight_line_no_steer(self):
+        vehicle = _vehicle()
+        for _ in range(200):
+            vehicle.step(0.005, 0.0)
+        state = vehicle.state
+        assert state.pose.y == pytest.approx(0.0, abs=1e-9)
+        assert state.pose.x == pytest.approx(13.9, rel=0.01)
+
+    def test_left_steer_turns_left(self):
+        vehicle = _vehicle()
+        for _ in range(400):
+            vehicle.step(0.005, 0.1)
+        assert vehicle.state.pose.y > 0.5
+        assert vehicle.state.pose.heading > 0.05
+
+    def test_right_steer_mirrors_left(self):
+        left = _vehicle()
+        right = _vehicle()
+        for _ in range(300):
+            left.step(0.005, 0.08)
+            right.step(0.005, -0.08)
+        assert left.state.pose.y == pytest.approx(-right.state.pose.y, abs=1e-6)
+
+    def test_steady_state_yaw_rate_matches_kinematics(self):
+        """At low speed the yaw rate approaches v * delta / L."""
+        vehicle = _vehicle(speed=5.0)
+        delta = 0.05
+        for _ in range(1200):
+            vehicle.step(0.005, delta)
+        expected = 5.0 * delta / PARAMS.wheelbase
+        assert vehicle.state.yaw_rate == pytest.approx(expected, rel=0.15)
+
+    def test_steering_saturation(self):
+        vehicle = _vehicle()
+        for _ in range(1000):
+            vehicle.step(0.005, 10.0)
+        assert vehicle.state.steer <= PARAMS.steer_limit + 1e-9
+
+    def test_steering_rate_limit(self):
+        vehicle = _vehicle()
+        vehicle.step(0.005, PARAMS.steer_limit)
+        assert vehicle.state.steer <= PARAMS.steer_rate_limit * 0.005 + 1e-9
+
+    def test_steering_lag_first_order(self):
+        vehicle = _vehicle()
+        command = 0.05
+        for _ in range(int(PARAMS.steer_lag / 0.005)):
+            vehicle.step(0.005, command)
+        # After one time constant: ~63 % of the command (rate limit
+        # is inactive at this amplitude).
+        assert vehicle.state.steer == pytest.approx(command * 0.63, rel=0.15)
+
+    def test_speed_tracking_rate_limited(self):
+        vehicle = _vehicle(speed=13.9)
+        vehicle.set_target_speed(8.33)
+        vehicle.step(0.5, 0.0)
+        assert vehicle.state.speed == pytest.approx(
+            13.9 - PARAMS.accel_limit * 0.5, rel=0.01
+        )
+
+    def test_speed_floor(self):
+        with pytest.raises(ValueError):
+            _vehicle().set_target_speed(0.1)
+
+    def test_clone_is_independent(self):
+        vehicle = _vehicle()
+        twin = vehicle.clone()
+        vehicle.step(0.005, 0.2)
+        assert twin.state.pose.x == 0.0
+
+    def test_rejects_nonpositive_dt(self):
+        with pytest.raises(ValueError):
+            _vehicle().step(0.0, 0.0)
+
+    @given(
+        st.floats(min_value=-0.3, max_value=0.3),
+        st.floats(min_value=6.0, max_value=15.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_energy_bounded_states(self, steer, speed):
+        """No finite-escape: states stay bounded over a short horizon."""
+        vehicle = _vehicle(speed=speed)
+        for _ in range(200):
+            state = vehicle.step(0.005, steer)
+        assert abs(state.lateral_velocity) < 10.0
+        assert abs(state.yaw_rate) < 5.0
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            VehicleParams(mass=-1.0)
