@@ -17,3 +17,5 @@ Subpackages
 """
 
 __version__ = "1.0.0"
+
+__all__ = ["__version__"]

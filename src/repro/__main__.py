@@ -8,6 +8,7 @@ characterize   design-time knob sweep for a situation (Table III row)
 train          train / load the three situation classifiers (Table IV)
 sensitivity    Monte-Carlo knob-sensitivity study (Sec. III-B)
 report         regenerate every paper artifact into a markdown report
+lint           project static analysis (reprolint) over a file set
 """
 
 from __future__ import annotations
@@ -61,8 +62,12 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
+    import logging
+
     from repro.classifiers.train import train_all_classifiers
 
+    # Library progress goes through logging; surface it on the console.
+    logging.basicConfig(level=logging.INFO, format="%(message)s")
     results = train_all_classifiers(use_cache=not args.no_cache, verbose=True)
     for name, result in results.items():
         print(f"{name}: val accuracy {result.val_accuracy * 100:.2f} % "
@@ -94,6 +99,31 @@ def _cmd_report(args: argparse.Namespace) -> int:
         include_classifiers=not args.skip_classifiers,
     )
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import LintConfig, LintEngine, load_config, rules_by_id
+
+    if args.list_rules:
+        for rule_id, cls in rules_by_id().items():
+            print(f"{rule_id}  {cls.name:18s} [{cls.severity}] {cls.description}")
+        return 0
+    base = load_config(Path(args.paths[0]) if args.paths else None)
+    config = LintConfig(
+        select=tuple(args.select.split(",")) if args.select else base.select,
+        ignore=tuple(args.ignore.split(",")) if args.ignore else base.ignore,
+        exclude=base.exclude,
+    )
+    try:
+        engine = LintEngine(config)
+    except ValueError as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+    report = engine.lint_paths(args.paths or ["src/repro"])
+    print(report.render_json() if args.format == "json" else report.render_text())
+    return report.exit_code()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -135,6 +165,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--skip-characterization", action="store_true")
     p_report.add_argument("--skip-classifiers", action="store_true")
     p_report.set_defaults(func=_cmd_report)
+
+    p_lint = sub.add_parser("lint", help="project static analysis (reprolint)")
+    p_lint.add_argument("paths", nargs="*", help="files/directories (default src/repro)")
+    p_lint.add_argument("--format", choices=["text", "json"], default="text")
+    p_lint.add_argument("--select", default="", help="comma list of rule ids to run")
+    p_lint.add_argument("--ignore", default="", help="comma list of rule ids to skip")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the rule registry and exit")
+    p_lint.set_defaults(func=_cmd_lint)
     return parser
 
 
@@ -143,6 +182,11 @@ def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)
+
+
+def lint_main() -> int:
+    """Entry point for the ``reprolint`` console script."""
+    return main(["lint"] + sys.argv[1:])
 
 
 if __name__ == "__main__":

@@ -1,0 +1,45 @@
+"""Project-aware static analysis and runtime contracts (reprolint).
+
+- :mod:`repro.analysis.engine` — config, file collection, the shared
+  single-pass AST walk, suppression comments;
+- :mod:`repro.analysis.rules` — the ~10 project-specific rules
+  (unseeded RNG, knob domains, unit suffixes, ...);
+- :mod:`repro.analysis.report` — findings, text/JSON rendering, exit
+  codes;
+- :mod:`repro.analysis.contracts` — ``@check_shapes`` /
+  ``@check_finite`` runtime guards, gated by ``REPRO_CONTRACTS``.
+
+CLI: ``python -m repro lint [paths]`` (or the ``reprolint`` console
+script).  The tier-1 gate ``tests/test_analysis.py`` keeps ``src/repro``
+clean under the full rule set.
+"""
+
+from repro.analysis.contracts import (
+    ContractViolation,
+    assert_finite,
+    check_finite,
+    check_shapes,
+    contracts_enabled,
+    set_contracts_enabled,
+)
+from repro.analysis.engine import LintConfig, LintEngine, load_config
+from repro.analysis.report import Finding, LintReport
+from repro.analysis.rules import RULES, Rule, default_rules, rules_by_id
+
+__all__ = [
+    "ContractViolation",
+    "Finding",
+    "LintConfig",
+    "LintEngine",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "assert_finite",
+    "check_finite",
+    "check_shapes",
+    "contracts_enabled",
+    "default_rules",
+    "load_config",
+    "rules_by_id",
+    "set_contracts_enabled",
+]

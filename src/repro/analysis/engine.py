@@ -1,0 +1,307 @@
+"""The reprolint engine: config, file collection, and the shared walk.
+
+The engine parses each file once, runs every selected rule over the
+single AST walk, applies suppression comments, and collects a
+:class:`~repro.analysis.report.LintReport`.
+
+Suppression syntax
+------------------
+``# reprolint: disable=FLT001`` (comma-separate several ids, or
+``disable=all``):
+
+- on a line *with code*, it suppresses matching findings on that line;
+- on a line *of its own*, it suppresses matching findings in the whole
+  file.
+
+Configuration
+-------------
+``[tool.reprolint]`` in ``pyproject.toml``::
+
+    [tool.reprolint]
+    select = []                  # rule ids to run (empty = all)
+    ignore = ["FLT001"]          # rule ids to skip
+    exclude = ["examples/*"]     # fnmatch patterns of paths to skip
+
+CLI flags override the config block; see ``python -m repro lint -h``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from fnmatch import fnmatch
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.report import Finding, LintReport, SEVERITY_FATAL
+from repro.analysis.rules import Rule, default_rules, rules_by_id
+
+__all__ = ["LintConfig", "LintEngine", "load_config"]
+
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s-]+)")
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Engine configuration (the ``[tool.reprolint]`` block)."""
+
+    select: Tuple[str, ...] = ()
+    ignore: Tuple[str, ...] = ()
+    exclude: Tuple[str, ...] = ()
+
+    def active_rule_ids(self) -> Tuple[str, ...]:
+        """Rule ids to run, honouring select/ignore."""
+        known = tuple(rules_by_id())
+        chosen = self.select or known
+        unknown = [rid for rid in (*chosen, *self.ignore) if rid not in known]
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s) {unknown}; known: {list(known)}"
+            )
+        return tuple(rid for rid in chosen if rid not in self.ignore)
+
+    def is_excluded(self, posix_path: str) -> bool:
+        """Whether *posix_path* matches any exclude pattern."""
+        return any(
+            fnmatch(posix_path, pattern) or fnmatch(f"/{posix_path}", f"*/{pattern}")
+            for pattern in self.exclude
+        )
+
+
+def load_config(start: Optional[Path] = None) -> LintConfig:
+    """Load ``[tool.reprolint]`` from the nearest ``pyproject.toml``.
+
+    Walks up from *start* (default: the current directory) and returns
+    the default config when no file or block is found, or when the
+    interpreter lacks a TOML parser.
+    """
+    try:
+        import tomllib
+    except ImportError:  # pragma: no cover - Python < 3.11
+        return LintConfig()
+    directory = (start or Path.cwd()).resolve()
+    if directory.is_file():
+        directory = directory.parent
+    for candidate in (directory, *directory.parents):
+        pyproject = candidate / "pyproject.toml"
+        if not pyproject.is_file():
+            continue
+        with open(pyproject, "rb") as handle:
+            data = tomllib.load(handle)
+        block = data.get("tool", {}).get("reprolint", {})
+        return LintConfig(
+            select=tuple(block.get("select", ())),
+            ignore=tuple(block.get("ignore", ())),
+            exclude=tuple(block.get("exclude", ())),
+        )
+    return LintConfig()
+
+
+class FileContext:
+    """Per-file state handed to every rule during the walk."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path
+        self.posix_path = path.replace("\\", "/")
+        self.is_init_file = self.posix_path.endswith("__init__.py")
+        self.tree = tree
+        self.findings: List[Finding] = []
+        self._docstrings: Set[int] = set()
+        self.imported_modules: Set[str] = set()
+        self._index(tree)
+
+    def _index(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(
+                node,
+                (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                body = node.body
+                if (
+                    body
+                    and isinstance(body[0], ast.Expr)
+                    and isinstance(body[0].value, ast.Constant)
+                    and isinstance(body[0].value.value, str)
+                ):
+                    self._docstrings.add(id(body[0].value))
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.imported_modules.add(alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                self.imported_modules.add(node.module.split(".")[0])
+
+    def is_docstring(self, node: ast.AST) -> bool:
+        """Whether a Constant node is a module/class/function docstring."""
+        return id(node) in self._docstrings
+
+    def report(self, rule: Rule, node: ast.AST, message: str) -> None:
+        """Emit a finding anchored at *node*'s source location."""
+        self.report_at(
+            rule,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0),
+            message,
+        )
+
+    def report_at(self, rule: Rule, line: int, col: int, message: str) -> None:
+        """Emit a finding at an explicit location."""
+        self.findings.append(
+            Finding(
+                rule_id=rule.id,
+                severity=rule.severity,
+                path=self.path,
+                line=line,
+                col=col,
+                message=message,
+            )
+        )
+
+    def report_file(self, rule: Rule, message: str) -> None:
+        """Emit a file-level finding (anchored at line 1)."""
+        self.report_at(rule, 1, 0, message)
+
+
+def _parse_suppressions(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Extract suppression comments from *source*.
+
+    Returns ``(per_line, per_file)``: rule-id sets keyed by line number
+    for comments trailing code, and a file-wide set for comments on
+    lines of their own.  ``"all"`` suppresses every rule.
+    """
+    per_line: Dict[int, Set[str]] = {}
+    per_file: Set[str] = set()
+    lines = source.splitlines()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return per_line, per_file
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if not match:
+            continue
+        ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        row, col = token.start
+        before = lines[row - 1][:col] if row - 1 < len(lines) else ""
+        if before.strip():
+            per_line.setdefault(row, set()).update(ids)
+        else:
+            per_file.update(ids)
+    return per_line, per_file
+
+
+class LintEngine:
+    """Runs the selected rules over a file set in a single pass each."""
+
+    def __init__(
+        self,
+        config: Optional[LintConfig] = None,
+        rules: Optional[Sequence[Rule]] = None,
+    ):
+        self.config = config or LintConfig()
+        if rules is None:
+            active = set(self.config.active_rule_ids())
+            rules = [r for r in default_rules() if r.id in active]
+        self.rules: List[Rule] = list(rules)
+
+    # -- file collection ------------------------------------------------
+
+    def collect_files(self, paths: Sequence[str]) -> Tuple[List[Path], int]:
+        """Expand *paths* to .py files; returns (kept, n_excluded)."""
+        kept: List[Path] = []
+        excluded = 0
+        seen: Set[Path] = set()
+        for raw in paths:
+            path = Path(raw)
+            if path.is_dir():
+                candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+            else:
+                candidates = [path]
+            for candidate in candidates:
+                resolved = candidate.resolve()
+                if resolved in seen:
+                    continue
+                seen.add(resolved)
+                if self.config.is_excluded(candidate.as_posix()):
+                    excluded += 1
+                    continue
+                kept.append(candidate)
+        return kept, excluded
+
+    # -- linting --------------------------------------------------------
+
+    def lint_paths(self, paths: Sequence[str]) -> LintReport:
+        """Lint files/directories and return the aggregate report."""
+        report = LintReport()
+        files, report.files_excluded = self.collect_files(paths)
+        for path in files:
+            display = path.as_posix()
+            try:
+                source = path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError) as exc:
+                report.findings.append(_fatal(display, f"unreadable: {exc}"))
+                continue
+            report.files_checked += 1
+            findings, suppressed = self.lint_source(
+                source, display, count_suppressed=True
+            )
+            report.findings.extend(findings)
+            report.suppressed += suppressed
+        return report
+
+    def lint_source(
+        self,
+        source: str,
+        path: str = "<string>",
+        count_suppressed: bool = False,
+    ):
+        """Lint one source string.
+
+        Returns the finding list, or ``(findings, n_suppressed)`` when
+        *count_suppressed* is true.
+        """
+        try:
+            tree = ast.parse(source, filename=path)
+        except (SyntaxError, ValueError) as exc:
+            findings = [_fatal(path, f"cannot parse: {exc}")]
+            return (findings, 0) if count_suppressed else findings
+
+        ctx = FileContext(path, source, tree)
+        for rule in self.rules:
+            rule.begin_file(ctx)
+        for node in ast.walk(tree):
+            for rule in self.rules:
+                rule.visit_node(node, ctx)
+        for rule in self.rules:
+            rule.end_file(ctx)
+
+        per_line, per_file = _parse_suppressions(source)
+        kept: List[Finding] = []
+        suppressed = 0
+        for finding in ctx.findings:
+            line_ids = per_line.get(finding.line, set())
+            if (
+                "all" in per_file
+                or finding.rule_id in per_file
+                or "all" in line_ids
+                or finding.rule_id in line_ids
+            ):
+                suppressed += 1
+            else:
+                kept.append(finding)
+        return (kept, suppressed) if count_suppressed else kept
+
+
+def _fatal(path: str, message: str) -> Finding:
+    return Finding(
+        rule_id="PARSE000",
+        severity=SEVERITY_FATAL,
+        path=path,
+        line=1,
+        col=0,
+        message=message,
+    )

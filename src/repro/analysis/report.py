@@ -1,0 +1,136 @@
+"""Finding model and report rendering for the reprolint engine.
+
+A lint run produces a :class:`LintReport`: the list of unsuppressed
+:class:`Finding` objects plus counters for what was suppressed or
+excluded.  Reports render as human-readable text (``file:line:col:
+RULE-ID message``) or as a stable JSON document for tooling, and map to
+process exit codes:
+
+- ``0`` — clean (no unsuppressed findings),
+- ``1`` — findings were reported,
+- ``2`` — the engine crashed on an input (unparseable file).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+__all__ = [
+    "SEVERITY_ERROR",
+    "SEVERITY_FATAL",
+    "SEVERITY_WARNING",
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_CRASH",
+    "JSON_REPORT_VERSION",
+    "Finding",
+    "LintReport",
+]
+
+SEVERITY_WARNING = "warning"
+SEVERITY_ERROR = "error"
+#: Reserved for engine-level failures (unparseable input), not rule hits.
+SEVERITY_FATAL = "fatal"
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_CRASH = 2
+
+#: Bumped whenever the JSON document layout changes incompatibly.
+JSON_REPORT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule_id: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        """The canonical one-line text form."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.severity}] {self.message}"
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-friendly dict (schema: see :data:`JSON_REPORT_VERSION`)."""
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintReport:
+    """Outcome of linting a file set."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    files_excluded: int = 0
+    suppressed: int = 0
+
+    @property
+    def crashed(self) -> bool:
+        """Whether any input file could not be analysed at all."""
+        return any(f.severity == SEVERITY_FATAL for f in self.findings)
+
+    def exit_code(self) -> int:
+        """Process exit code implied by this report."""
+        if self.crashed:
+            return EXIT_CRASH
+        if self.findings:
+            return EXIT_FINDINGS
+        return EXIT_CLEAN
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        """Unsuppressed finding count per rule id (sorted by id)."""
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def render_text(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [f.render() for f in self.sorted_findings()]
+        noun = "finding" if len(self.findings) == 1 else "findings"
+        lines.append(
+            f"{len(self.findings)} {noun} "
+            f"({self.files_checked} files checked, "
+            f"{self.files_excluded} excluded, "
+            f"{self.suppressed} suppressed)"
+        )
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        """Stable JSON document (version, findings, summary)."""
+        document = {
+            "version": JSON_REPORT_VERSION,
+            "findings": [f.to_json() for f in self.sorted_findings()],
+            "summary": {
+                "total": len(self.findings),
+                "files_checked": self.files_checked,
+                "files_excluded": self.files_excluded,
+                "suppressed": self.suppressed,
+                "by_rule": self.counts_by_rule(),
+                "exit_code": self.exit_code(),
+            },
+        }
+        return json.dumps(document, indent=2, sort_keys=True)
+
+    def sorted_findings(self) -> Sequence[Finding]:
+        """Findings ordered by (path, line, col, rule)."""
+        return sorted(
+            self.findings, key=lambda f: (f.path, f.line, f.col, f.rule_id)
+        )

@@ -6,7 +6,6 @@ from typing import Dict, Mapping, Tuple
 
 import numpy as np
 
-from repro.classifiers.dataset import to_network_input
 from repro.classifiers.models import SituationClassifier
 from repro.core.reconfiguration import SituationIdentifier
 from repro.core.situation import Situation

@@ -14,7 +14,6 @@ It is exercised by the ablation benchmarks; the paper's own evaluation
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 import numpy as np
 from scipy.linalg import solve_discrete_are

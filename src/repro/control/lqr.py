@@ -10,7 +10,6 @@ behind the paper's QoC-vs-robustness trade-off.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 from scipy.linalg import solve_discrete_are

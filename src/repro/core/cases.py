@@ -17,8 +17,8 @@ invocation extension the conclusion sketches as future work.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 from repro.core.scheduler import (
     CLASSIFIER_NAMES,

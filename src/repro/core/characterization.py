@@ -19,8 +19,9 @@ the sweep configuration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+import logging
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -41,6 +42,8 @@ __all__ = [
     "characterize_situation",
     "characterize",
 ]
+
+_log = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -226,10 +229,14 @@ def characterize(
         evaluations = characterize_situation(situation, config)
         best = evaluations[0]
         if verbose:
-            print(
-                f"{situation.describe():42s} -> {best.knobs.isp} "
-                f"{best.knobs.roi} v={best.knobs.speed_kmph:.0f} "
-                f"mae={best.mae * 100:.2f}cm crash={best.crashed}"
+            _log.info(
+                "%-42s -> %s %s v=%.0f mae=%.2fcm crash=%s",
+                situation.describe(),
+                best.knobs.isp,
+                best.knobs.roi,
+                best.knobs.speed_kmph,
+                best.mae * 100,
+                best.crashed,
             )
         table[situation] = best.knobs
         cache.store(

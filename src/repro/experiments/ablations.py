@@ -15,9 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
-from repro.core.situation import Scene, situation_by_index
+from repro.core.situation import situation_by_index
 from repro.experiments.common import format_table
 from repro.hil.engine import HilConfig, HilEngine
 from repro.perception.evaluation import evaluate_sequence

@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.cases import case_config
 from repro.core.characterization import CharacterizationConfig, characterize
 from repro.core.knobs import KnobSetting
-from repro.core.situation import Situation, TABLE3_SITUATIONS, situation_by_index
+from repro.core.situation import Situation, situation_by_index
 from repro.experiments.common import format_table, full_scale
 
 __all__ = ["Table3Row", "run_table3", "format_table3", "PAPER_TABLE3"]

@@ -23,6 +23,7 @@ from typing import Dict, Mapping, Optional, Union
 
 import numpy as np
 
+from repro.analysis.contracts import assert_finite, contracts_enabled
 from repro.control.controller import LaneKeepingController
 from repro.control.gains import GainScheduler
 from repro.control.lqr import LqrWeights
@@ -293,6 +294,13 @@ class HilEngine:
 
             self.perception.set_roi(decision.roi)
             measurement = self.perception.process(rgb)
+        if contracts_enabled():
+            # NaN here would silently corrupt the control loop; fail at
+            # the sensing/control boundary instead.
+            assert_finite(
+                (measurement.y_l, measurement.epsilon_l, measurement.curvature),
+                "perception measurement",
+            )
         self.manager.observe_measurement(measurement.valid)
 
         gains = self.gain_scheduler.gains_for(

@@ -16,9 +16,12 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.analysis.contracts import check_finite
+
 __all__ = ["mae", "rmse", "max_abs", "normalize_to"]
 
 
+@check_finite("samples")
 def mae(samples: Sequence[float]) -> float:
     """Mean absolute error (Eq. 1). Raises on an empty sample set."""
     arr = np.asarray(samples, dtype=float)
@@ -27,6 +30,7 @@ def mae(samples: Sequence[float]) -> float:
     return float(np.mean(np.abs(arr)))
 
 
+@check_finite("samples")
 def rmse(samples: Sequence[float]) -> float:
     """Root-mean-square error (diagnostic companion to MAE)."""
     arr = np.asarray(samples, dtype=float)
@@ -35,6 +39,7 @@ def rmse(samples: Sequence[float]) -> float:
     return float(np.sqrt(np.mean(np.square(arr))))
 
 
+@check_finite("samples")
 def max_abs(samples: Sequence[float]) -> float:
     """Worst-case absolute deviation."""
     arr = np.asarray(samples, dtype=float)

@@ -78,13 +78,15 @@ def transient_metrics(
         settle_index = int(outside[-1] + 1)
         settling_time = float(time_s[settle_index])
 
-    initial_sign = np.sign(y[0]) if y[0] != 0 else 0.0
-    if initial_sign == 0.0:
-        overshoot = float(np.max(np.abs(y)) if y.size else 0.0)
-        overshoot = 0.0
+    # Overshoot: excursion past zero, relative to the side the trace
+    # starts on.  Explicit sign tests — an exactly-centred start has no
+    # approach direction and therefore no overshoot.
+    if y[0] > 0.0:
+        overshoot = float(max(0.0, -y.min()))
+    elif y[0] < 0.0:
+        overshoot = float(max(0.0, y.max()))
     else:
-        crossed = y * initial_sign
-        overshoot = float(max(0.0, -crossed.min()))
+        overshoot = 0.0
 
     steady_mae = np.nan
     if settle_index is not None and settle_index < y.size:

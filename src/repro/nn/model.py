@@ -6,6 +6,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.analysis.contracts import check_finite, check_shapes
 from repro.nn.layers import BatchNorm2D, Conv2D, Layer, Parameter, ReLU
 
 __all__ = ["Sequential", "ResidualBlock"]
@@ -25,11 +26,13 @@ class Sequential(Layer):
             params.extend(layer.parameters())
         return params
 
+    @check_finite("x", result=True)
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         for layer in self.layers:
             x = layer.forward(x, training)
         return x
 
+    @check_finite("grad")
     def backward(self, grad: np.ndarray) -> np.ndarray:
         for layer in reversed(self.layers):
             grad = layer.backward(grad)
@@ -72,6 +75,7 @@ class ResidualBlock(Layer):
             params += self.projection.parameters()
         return params
 
+    @check_shapes(x=("N", "C", "H", "W"))
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         out = self.conv1.forward(x, training)
         out = self.bn1.forward(out, training)

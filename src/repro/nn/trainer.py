@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -13,6 +14,8 @@ from repro.nn.optim import Adam
 from repro.utils.rng import derive_rng
 
 __all__ = ["TrainConfig", "TrainReport", "Trainer"]
+
+_log = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -96,11 +99,13 @@ class Trainer:
                 val_acc = self.evaluate(x_val, y_val)
                 report.val_accuracy.append(val_acc)
                 if verbose:
-                    print(
-                        f"epoch {epoch + 1}/{cfg.epochs}: "
-                        f"loss {report.train_loss[-1]:.4f} "
-                        f"train {report.train_accuracy[-1]:.4f} "
-                        f"val {val_acc:.4f}"
+                    _log.info(
+                        "epoch %d/%d: loss %.4f train %.4f val %.4f",
+                        epoch + 1,
+                        cfg.epochs,
+                        report.train_loss[-1],
+                        report.train_accuracy[-1],
+                        val_acc,
                     )
                 if val_acc >= cfg.early_stop_accuracy:
                     report.epochs_run = epoch + 1

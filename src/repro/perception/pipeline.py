@@ -18,10 +18,11 @@ center (so the controller steers right).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Union
+from typing import Dict, Union
 
 import numpy as np
 
+from repro.analysis.contracts import check_shapes
 from repro.perception.bev import BevGrid
 from repro.perception.lane_fit import LaneFit, fit_lane_lines
 from repro.perception.roi import RoiPreset, roi_preset
@@ -125,6 +126,7 @@ class PerceptionPipeline:
             self._grids[self._roi.name] = grid
         return grid
 
+    @check_shapes(frame_rgb=("H", "W", 3))
     def process(self, frame_rgb: np.ndarray) -> PerceptionResult:
         """Measure lateral deviation from one RGB frame.
 

@@ -17,7 +17,7 @@ coordinates are kept as metadata in ``paper_trapezoid``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 

@@ -14,7 +14,7 @@ daylight lands near 0.9 before sensor noise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 import numpy as np

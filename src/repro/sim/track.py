@@ -198,7 +198,7 @@ class Track:
         """World pose at road coordinates ``(s, d)``."""
         seg = self.segments[int(self.segment_index_at(s))]
         center = seg.pose_at(s - seg.s_start)
-        if d == 0.0:
+        if abs(d) < 1e-12:
             return center
         pos = center.position() + d * center.left()
         return Pose2D(float(pos[0]), float(pos[1]), center.heading)

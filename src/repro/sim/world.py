@@ -26,7 +26,7 @@ scheme struggles with.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
@@ -105,7 +105,7 @@ def static_situation_track(
     """
     curvature = layout_curvature(situation.layout, turn_radius)
     sections = []
-    if curvature != 0.0:
+    if situation.layout is not RoadLayout.STRAIGHT:
         length = min(length, 0.75 * np.pi * turn_radius)
         if lead_in > 0.0:
             entry_situation = Situation(

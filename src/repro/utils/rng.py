@@ -14,7 +14,7 @@ import hashlib
 
 import numpy as np
 
-__all__ = ["derive_rng", "seed_everything", "stream_seed"]
+__all__ = ["derive_rng", "seed_everything", "seed_legacy_global", "stream_seed"]
 
 
 def stream_seed(seed: int, stream: str) -> int:
@@ -41,11 +41,24 @@ def derive_rng(seed: int, stream: str) -> np.random.Generator:
     return np.random.default_rng(stream_seed(seed, stream))
 
 
-def seed_everything(seed: int) -> np.random.Generator:
-    """Seed numpy's legacy global RNG and return a fresh generator.
+def seed_legacy_global(seed: int) -> None:
+    """Seed numpy's legacy global RNG (``np.random.*`` module functions).
 
-    The library itself never uses the legacy global state, but third-party
-    snippets in examples might; seeding it avoids cross-run flakiness.
+    This is the **only** sanctioned call site of ``np.random.seed`` in
+    the codebase — the ``RNG001`` lint rule flags every other use.  The
+    library itself never draws from the legacy global state, but
+    third-party snippets in examples might; seeding it here avoids
+    cross-run flakiness without scattering global-state writes.
     """
     np.random.seed(seed % (2**32))
+
+
+def seed_everything(seed: int) -> np.random.Generator:
+    """Seed the legacy global RNG and return a fresh generator.
+
+    Prefer :func:`derive_rng` for component streams; use this once at
+    process start when an experiment also touches code that consumes the
+    global ``np.random`` state.
+    """
+    seed_legacy_global(seed)
     return np.random.default_rng(seed)

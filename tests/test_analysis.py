@@ -1,0 +1,549 @@
+"""Tests for the static-analysis subsystem (repro.analysis).
+
+Covers: one failing + one passing fixture per rule, suppression
+comments, the JSON report schema, exit-code semantics, config
+select/ignore/exclude, runtime contracts, the CLI, and the tier-1 gate
+that keeps ``src/repro`` itself clean under the full rule set.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ContractViolation,
+    LintConfig,
+    LintEngine,
+    assert_finite,
+    check_finite,
+    check_shapes,
+    load_config,
+    rules_by_id,
+    set_contracts_enabled,
+)
+from repro.analysis.report import (
+    EXIT_CLEAN,
+    EXIT_CRASH,
+    EXIT_FINDINGS,
+    JSON_REPORT_VERSION,
+    LintReport,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_TREE = REPO_ROOT / "src" / "repro"
+
+
+def lint(source: str, path: str = "pkg/module.py"):
+    """Lint one dedented source string with every rule."""
+    return LintEngine().lint_source(textwrap.dedent(source), path)
+
+
+def rule_hits(source: str, rule_id: str, path: str = "pkg/module.py"):
+    return [f for f in lint(source, path) if f.rule_id == rule_id]
+
+
+# ---------------------------------------------------------------------------
+# per-rule fixtures: (rule_id, failing source, passing source, path)
+
+RULE_FIXTURES = [
+    (
+        "RNG001",
+        """
+        import numpy as np
+        x = np.random.rand(3)
+        """,
+        """
+        from repro.utils.rng import derive_rng
+        rng = derive_rng(1, "camera-noise")
+        x = rng.normal()
+        """,
+        "pkg/module.py",
+    ),
+    (
+        "DEF001",
+        """
+        def f(a, items=[]):
+            return items
+        """,
+        """
+        def f(a, items=None):
+            return items or []
+        """,
+        "pkg/module.py",
+    ),
+    (
+        "FLT001",
+        """
+        def f(x):
+            return x == 1.5
+        """,
+        """
+        import math
+        def f(x):
+            return math.isclose(x, 1.5)
+        """,
+        "pkg/module.py",
+    ),
+    (
+        "EXC001",
+        """
+        def f():
+            try:
+                return 1
+            except Exception:
+                return None
+        """,
+        """
+        def f():
+            try:
+                return 1
+            except ValueError:
+                return None
+        """,
+        "pkg/module.py",
+    ),
+    (
+        "DOM001",
+        """
+        isp = "S9"
+        """,
+        """
+        isp = "S7"
+        """,
+        "pkg/module.py",
+    ),
+    (
+        "UNT001",
+        """
+        def f(delay_ms):
+            delay_s = delay_ms
+            return delay_s
+        """,
+        """
+        def f(delay_ms):
+            delay_s = delay_ms / 1000.0
+            return delay_s
+        """,
+        "pkg/module.py",
+    ),
+    (
+        "API001",
+        """
+        from pkg.other import thing
+        """,
+        """
+        from pkg.other import thing
+        __all__ = ["thing"]
+        """,
+        "pkg/__init__.py",
+    ),
+    (
+        "IMP001",
+        """
+        import os
+        import sys
+        x = sys.platform
+        """,
+        """
+        import os
+        x = os.sep
+        """,
+        "pkg/module.py",
+    ),
+    (
+        "IMP002",
+        """
+        from pkg.a import helper
+        from pkg.b import helper
+        x = helper
+        """,
+        """
+        def f():
+            from pkg.a import helper
+            return helper
+        def g():
+            from pkg.b import helper
+            return helper
+        """,
+        "pkg/module.py",
+    ),
+    (
+        "IO001",
+        """
+        def f():
+            print("hello")
+        """,
+        """
+        import logging
+        def f():
+            logging.getLogger(__name__).info("hello")
+        """,
+        "pkg/module.py",
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "rule_id,bad,good,path",
+    RULE_FIXTURES,
+    ids=[fixture[0] for fixture in RULE_FIXTURES],
+)
+def test_rule_positive_and_negative_fixture(rule_id, bad, good, path):
+    assert rule_hits(bad, rule_id, path), f"{rule_id} missed its failing fixture"
+    assert not rule_hits(good, rule_id, path), (
+        f"{rule_id} false positive on its passing fixture"
+    )
+
+
+def test_every_registered_rule_has_a_fixture():
+    covered = {fixture[0] for fixture in RULE_FIXTURES}
+    assert covered == set(rules_by_id())
+
+
+def test_rng_rule_requires_random_import():
+    # A local object that happens to be called `random` is not the
+    # stdlib module.
+    source = """
+    def f(random):
+        return random.random()
+    """
+    assert not rule_hits(source, "RNG001")
+
+
+def test_rng_rule_exempts_rng_module():
+    source = """
+    import numpy as np
+    np.random.seed(0)
+    """
+    assert rule_hits(source, "RNG001", "src/repro/utils/other.py")
+    assert not rule_hits(source, "RNG001", "src/repro/utils/rng.py")
+
+
+def test_broad_except_allows_reraise():
+    source = """
+    def f():
+        try:
+            return 1
+        except BaseException:
+            raise
+    """
+    assert not rule_hits(source, "EXC001")
+    assert rule_hits(source.replace("raise", "return 2"), "EXC001")
+
+
+def test_knob_domain_keywords_and_docstrings():
+    assert rule_hits('f(speed_kmph=45.0)\n', "DOM001")
+    assert not rule_hits('f(speed_kmph=50.0)\n', "DOM001")
+    assert rule_hits('f(period_ms=0.0)\n', "DOM001")
+    assert rule_hits('roi = "ROI 7"\n', "DOM001")
+    # Docstrings may mention out-of-domain ids freely.
+    assert not rule_hits('"""About stage S9 and ROI 7."""\n', "DOM001")
+
+
+def test_unit_suffix_reverse_direction():
+    assert rule_hits("period_ms = period_s\n", "UNT001")
+    assert not rule_hits("period_ms = period_s * 1000.0\n", "UNT001")
+
+
+def test_print_rule_exempts_cli_and_report():
+    source = 'print("x")\n'
+    assert rule_hits(source, "IO001", "src/repro/nn/trainer.py")
+    assert not rule_hits(source, "IO001", "src/repro/__main__.py")
+    assert not rule_hits(source, "IO001", "src/repro/experiments/report.py")
+
+
+# ---------------------------------------------------------------------------
+# suppression comments
+
+
+def test_line_suppression():
+    engine = LintEngine()
+    source = "y = x == 1.5  # reprolint: disable=FLT001\n"
+    findings, suppressed = engine.lint_source(source, count_suppressed=True)
+    assert findings == []
+    assert suppressed == 1
+
+
+def test_line_suppression_only_covers_named_rule():
+    source = "y = x == 1.5  # reprolint: disable=RNG001\n"
+    assert rule_hits(source, "FLT001")
+
+
+def test_file_suppression_on_standalone_comment():
+    source = """
+    # reprolint: disable=FLT001
+    a = x == 1.5
+    b = x == 2.5
+    """
+    engine = LintEngine()
+    findings, suppressed = engine.lint_source(
+        textwrap.dedent(source), count_suppressed=True
+    )
+    assert [f for f in findings if f.rule_id == "FLT001"] == []
+    assert suppressed == 2
+
+
+def test_suppress_all_keyword():
+    source = "y = x == 1.5  # reprolint: disable=all\n"
+    assert not lint(source)
+
+
+# ---------------------------------------------------------------------------
+# report and exit codes
+
+
+def test_json_report_schema():
+    engine = LintEngine()
+    report = LintReport()
+    report.findings = engine.lint_source("def f(a=[]):\n    return a\n")
+    report.files_checked = 1
+    document = json.loads(report.render_json())
+    assert document["version"] == JSON_REPORT_VERSION
+    assert document["summary"]["total"] == 1
+    assert document["summary"]["by_rule"] == {"DEF001": 1}
+    assert document["summary"]["exit_code"] == EXIT_FINDINGS
+    (finding,) = document["findings"]
+    assert set(finding) == {"rule", "severity", "path", "line", "col", "message"}
+    assert finding["rule"] == "DEF001"
+    assert finding["line"] >= 1
+
+
+def test_exit_codes():
+    engine = LintEngine()
+    clean = LintReport()
+    assert clean.exit_code() == EXIT_CLEAN
+
+    findings = LintReport(findings=engine.lint_source("x = y == 0.5\n"))
+    assert findings.exit_code() == EXIT_FINDINGS
+
+    crash = LintReport(findings=engine.lint_source("def broken(:\n"))
+    assert crash.crashed
+    assert crash.exit_code() == EXIT_CRASH
+
+
+# ---------------------------------------------------------------------------
+# configuration
+
+
+def test_config_select_and_ignore():
+    source = "import os\ny = x == 1.5\n"
+    only_flt = LintEngine(LintConfig(select=("FLT001",))).lint_source(source)
+    assert {f.rule_id for f in only_flt} == {"FLT001"}
+    no_flt = LintEngine(LintConfig(ignore=("FLT001",))).lint_source(source)
+    assert "FLT001" not in {f.rule_id for f in no_flt}
+    with pytest.raises(ValueError, match="unknown rule"):
+        LintEngine(LintConfig(select=("NOPE999",)))
+
+
+def test_config_exclude_patterns(tmp_path):
+    (tmp_path / "examples").mkdir()
+    (tmp_path / "examples" / "demo.py").write_text("y = x == 1.5\n")
+    (tmp_path / "lib.py").write_text("y = x == 1.5\n")
+    engine = LintEngine(LintConfig(exclude=("examples/*",)))
+    report = engine.lint_paths([str(tmp_path)])
+    assert report.files_excluded == 1
+    assert report.files_checked == 1
+    assert {f.rule_id for f in report.findings} == {"FLT001"}
+
+
+def test_load_config_reads_pyproject(tmp_path):
+    (tmp_path / "pyproject.toml").write_text(
+        '[tool.reprolint]\nignore = ["FLT001"]\nexclude = ["examples/*"]\n'
+    )
+    nested = tmp_path / "src" / "pkg"
+    nested.mkdir(parents=True)
+    config = load_config(nested)
+    assert config.ignore == ("FLT001",)
+    assert config.exclude == ("examples/*",)
+
+
+# ---------------------------------------------------------------------------
+# runtime contracts
+
+
+@pytest.fixture()
+def contracts_on():
+    previous = set_contracts_enabled(True)
+    yield
+    set_contracts_enabled(previous)
+
+
+def test_check_shapes_accepts_and_rejects(contracts_on):
+    @check_shapes(frame=("H", "W", 3))
+    def f(frame):
+        return frame.sum()
+
+    f(np.zeros((4, 6, 3)))
+    with pytest.raises(ContractViolation, match="dim 2"):
+        f(np.zeros((4, 6, 4)))
+    with pytest.raises(ContractViolation, match="rank 3"):
+        f(np.zeros((4, 6)))
+
+
+def test_check_shapes_symbolic_dims_must_agree(contracts_on):
+    @check_shapes(a=("N", "N"))
+    def f(a):
+        return a
+
+    f(np.eye(3))
+    with pytest.raises(ContractViolation, match="'N'"):
+        f(np.zeros((2, 3)))
+
+
+def test_check_shapes_rank_only_and_result(contracts_on):
+    @check_shapes(x=2, result=("N",))
+    def rowsum(x):
+        return x.sum(axis=1)
+
+    assert rowsum(np.ones((2, 3))).shape == (2,)
+
+    @check_shapes(result=(2,))
+    def bad_result():
+        return np.zeros(3)
+
+    with pytest.raises(ContractViolation, match="result"):
+        bad_result()
+
+
+def test_check_shapes_unknown_parameter_is_a_typeerror():
+    with pytest.raises(TypeError, match="no parameter"):
+        @check_shapes(nope=("N",))
+        def f(x):
+            return x
+
+
+def test_check_finite_args_and_result(contracts_on):
+    @check_finite("samples", result=True)
+    def passthrough(samples):
+        return samples
+
+    passthrough([1.0, 2.0])
+    with pytest.raises(ContractViolation, match="samples"):
+        passthrough([1.0, float("nan")])
+
+    @check_finite(result=True)
+    def make_inf():
+        return np.array([np.inf])
+
+    with pytest.raises(ContractViolation, match="result"):
+        make_inf()
+
+
+def test_assert_finite_reports_name_and_count():
+    with pytest.raises(ContractViolation, match="lateral.*2 non-finite"):
+        assert_finite([np.nan, 1.0, np.inf], "lateral")
+    assert_finite([], "empty is fine")
+    assert issubclass(ContractViolation, ValueError)
+
+
+def test_contracts_toggle_off(contracts_on):
+    @check_finite("x")
+    def f(x):
+        return x
+
+    set_contracts_enabled(False)
+    assert f(float("nan")) != f(float("nan"))  # NaN passes straight through
+    set_contracts_enabled(True)
+    with pytest.raises(ContractViolation):
+        f(float("nan"))
+
+
+def test_contracts_compiled_out_with_env_zero():
+    script = textwrap.dedent(
+        """
+        from repro.analysis.contracts import check_finite, check_shapes
+
+        def f(x):
+            return x
+
+        assert check_finite("x")(f) is f
+        assert check_shapes(x=("N",))(f) is f
+        print("stripped")
+        """
+    )
+    env = dict(os.environ, REPRO_CONTRACTS="0")
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "stripped" in proc.stdout
+
+
+def test_library_boundaries_are_contract_checked(contracts_on):
+    from repro.metrics.qoc import mae
+    from repro.nn.model import Sequential
+    from repro.nn.layers import ReLU
+
+    with pytest.raises(ContractViolation):
+        mae([0.1, float("nan")])
+    with pytest.raises(ContractViolation):
+        Sequential(ReLU()).forward(np.array([[np.nan]]))
+
+
+def test_perception_frame_shape_contract(contracts_on):
+    from repro.perception.pipeline import PerceptionPipeline
+    from repro.sim.camera import CameraModel
+
+    pipeline = PerceptionPipeline(CameraModel(width=64, height=32))
+    with pytest.raises(ContractViolation, match="rank 3"):
+        pipeline.process(np.zeros((32, 64)))
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+def test_cli_lint_exit_codes_and_json(tmp_path, capsys):
+    from repro.__main__ import main
+
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(a=[]):\n    return a\n")
+    good = tmp_path / "good.py"
+    good.write_text("VALUE = 1\n")
+
+    assert main(["lint", str(good)]) == EXIT_CLEAN
+    capsys.readouterr()
+    assert main(["lint", str(bad)]) == EXIT_FINDINGS
+    assert "DEF001" in capsys.readouterr().out
+
+    assert main(["lint", str(bad), "--format", "json"]) == EXIT_FINDINGS
+    document = json.loads(capsys.readouterr().out)
+    assert document["summary"]["by_rule"] == {"DEF001": 1}
+
+    assert main(["lint", str(bad), "--ignore", "DEF001"]) == EXIT_CLEAN
+    capsys.readouterr()
+
+    assert main(["lint", "--list-rules"]) == EXIT_CLEAN
+    listing = capsys.readouterr().out
+    for rule_id in rules_by_id():
+        assert rule_id in listing
+
+
+# ---------------------------------------------------------------------------
+# the tier-1 gate
+
+
+def test_codebase_is_clean():
+    """`python -m repro lint src/repro` stays at zero unsuppressed findings.
+
+    This is the static-analysis analogue of the HiL regression
+    benchmarks: any PR that introduces a violation fails tier-1 here.
+    """
+    config = load_config(REPO_ROOT)
+    report = LintEngine(config).lint_paths([str(SRC_TREE)])
+    assert report.files_checked > 80
+    assert report.exit_code() == EXIT_CLEAN, "\n" + report.render_text()
