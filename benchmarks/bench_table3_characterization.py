@@ -1,23 +1,60 @@
 """E3 — regenerate Table III (situation-specific knob characterization).
 
 By default a representative subset of situations is characterized (the
-full 21-situation sweep takes tens of minutes: REPRO_FULL=1).  Results
-are cached under ``~/.cache/repro/characterization``.
+full 21-situation sweep takes tens of minutes: REPRO_FULL=1).
+
+The sweep is the hottest path in the repo, and the parallel runner
+(:mod:`repro.utils.parallel`) exists to make it scale: this benchmark
+measures the cold-cache wall-clock for ``jobs=1`` and
+``jobs=cpu_count`` on the same sweep, asserts the two tables are
+bit-identical, and records both timings (plus the speedup) in the
+benchmark's ``extra_info`` so the perf trajectory lands in the
+BENCH_*.json artifacts.
 """
+
+import os
+import time
 
 from repro.core.situation import RoadLayout
 from repro.experiments.common import scale_note
 from repro.experiments.table3 import format_table3, run_table3
 
 
-def test_table3_characterization(once, capsys):
-    rows = once(run_table3)
+def test_table3_characterization(once, benchmark, capsys, tmp_path, monkeypatch):
+    cpu = os.cpu_count() or 1
+
+    # Serial reference, cold cache — this is the benchmarked timing.
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "jobs1"))
+    t0 = time.perf_counter()
+    rows = once(run_table3, jobs=1)
+    serial_s = time.perf_counter() - t0
+
+    parallel_s = serial_s
+    if cpu > 1:
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "jobsN"))
+        t0 = time.perf_counter()
+        parallel_rows = run_table3(jobs=cpu)
+        parallel_s = time.perf_counter() - t0
+        # Determinism contract: worker count never changes the table.
+        assert [(r.index, r.knobs) for r in parallel_rows] == [
+            (r.index, r.knobs) for r in rows
+        ]
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else 1.0
+    benchmark.extra_info["jobs"] = cpu
+    benchmark.extra_info["jobs1_wall_s"] = round(serial_s, 3)
+    benchmark.extra_info["jobsN_wall_s"] = round(parallel_s, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 3)
+
     with capsys.disabled():
         print()
         print(scale_note())
         print(format_table3(rows))
+        print(
+            f"wall-clock: jobs=1 {serial_s:.1f} s, jobs={cpu} "
+            f"{parallel_s:.1f} s ({speedup:.2f}x)"
+        )
 
-    by_index = {row.index: row for row in rows}
     # Shape assertions against the paper's Table III:
     for row in rows:
         layout = row.situation.layout

@@ -50,7 +50,9 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     from repro.core.situation import situation_by_index
 
     situation = situation_by_index(args.situation)
-    evaluations = characterize_situation(situation, CharacterizationConfig())
+    evaluations = characterize_situation(
+        situation, CharacterizationConfig(), jobs=args.jobs
+    )
     print(f"{situation.describe()}:")
     for ev in evaluations:
         status = "CRASH" if ev.crashed else f"MAE {ev.mae * 100:6.2f} cm"
@@ -148,6 +150,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_char = sub.add_parser("characterize", help="knob sweep for one situation")
     p_char.add_argument("--situation", type=int, default=8)
+    p_char.add_argument(
+        "--jobs",
+        default=None,
+        help="worker processes for the sweep (0 or 'auto' = all cores; "
+        "default: $REPRO_JOBS or 1, i.e. serial)",
+    )
     p_char.set_defaults(func=_cmd_characterize)
 
     p_train = sub.add_parser("train", help="train the situation classifiers")

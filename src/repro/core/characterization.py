@@ -13,15 +13,23 @@ sampling period), the most accurate one, and the full pipeline S0.
 ROI candidates are the layout-consistent presets.  This mirrors how the
 paper prunes with Monte-Carlo sensitivity analysis before HiL runs.
 
+Every evaluation (a prescreen sequence or a closed-loop run) is an
+independent, self-seeded simulation, so the sweep fans out across a
+process pool (:func:`repro.utils.parallel.parallel_map`): the flat work
+list — situation x ISP candidate x ROI x speed — is mapped across
+``jobs`` workers and reassembled in submission order, producing a table
+bit-identical to the serial path for any worker count.  ``jobs=1``
+(the default) never spawns a process.
+
 Results are cached on disk (`~/.cache/repro/characterization`) keyed by
-the sweep configuration.
+the sweep configuration; only the parent process writes the cache.
 """
 
 from __future__ import annotations
 
 import logging
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -31,8 +39,9 @@ from repro.core.situation import RoadLayout, Situation, TABLE3_SITUATIONS
 from repro.isp.configs import ISP_CONFIGS
 from repro.perception.evaluation import evaluate_sequence
 from repro.platform.profiles import isp_runtime_ms
-from repro.sim.world import static_situation_track
+from repro.sim.camera import CameraModel
 from repro.utils.cache import ArtifactCache
+from repro.utils.parallel import TaskFailure, parallel_map, resolve_jobs
 
 __all__ = [
     "CharacterizationConfig",
@@ -60,6 +69,10 @@ class CharacterizationConfig:
     #: are considered QoC ties; the faster (smaller h, then tau) design
     #: point wins the tie, as nothing distinguishes them statistically.
     tie_tolerance: float = 0.15
+    #: Frame size of the closed-loop runs (the HiL engine default; tests
+    #: shrink it to keep tiny sweeps fast).
+    frame_width: int = 384
+    frame_height: int = 192
     seed: int = 11
 
     def to_config(self) -> Dict[str, object]:
@@ -74,6 +87,7 @@ class CharacterizationConfig:
             "prescreen_bad_limit": self.prescreen_bad_limit,
             "max_isp_candidates": self.max_isp_candidates,
             "tie_tolerance": self.tie_tolerance,
+            "frame": [self.frame_width, self.frame_height],
             "seed": self.seed,
             "renderer_version": RENDERER_VERSION,
         }
@@ -103,22 +117,127 @@ def roi_candidates(situation: Situation) -> List[str]:
     return ["ROI 4", "ROI 5"]
 
 
-def prescreen_isp(
-    situation: Situation, config: CharacterizationConfig
-) -> List[Tuple[str, float]]:
-    """Frame-level detectability of each ISP config: (name, bad_rate)."""
-    roi = roi_candidates(situation)[-1]  # widest layout-consistent preset
-    results = []
-    for isp in config.isp_names:
-        stats = evaluate_sequence(
-            situation,
-            isp,
-            roi,
-            n_frames=config.prescreen_frames,
+# ---------------------------------------------------------------------------
+# picklable work specs + workers (module-level so a process pool can
+# ship them; each evaluates one independent, self-seeded simulation)
+
+
+@dataclass(frozen=True)
+class _PrescreenTask:
+    """One frame-level detectability evaluation (situation x ISP)."""
+
+    situation: Situation
+    isp: str
+    config: CharacterizationConfig
+
+
+@dataclass(frozen=True)
+class _KnobTask:
+    """One closed-loop evaluation (situation x ISP x ROI x speed)."""
+
+    situation: Situation
+    isp: str
+    roi: str
+    speed_kmph: float
+    config: CharacterizationConfig
+
+
+def _prescreen_worker(task: _PrescreenTask) -> float:
+    """Bad-frame rate of one ISP configuration in one situation."""
+    config = task.config
+    roi = roi_candidates(task.situation)[-1]  # widest layout-consistent preset
+    stats = evaluate_sequence(
+        task.situation,
+        task.isp,
+        roi,
+        n_frames=config.prescreen_frames,
+        seed=config.seed,
+        camera=CameraModel(width=config.frame_width, height=config.frame_height),
+    )
+    return stats.bad_frame_rate()
+
+
+def _knob_worker(task: _KnobTask) -> KnobEvaluation:
+    """Closed-loop QoC of one knob setting in one situation."""
+    # Imported here: the HiL engine composes the whole system, and a
+    # module-level import would make repro.core depend on repro.hil
+    # circularly (hil's engine imports repro.core.reconfiguration).
+    from repro.hil.engine import HilConfig, HilEngine
+    from repro.sim.world import static_situation_track
+
+    config = task.config
+    case = case_config("case4")
+    knobs = KnobSetting(isp=task.isp, roi=task.roi, speed_kmph=task.speed_kmph)
+    track = static_situation_track(task.situation, length=config.track_length)
+    engine = HilEngine(
+        track,
+        case,
+        table={task.situation: knobs},
+        config=HilConfig(
             seed=config.seed,
+            frame_width=config.frame_width,
+            frame_height=config.frame_height,
+        ),
+    )
+    result = engine.run()
+    timing = knobs.timing(case.classifier_budget(), dynamic_isp=True)
+    return KnobEvaluation(
+        knobs=knobs,
+        mae=result.mae(skip_time_s=2.0),
+        crashed=result.crashed,
+        period_ms=timing.period_ms,
+        delay_ms=timing.delay_ms,
+    )
+
+
+def _knob_tasks(
+    situation: Situation,
+    isp_candidates: Sequence[str],
+    config: CharacterizationConfig,
+) -> List[_KnobTask]:
+    """The flat closed-loop work list for one situation, in sweep order."""
+    return [
+        _KnobTask(situation, isp, roi, speed, config)
+        for isp in isp_candidates
+        for roi in roi_candidates(situation)
+        for speed in config.speeds_kmph
+    ]
+
+
+def _collect_evaluations(
+    results: Sequence[Union[KnobEvaluation, TaskFailure]],
+    situation: Situation,
+) -> List[KnobEvaluation]:
+    """Drop failed tasks (already logged by the runner); require one hit."""
+    evaluations = [r for r in results if not isinstance(r, TaskFailure)]
+    if not evaluations:
+        raise RuntimeError(
+            f"every knob evaluation failed for situation "
+            f"'{situation.describe()}'"
         )
-        results.append((isp, stats.bad_frame_rate()))
-    return results
+    return evaluations
+
+
+# ---------------------------------------------------------------------------
+# sweep drivers
+
+
+def prescreen_isp(
+    situation: Situation,
+    config: CharacterizationConfig,
+    jobs: Optional[int] = None,
+) -> List[Tuple[str, float]]:
+    """Frame-level detectability of each ISP config: (name, bad_rate).
+
+    A prescreen evaluation that crashes counts as fully undetectable
+    (bad rate 1.0) so the sweep continues on the survivors.
+    """
+    tasks = [_PrescreenTask(situation, isp, config) for isp in config.isp_names]
+    rates = parallel_map(_prescreen_worker, tasks, jobs=jobs, label="prescreen")
+    return [
+        (isp, 1.0 if isinstance(rate, TaskFailure) else rate)
+        for isp, rate in zip(config.isp_names, rates)
+    ]
 
 
 def _select_isp_candidates(
@@ -144,40 +263,19 @@ def _select_isp_candidates(
 def characterize_situation(
     situation: Situation,
     config: CharacterizationConfig = CharacterizationConfig(),
+    jobs: Optional[int] = None,
 ) -> List[KnobEvaluation]:
-    """Run the sweep for one situation; results sorted best first."""
-    # Imported here: the HiL engine composes the whole system, and a
-    # module-level import would make repro.core depend on repro.hil
-    # circularly (hil's engine imports repro.core.reconfiguration).
-    from repro.hil.engine import HilConfig, HilEngine
+    """Run the sweep for one situation; results sorted best first.
 
-    prescreen = prescreen_isp(situation, config)
+    ``jobs`` fans the independent evaluations out across a process pool
+    (see :mod:`repro.utils.parallel`); the returned ranking is
+    bit-identical for any worker count.
+    """
+    prescreen = prescreen_isp(situation, config, jobs=jobs)
     isp_candidates = _select_isp_candidates(prescreen, config)
-    case = case_config("case4")
-
-    evaluations: List[KnobEvaluation] = []
-    track = static_situation_track(situation, length=config.track_length)
-    for isp in isp_candidates:
-        for roi in roi_candidates(situation):
-            for speed in config.speeds_kmph:
-                knobs = KnobSetting(isp=isp, roi=roi, speed_kmph=speed)
-                engine = HilEngine(
-                    track,
-                    case,
-                    table={situation: knobs},
-                    config=HilConfig(seed=config.seed),
-                )
-                result = engine.run()
-                timing = knobs.timing(case.classifier_budget(), dynamic_isp=True)
-                evaluations.append(
-                    KnobEvaluation(
-                        knobs=knobs,
-                        mae=result.mae(skip_time_s=2.0),
-                        crashed=result.crashed,
-                        period_ms=timing.period_ms,
-                        delay_ms=timing.delay_ms,
-                    )
-                )
+    tasks = _knob_tasks(situation, isp_candidates, config)
+    results = parallel_map(_knob_worker, tasks, jobs=jobs, label="characterize")
+    evaluations = _collect_evaluations(results, situation)
     evaluations.sort(key=KnobEvaluation.sort_key)
     return _tie_break_by_speed(evaluations, config.tie_tolerance)
 
@@ -212,12 +310,26 @@ def characterize(
     config: CharacterizationConfig = CharacterizationConfig(),
     use_cache: bool = True,
     verbose: bool = False,
+    jobs: Optional[int] = None,
 ) -> Dict[Situation, KnobSetting]:
-    """Build the situation -> best-knob table (the Table III artifact)."""
+    """Build the situation -> best-knob table (the Table III artifact).
+
+    The sweep is flattened across *all* uncached situations — first the
+    prescreen grid (situation x ISP), then the closed-loop grid
+    (situation x ISP candidate x ROI x speed) — and fanned out with
+    :func:`repro.utils.parallel.parallel_map`, so a multi-situation
+    table saturates ``jobs`` workers even when single situations have
+    few knob settings.  The result is bit-identical to the serial path
+    (``jobs=1``) for any worker count.
+    """
+    n_jobs = resolve_jobs(jobs)
     cache = ArtifactCache("characterization", enabled=use_cache)
     table: Dict[Situation, KnobSetting] = {}
+    keys: Dict[Situation, Dict[str, object]] = {}
+    misses: List[Situation] = []
     for situation in situations:
         key = {"situation": situation.to_config(), "config": config.to_config()}
+        keys[situation] = key
         cached = cache.load(key)
         if cached is not None:
             table[situation] = KnobSetting(
@@ -226,7 +338,45 @@ def characterize(
                 speed_kmph=float(cached["speed"][()]),
             )
             continue
-        evaluations = characterize_situation(situation, config)
+        misses.append(situation)
+    if not misses:
+        return table
+
+    # Phase 1: flat prescreen grid over every uncached situation.
+    prescreen_tasks = [
+        _PrescreenTask(situation, isp, config)
+        for situation in misses
+        for isp in config.isp_names
+    ]
+    rates = parallel_map(
+        _prescreen_worker, prescreen_tasks, jobs=n_jobs, label="prescreen"
+    )
+    candidates: Dict[Situation, List[str]] = {}
+    n_isp = len(config.isp_names)
+    for i, situation in enumerate(misses):
+        chunk = rates[i * n_isp : (i + 1) * n_isp]
+        prescreen = [
+            (isp, 1.0 if isinstance(rate, TaskFailure) else rate)
+            for isp, rate in zip(config.isp_names, chunk)
+        ]
+        candidates[situation] = _select_isp_candidates(prescreen, config)
+
+    # Phase 2: flat closed-loop grid (situation x ISP x ROI x speed).
+    flat_tasks: List[_KnobTask] = []
+    spans: Dict[Situation, Tuple[int, int]] = {}
+    for situation in misses:
+        tasks = _knob_tasks(situation, candidates[situation], config)
+        spans[situation] = (len(flat_tasks), len(flat_tasks) + len(tasks))
+        flat_tasks.extend(tasks)
+    results = parallel_map(
+        _knob_worker, flat_tasks, jobs=n_jobs, label="characterize"
+    )
+
+    for situation in misses:
+        start, end = spans[situation]
+        evaluations = _collect_evaluations(results[start:end], situation)
+        evaluations.sort(key=KnobEvaluation.sort_key)
+        evaluations = _tie_break_by_speed(evaluations, config.tie_tolerance)
         best = evaluations[0]
         if verbose:
             _log.info(
@@ -240,7 +390,7 @@ def characterize(
             )
         table[situation] = best.knobs
         cache.store(
-            key,
+            keys[situation],
             {
                 "isp": np.array(best.knobs.isp),
                 "roi": np.array(best.knobs.roi),

@@ -205,14 +205,24 @@ class ReconfigurationManager:
         self.scheme.observe(self._believed_changed, measurement_valid)
         self._believed_changed = False
 
+    def preview(self, invoked: Tuple[str, ...] = ()) -> CycleDecision:
+        """Knob selection for the believed situation, **without** side
+        effects.
+
+        Unlike :meth:`decide`, nothing is enqueued into the ISP apply
+        pipeline: a preview is a pure query.  The HiL engine uses it
+        before the first cycle to pick the initial vehicle speed — a
+        ``decide()`` there would enqueue an ISP knob that
+        :meth:`begin_cycle` pops one cycle early, violating the
+        ``isp_apply_lag`` contract.
+        """
+        return self._decision(invoked)
+
     def decide(
         self, time_ms: float, invoked: Tuple[str, ...]
     ) -> CycleDecision:
         """Select knobs for the believed situation (Sec. III-D rules)."""
-        believed = self.believed
-        roi = self._select_roi(believed)
-        speed = self._select_speed(believed)
-        isp = self._select_isp(believed)
+        isp = self._select_isp(self.believed)
         # ISP knob switches take effect ``isp_apply_lag`` cycles later
         # (Sec. III-D: one cycle in the paper's scheme).
         if self.isp_apply_lag == 0:
@@ -222,6 +232,11 @@ class ReconfigurationManager:
             self._isp_queue.append(isp)
             while len(self._isp_queue) > self.isp_apply_lag:
                 self._isp_queue.pop(0)
+        return self._decision(invoked)
+
+    def _decision(self, invoked: Tuple[str, ...]) -> CycleDecision:
+        """Assemble the cycle decision from the current manager state."""
+        believed = self.believed
         timing = pipeline_timing(
             self._active_isp,
             self.case.classifier_budget(),
@@ -231,8 +246,8 @@ class ReconfigurationManager:
         return CycleDecision(
             active_isp=self._active_isp,
             invoked_classifiers=invoked,
-            roi=roi,
-            speed_kmph=speed,
+            roi=self._select_roi(believed),
+            speed_kmph=self._select_speed(believed),
             timing=timing,
             believed=believed,
         )
@@ -270,7 +285,11 @@ class ReconfigurationManager:
             return knobs.isp
         # Fallback for situations outside the characterized set: reuse
         # the knobs of the nearest characterized situation by scene.
-        for situation, setting in self.table.items():
+        # Sorted by the situation's config tuple so the choice depends
+        # only on the table's *contents*, not its insertion order.
+        for situation, setting in sorted(
+            self.table.items(), key=lambda item: item[0].to_config()
+        ):
             if situation.scene is believed.scene:
                 return setting.isp
         return "S0"

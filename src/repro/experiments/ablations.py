@@ -13,7 +13,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.situation import situation_by_index
 from repro.experiments.common import format_table
@@ -21,6 +21,7 @@ from repro.hil.engine import HilConfig, HilEngine
 from repro.perception.evaluation import evaluate_sequence
 from repro.sim.track import Track
 from repro.sim.world import fig7_track
+from repro.utils.parallel import TaskFailure, parallel_map
 
 __all__ = [
     "run_isp_lag_ablation",
@@ -49,6 +50,26 @@ def _dynamic_mae(config: HilConfig, case: str, track: Track) -> AblationPoint:
     )
 
 
+def _dynamic_mae_task(spec: Tuple[str, HilConfig, str, Track]) -> AblationPoint:
+    """Picklable work item: one labelled closed-loop ablation run."""
+    setting, config, case, track = spec
+    point = _dynamic_mae(config, case, track)
+    point.setting = setting
+    return point
+
+
+def _run_points(
+    specs: Sequence[Tuple[str, HilConfig, str, Track]],
+    jobs: Optional[int],
+) -> List[AblationPoint]:
+    """Fan the independent ablation runs out; order follows *specs*."""
+    results = parallel_map(_dynamic_mae_task, specs, jobs=jobs, label="ablation")
+    failed = [r.item[0] for r in results if isinstance(r, TaskFailure)]
+    if failed:
+        raise RuntimeError(f"ablation runs failed for settings: {failed}")
+    return list(results)
+
+
 def compact_track() -> Track:
     """A shortened Fig. 7-style track for the ablation sweeps.
 
@@ -63,49 +84,54 @@ def run_isp_lag_ablation(
     lags: Sequence[int] = (0, 1, 6),
     seed: int = 3,
     track: Optional[Track] = None,
+    jobs: Optional[int] = None,
 ) -> List[AblationPoint]:
     """Case 4 on the dynamic track with different ISP apply lags."""
     track = track or compact_track()
-    points = []
-    for lag in lags:
-        point = _dynamic_mae(
-            HilConfig(seed=seed, isp_apply_lag=lag), "case4", track
-        )
-        point.setting = f"lag={lag} cycles"
-        points.append(point)
-    return points
+    specs = [
+        (f"lag={lag} cycles", HilConfig(seed=seed, isp_apply_lag=lag), "case4", track)
+        for lag in lags
+    ]
+    return _run_points(specs, jobs)
 
 
 def run_invocation_window_ablation(
     windows_ms: Sequence[float] = (150.0, 300.0, 900.0),
     seed: int = 3,
     track: Optional[Track] = None,
+    jobs: Optional[int] = None,
 ) -> List[AblationPoint]:
     """The variable scheme with different road-classifier windows."""
     track = track or compact_track()
-    points = []
-    for window in windows_ms:
-        point = _dynamic_mae(
-            HilConfig(seed=seed, invocation_window_ms=window), "variable", track
+    specs = [
+        (
+            f"window={window:.0f} ms",
+            HilConfig(seed=seed, invocation_window_ms=window),
+            "variable",
+            track,
         )
-        point.setting = f"window={window:.0f} ms"
-        points.append(point)
-    return points
+        for window in windows_ms
+    ]
+    return _run_points(specs, jobs)
 
 
 def run_feedforward_ablation(
-    seed: int = 3, track: Optional[Track] = None
+    seed: int = 3,
+    track: Optional[Track] = None,
+    jobs: Optional[int] = None,
 ) -> List[AblationPoint]:
     """Curvature feed-forward on/off for the robust baseline (case 3)."""
     track = track or compact_track()
-    points = []
-    for use_ff in (False, True):
-        point = _dynamic_mae(
-            HilConfig(seed=seed, use_feedforward=use_ff), "case3", track
+    specs = [
+        (
+            f"feedforward={'on' if use_ff else 'off'}",
+            HilConfig(seed=seed, use_feedforward=use_ff),
+            "case3",
+            track,
         )
-        point.setting = f"feedforward={'on' if use_ff else 'off'}"
-        points.append(point)
-    return points
+        for use_ff in (False, True)
+    ]
+    return _run_points(specs, jobs)
 
 
 def run_isp_stage_ablation(

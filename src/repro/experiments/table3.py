@@ -74,11 +74,18 @@ def run_table3(
     config: CharacterizationConfig = CharacterizationConfig(),
     use_cache: bool = True,
     verbose: bool = False,
+    jobs: Optional[int] = None,
 ) -> List[Table3Row]:
-    """Characterize the (sub)set of Table III situations."""
+    """Characterize the (sub)set of Table III situations.
+
+    ``jobs`` fans the sweep out across worker processes (default:
+    ``$REPRO_JOBS`` or serial); the table is bit-identical either way.
+    """
     indices = list(indices) if indices is not None else _default_situations()
     situations = [situation_by_index(i) for i in indices]
-    table = characterize(situations, config, use_cache=use_cache, verbose=verbose)
+    table = characterize(
+        situations, config, use_cache=use_cache, verbose=verbose, jobs=jobs
+    )
     budget = case_config("case4").classifier_budget()
 
     rows: List[Table3Row] = []

@@ -150,7 +150,9 @@ class HilEngine:
             center.x, center.y, center.heading + cfg.initial_heading_err
         )
         # Initial speed: what the case would command in this situation.
-        initial_decision = self.manager.decide(0.0, ())
+        # A preview, not a decide(): deciding here would enqueue an ISP
+        # knob that begin_cycle pops one cycle early at step 0.
+        initial_decision = self.manager.preview()
         vehicle = Vehicle(
             self.vehicle_params,
             VehicleState(pose=pose, speed=initial_decision.speed_kmph / 3.6),

@@ -69,8 +69,12 @@ class HilResult:
 
         ``skip_time_s`` optionally drops the initial transient (the runs
         start with a deliberate lateral offset).  Runs shorter than the
-        skip (e.g. an early crash) fall back to the full trace.
+        skip (e.g. an early crash) fall back to the full trace.  An
+        empty trace (a run that recorded no step) has no defined MAE
+        and raises :class:`ValueError`.
         """
+        if self.time_s.size == 0:
+            raise ValueError("MAE of an empty trace is undefined")
         sel = self.time_s >= skip_time_s
         if not sel.any():
             sel = slice(None)
@@ -81,8 +85,10 @@ class HilResult:
         return float(self.time_s[-1]) if self.time_s.size else 0.0
 
     def max_offset(self) -> float:
-        """Largest absolute lateral offset reached."""
-        return float(np.max(np.abs(self.lateral_offset))) if self.s.size else 0.0
+        """Largest absolute lateral offset reached (0.0 on an empty trace)."""
+        if self.lateral_offset.size == 0:
+            return 0.0
+        return float(np.max(np.abs(self.lateral_offset)))
 
     def save(self, path: str) -> Path:
         """Persist the trace to ``.npz`` (cycle records as JSON inside).
@@ -152,9 +158,9 @@ class HilResult:
                 self.completed and index == len(track.segments)
             )
             sel = (self.s >= seg.s_start + skip_distance_m) & (self.s < seg.s_end)
-            sector_mae = (
-                float(np.mean(np.abs(self.y_l_true[sel]))) if sel.any() else None
-            )
+            # Same Eq. 1 aggregate as HilResult.mae; a sector without a
+            # single sample has no QoC (None), not a zero.
+            sector_mae = mae(self.y_l_true[sel]) if sel.any() else None
             sectors.append(
                 SectorQoC(
                     sector=index,

@@ -1,5 +1,6 @@
-"""Shared utilities: deterministic RNG, image helpers, caching, validation."""
+"""Shared utilities: deterministic RNG, parallel sweeps, caching, validation."""
 
+from repro.utils.parallel import TaskFailure, parallel_map, resolve_jobs, task_seed
 from repro.utils.rng import derive_rng, seed_everything
 from repro.utils.validation import (
     check_finite,
@@ -9,6 +10,10 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "TaskFailure",
+    "parallel_map",
+    "resolve_jobs",
+    "task_seed",
     "derive_rng",
     "seed_everything",
     "check_finite",

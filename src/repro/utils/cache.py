@@ -16,12 +16,17 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Dict, Optional
 
 import numpy as np
 
 __all__ = ["ArtifactCache", "config_hash", "default_cache_dir"]
+
+#: Orphaned ``*.npz.tmp`` files older than this are swept on store();
+#: young ones may belong to a concurrent writer mid-flight.
+_STALE_TMP_AGE_S = 3600.0
 
 
 def default_cache_dir() -> Path:
@@ -86,11 +91,20 @@ class ArtifactCache:
             return None
 
     def store(self, config: Dict[str, Any], arrays: Dict[str, np.ndarray]) -> Path:
-        """Atomically persist *arrays* under the hash of *config*."""
+        """Atomically persist *arrays* under the hash of *config*.
+
+        The write goes to a unique ``*.npz.tmp`` file that is renamed
+        over the target with :func:`os.replace`, so concurrent writers
+        of the same key are safe: each writes its own temp file and the
+        last rename wins atomically — readers never observe a partial
+        entry.  Stale temp files from interrupted writers are swept
+        opportunistically.
+        """
         path = self._path(config_hash(config))
         if not self.enabled:
             return path
         self.root.mkdir(parents=True, exist_ok=True)
+        self._sweep_tmp(max_age_s=_STALE_TMP_AGE_S)
         fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".npz.tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
@@ -105,11 +119,34 @@ class ArtifactCache:
         return path
 
     def clear(self) -> int:
-        """Delete every entry in this namespace; return the count removed."""
+        """Delete every entry in this namespace; return the count removed.
+
+        Also removes orphaned ``*.npz.tmp`` files left by interrupted
+        :meth:`store` calls (those do not count towards the total —
+        they were never visible entries).
+        """
         if not self.root.exists():
             return 0
         removed = 0
         for path in self.root.glob("*.npz"):
             path.unlink()
             removed += 1
+        self._sweep_tmp(max_age_s=0.0)
         return removed
+
+    def _sweep_tmp(self, max_age_s: float) -> int:
+        """Unlink ``*.npz.tmp`` files older than *max_age_s* seconds."""
+        if not self.root.exists():
+            return 0
+        now = time.time()
+        swept = 0
+        for tmp in self.root.glob("*.npz.tmp"):
+            try:
+                if now - tmp.stat().st_mtime >= max_age_s:
+                    tmp.unlink()
+                    swept += 1
+            except OSError:
+                # Raced with a concurrent writer finishing its rename
+                # (or another sweep): the file is gone either way.
+                continue
+        return swept

@@ -1,0 +1,204 @@
+"""Deterministic process-pool fan-out for independent sweep evaluations.
+
+The characterization sweep (Table III), the Monte-Carlo sensitivity
+study and the multi-case experiment drivers all evaluate many
+*independent* closed-loop simulations: every work item carries its own
+seed and builds its own world, so the only thing parallelism may change
+is wall-clock time.  :func:`parallel_map` encodes that contract:
+
+- **Determinism** — results are returned in submission order, never in
+  completion order, and each worker executes exactly the code the
+  serial loop would.  The produced values are therefore bit-identical
+  for any worker count.  Work items that need their own random stream
+  derive it with :func:`task_seed` (a thin wrapper over
+  :func:`repro.utils.rng.stream_seed` that folds the task index into
+  the stream name).
+- **Safe serial fallback** — with ``jobs=1`` no process is ever
+  spawned; the map degenerates to a plain loop, keeping tests,
+  debuggers and coverage tools simple.
+- **Crash isolation** — an exception inside one work item does not
+  abort the sweep: the failing item is reported through logging and a
+  :class:`TaskFailure` takes its slot in the result list, so callers
+  can both continue and see exactly which knob setting failed.  If the
+  pool itself dies (a worker segfault kills the executor), the
+  remaining items are re-run serially in-process.
+
+Worker-count resolution (:func:`resolve_jobs`): an explicit integer
+wins, then the ``REPRO_JOBS`` environment variable, then 1 (serial).
+``0`` or ``"auto"`` selects ``os.cpu_count()``.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, TypeVar, Union
+
+from repro.utils.rng import stream_seed
+
+__all__ = ["TaskFailure", "parallel_map", "resolve_jobs", "task_seed"]
+
+_log = logging.getLogger(__name__)
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Log a progress line every this many completed tasks (and at the end).
+_PROGRESS_EVERY = 8
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Placeholder result for a work item whose evaluation raised.
+
+    ``item`` is the original work spec (so the failing knob setting can
+    be reported), ``error`` the formatted exception.
+    """
+
+    index: int
+    item: object
+    error: str
+
+    def __bool__(self) -> bool:
+        # Failures are falsy so ``[r for r in results if r]`` keeps
+        # only successful evaluations.
+        return False
+
+
+def task_seed(seed: int, stream: str, index: int) -> int:
+    """Per-task child seed: fold the task index into the stream name.
+
+    Tasks seeded this way draw from statistically independent streams
+    that depend only on ``(seed, stream, index)`` — never on worker
+    identity or completion order — so a sweep is reproducible for any
+    ``jobs`` value.
+    """
+    return stream_seed(seed, f"{stream}/{index}")
+
+
+def resolve_jobs(jobs: Union[int, str, None] = None) -> int:
+    """Resolve a worker count: explicit value, then ``$REPRO_JOBS``, then 1.
+
+    ``0`` or ``"auto"`` (either as the argument or as the environment
+    value) means :func:`os.cpu_count`.
+    """
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if not env:
+            return 1
+        jobs = env
+    if isinstance(jobs, str):
+        if jobs.lower() == "auto":
+            jobs = 0
+        else:
+            try:
+                jobs = int(jobs)
+            except ValueError:
+                raise ValueError(
+                    f"invalid jobs value {jobs!r}: expected an integer or 'auto'"
+                ) from None
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+def _run_one(fn: Callable[[T], R], item: T, index: int) -> Union[R, TaskFailure]:
+    """Evaluate one work item, converting exceptions to TaskFailure."""
+    try:
+        return fn(item)
+    # Crash isolation is the contract here: any failure becomes a
+    # recorded TaskFailure and the sweep continues.
+    except Exception as exc:  # reprolint: disable=EXC001
+        return TaskFailure(index=index, item=item, error=f"{type(exc).__name__}: {exc}")
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    jobs: Union[int, str, None] = None,
+    label: str = "sweep",
+) -> List[Union[R, TaskFailure]]:
+    """Map *fn* over *items*, optionally across a process pool.
+
+    Parameters
+    ----------
+    fn:
+        A picklable (module-level) callable evaluating one work item.
+    items:
+        Picklable work specs; evaluated independently.
+    jobs:
+        Worker count (see :func:`resolve_jobs`).  ``1`` runs a plain
+        in-process loop without spawning anything.
+    label:
+        Name used in progress/failure log lines.
+
+    Returns
+    -------
+    list
+        One entry per item, in item order.  Entries are either ``fn``'s
+        return value or a :class:`TaskFailure` (falsy) if that item
+        raised.
+    """
+    n_jobs = resolve_jobs(jobs)
+    items = list(items)
+    if not items:
+        return []
+    if n_jobs == 1:
+        return [_seen(_run_one(fn, item, i), label) for i, item in enumerate(items)]
+
+    results: List[Optional[Union[R, TaskFailure]]] = [None] * len(items)
+    workers = min(n_jobs, len(items))
+    _log.info("%s: %d tasks across %d workers", label, len(items), workers)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(_run_one, fn, item, i) for i, item in enumerate(items)]
+        broken_from: Optional[int] = None
+        for i, future in enumerate(futures):
+            try:
+                results[i] = _seen(future.result(), label)
+            except BrokenProcessPool:
+                # A worker died hard (e.g. OOM-kill): every unfinished
+                # future raises.  Fall back to in-process execution for
+                # the remaining items so the sweep still completes.
+                broken_from = i
+                break
+            # Same crash-isolation contract for errors raised on the
+            # submission side (e.g. an unpicklable work item).
+            except Exception as exc:  # reprolint: disable=EXC001
+                results[i] = _seen(
+                    TaskFailure(
+                        index=i, item=items[i], error=f"{type(exc).__name__}: {exc}"
+                    ),
+                    label,
+                )
+            if (i + 1) % _PROGRESS_EVERY == 0 or i + 1 == len(items):
+                _log.info("%s: %d/%d done", label, i + 1, len(items))
+    if broken_from is not None:
+        _log.warning(
+            "%s: process pool broke at task %d/%d; finishing serially",
+            label,
+            broken_from + 1,
+            len(items),
+        )
+        for i in range(broken_from, len(items)):
+            if results[i] is None:
+                results[i] = _seen(_run_one(fn, items[i], i), label)
+    return results  # type: ignore[return-value]
+
+
+def _seen(result: Union[R, TaskFailure], label: str) -> Union[R, TaskFailure]:
+    """Log failures as they are collected; pass results through."""
+    if isinstance(result, TaskFailure):
+        _log.warning(
+            "%s: task %d failed on %r: %s",
+            label,
+            result.index,
+            result.item,
+            result.error,
+        )
+    return result

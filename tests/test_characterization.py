@@ -10,9 +10,11 @@ from repro.core.characterization import (
     characterize_situation,
     prescreen_isp,
     roi_candidates,
+    _collect_evaluations,
     _select_isp_candidates,
 )
 from repro.core.situation import situation_by_index
+from repro.utils.parallel import TaskFailure
 
 #: Tiny sweep: 2 ISP candidates max, one speed, short track.
 TINY = CharacterizationConfig(
@@ -21,6 +23,19 @@ TINY = CharacterizationConfig(
     track_length=70.0,
     prescreen_frames=10,
     max_isp_candidates=2,
+    seed=5,
+)
+
+#: Same sweep at reduced camera fidelity: fast enough to run the whole
+#: characterization twice (serial and parallel) inside tier-1.
+TINY_FAST = CharacterizationConfig(
+    isp_names=("S0", "S7"),
+    speeds_kmph=(50.0,),
+    track_length=70.0,
+    prescreen_frames=6,
+    max_isp_candidates=2,
+    frame_width=192,
+    frame_height=96,
     seed=5,
 )
 
@@ -88,3 +103,37 @@ class TestCharacterizeTable:
         second = characterize(situations, TINY, use_cache=True)
         assert first == second
         assert situations[0] in first
+
+
+class TestParallelDeterminism:
+    """The sweep's central contract: workers never change the result."""
+
+    def test_characterize_jobs2_bit_identical_to_serial(self, tmp_path, monkeypatch):
+        situations = [situation_by_index(1)]
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial"))
+        serial = characterize(situations, TINY_FAST, use_cache=True, jobs=1)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "pool"))
+        pooled = characterize(situations, TINY_FAST, use_cache=True, jobs=2)
+        assert pooled == serial
+
+    def test_prescreen_jobs2_matches_serial(self):
+        situation = situation_by_index(1)
+        serial = prescreen_isp(situation, TINY_FAST, jobs=1)
+        pooled = prescreen_isp(situation, TINY_FAST, jobs=2)
+        assert pooled == serial
+
+
+class TestFailureCollection:
+    def test_all_failed_raises(self):
+        situation = situation_by_index(1)
+        failures = [TaskFailure(index=0, item=None, error="boom")]
+        with pytest.raises(RuntimeError, match="every knob evaluation failed"):
+            _collect_evaluations(failures, situation)
+
+    def test_partial_failure_keeps_survivors(self):
+        situation = situation_by_index(1)
+        survivor = object()
+        kept = _collect_evaluations(
+            [TaskFailure(index=0, item=None, error="boom"), survivor], situation
+        )
+        assert kept == [survivor]

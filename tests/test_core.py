@@ -284,3 +284,74 @@ class TestReconfigurationManager:
     def test_negative_lag_rejected(self):
         with pytest.raises(ValueError):
             ReconfigurationManager(case_config("case4"), isp_apply_lag=-1)
+
+    def test_preview_is_side_effect_free(self):
+        """A preview must not enqueue into the ISP apply pipeline.
+
+        The HiL engine previews the manager before the first cycle to
+        pick the initial speed; a decide() there used to enqueue a
+        phantom ISP knob that begin_cycle popped one cycle early.
+        """
+        manager = self._manager("case4", isp_apply_lag=2)
+        decision = manager.preview()
+        assert manager._isp_queue == []
+        assert manager.preview() == decision  # pure: stable under repetition
+        # The first real cycle starts from the reset state, untouched.
+        isp, _ = manager.begin_cycle(0.0)
+        assert isp == decision.active_isp
+        assert manager._isp_queue == []
+
+    def test_preview_tracks_believed_situation(self):
+        manager = self._manager("case2")
+        manager.integrate_identification({"road": RoadLayout.RIGHT})
+        decision = manager.preview()
+        assert decision.roi == "ROI 2"
+        assert decision.speed_kmph == 30.0
+        assert manager._isp_queue == []
+
+    def test_scene_fallback_independent_of_table_order(self):
+        """An uncharacterized situation falls back to a same-scene entry;
+        the pick must depend on the table contents, not insertion order."""
+        dark_a = situation_by_index(7)
+        dark_b = Situation(
+            RoadLayout.LEFT, LaneColor.YELLOW, LaneForm.CONTINUOUS, Scene.DARK
+        )
+        assert dark_a.scene is dark_b.scene is Scene.DARK
+        entry_a = (dark_a, KnobSetting(isp="S2", roi="ROI 1", speed_kmph=50.0))
+        entry_b = (dark_b, KnobSetting(isp="S5", roi="ROI 4", speed_kmph=30.0))
+        believed = Situation(
+            RoadLayout.RIGHT, LaneColor.WHITE, LaneForm.DOTTED, Scene.DARK
+        )
+        picks = []
+        for entries in ([entry_a, entry_b], [entry_b, entry_a]):
+            manager = ReconfigurationManager(
+                case_config("case4"), table=dict(entries)
+            )
+            manager.reset(situation_by_index(1))
+            picks.append(manager._select_isp(believed))
+        assert picks[0] == picks[1]
+        # Deterministic winner: the same-scene entry whose config tuple
+        # sorts first ('left...' < 'straight...').
+        assert picks[0] == "S5"
+
+    @pytest.mark.parametrize("lag", [0, 1, 2])
+    def test_isp_switch_applies_exactly_lag_cycles_after_decision(self, lag):
+        """Regression for the apply-lag phase contract (Sec. III-D).
+
+        Runs the engine's per-cycle protocol (preview before the loop,
+        then begin/integrate/decide per cycle) and asserts that the
+        decision first carries the dark-scene ISP knob exactly ``lag``
+        cycles after the cycle that identified the scene change.
+        """
+        manager = self._manager("case4", isp_apply_lag=lag)
+        manager.preview()  # the engine's pre-loop query
+        decided_cycle = 3
+        applied_cycle = None
+        for cycle in range(8):
+            manager.begin_cycle(cycle * 25.0)
+            if cycle == decided_cycle:
+                manager.integrate_identification({"scene": Scene.DARK})
+            decision = manager.decide(cycle * 25.0, ("scene",))
+            if applied_cycle is None and decision.active_isp == "S2":
+                applied_cycle = cycle
+        assert applied_cycle == decided_cycle + lag

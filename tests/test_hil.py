@@ -9,9 +9,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.situation import situation_by_index
+from repro.core.situation import Scene, situation_by_index
 from repro.hil.engine import HilConfig, HilEngine
 from repro.hil.record import HilResult
+from repro.sim.geometry import Pose2D
+from repro.sim.track import SectorSpec, Track
 from repro.sim.world import fig7_track, static_situation_track
 
 FAST = dict(frame_width=192, frame_height=96)
@@ -99,6 +101,37 @@ class TestHilEngine:
         assert result.duration_s() <= 1.0 + 1e-9
 
 
+class TestIspApplyLag:
+    """End-to-end regression for the ISP apply-lag phase contract."""
+
+    @staticmethod
+    def _day_to_dark_track() -> Track:
+        day = situation_by_index(1)    # straight, white continuous, day
+        dark = situation_by_index(7)   # straight, white continuous, dark
+        return Track.from_sections(
+            [SectorSpec(60.0, 0.0, day), SectorSpec(60.0, 0.0, dark)],
+            Pose2D(0.0, 0.0, 0.0),
+        )
+
+    @pytest.mark.parametrize("lag", [0, 1, 2])
+    def test_switch_lands_exactly_lag_cycles_after_decision(self, lag):
+        track = self._day_to_dark_track()
+        config = HilConfig(seed=7, isp_apply_lag=lag, **FAST)
+        result = HilEngine(track, "case4", config=config).run()
+        cycles = result.cycles
+        # The oracle (accuracy 1.0) identifies the dark scene on the
+        # first cycle sampled past the sector boundary: that cycle's
+        # decide() is where the ISP switch is decided.
+        decided = next(
+            i
+            for i, c in enumerate(cycles)
+            if track.situation_at(c.s).scene is Scene.DARK and "scene" in c.invoked
+        )
+        applied = next(i for i, c in enumerate(cycles) if c.active_isp == "S2")
+        assert cycles[decided - 1].active_isp != "S2"
+        assert applied == decided + lag
+
+
 class TestSectorQoC:
     def test_sector_aggregation_on_dynamic_track(self):
         track = fig7_track()
@@ -149,6 +182,38 @@ class TestHilResultHelpers:
         )
         assert result.max_offset() == pytest.approx(0.7)
 
+    @staticmethod
+    def _empty_result() -> HilResult:
+        return HilResult(
+            time_s=np.array([]),
+            s=np.array([]),
+            lateral_offset=np.array([]),
+            y_l_true=np.array([]),
+            steering=np.array([]),
+            speed=np.array([]),
+        )
+
+    def test_empty_trace_max_offset_is_zero(self):
+        assert self._empty_result().max_offset() == 0.0
+
+    def test_empty_trace_mae_raises(self):
+        with pytest.raises(ValueError, match="empty trace"):
+            self._empty_result().mae()
+
+    def test_empty_trace_duration_is_zero(self):
+        assert self._empty_result().duration_s() == 0.0
+
+    def test_sector_qoc_matches_qoc_helper(self):
+        """Per-sector MAE must agree with metrics.qoc.mae on the slice."""
+        from repro.metrics.qoc import mae as qoc_mae
+
+        track = static_situation_track(situation_by_index(1), length=80.0)
+        config = HilConfig(seed=7, **FAST)
+        result = HilEngine(track, "case1", config=config).run()
+        sector = result.sector_qoc(track)[0]
+        sel = (result.s >= sector.s_start) & (result.s < sector.s_end)
+        assert sector.mae == pytest.approx(qoc_mae(result.y_l_true[sel]))
+
 
 class TestTraceSerialization:
     def test_save_load_round_trip(self, tmp_path):
@@ -163,3 +228,14 @@ class TestTraceSerialization:
         assert len(loaded.cycles) == len(result.cycles)
         assert loaded.cycles[0].invoked == result.cycles[0].invoked
         assert loaded.mae(2.0) == pytest.approx(result.mae(2.0))
+
+    def test_save_appends_npz_suffix_and_reports_it(self, tmp_path):
+        """np.savez appends .npz to suffix-less paths; save() must
+        return the path of the file actually written."""
+        result, _ = _run("case2", length=60.0)
+        returned = result.save(str(tmp_path / "trace"))
+        assert returned == tmp_path / "trace.npz"
+        assert returned.exists()
+        assert not (tmp_path / "trace").exists()
+        loaded = HilResult.load(str(returned))
+        np.testing.assert_array_equal(loaded.s, result.s)

@@ -1,0 +1,130 @@
+"""Tests for the deterministic process-pool sweep runner."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.utils.parallel import TaskFailure, parallel_map, resolve_jobs, task_seed
+from repro.utils.rng import stream_seed
+
+
+# Workers must live at module level so a process pool can pickle them.
+def _square(x: int) -> int:
+    return x * x
+
+
+def _square_unless_three(x: int) -> int:
+    if x == 3:
+        raise ValueError("three is right out")
+    return x * x
+
+
+def _sleep_then_identity(delay_s: float) -> float:
+    # Earlier items sleep longer, so with >1 worker the completion
+    # order inverts the submission order.
+    time.sleep(delay_s)
+    return delay_s
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs() == 1
+        assert resolve_jobs(None) == 1
+
+    def test_env_variable_supplies_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs() == 3
+
+    def test_explicit_value_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs(2) == 2
+
+    def test_auto_and_zero_mean_all_cores(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs("auto") == resolve_jobs(0)
+        monkeypatch.setenv("REPRO_JOBS", "auto")
+        assert resolve_jobs() == resolve_jobs(0)
+
+    def test_numeric_string_accepted(self):
+        assert resolve_jobs("4") == 4
+
+    def test_invalid_string_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs("many")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+
+class TestParallelMapSerial:
+    def test_maps_in_order(self):
+        assert parallel_map(_square, [1, 2, 3], jobs=1) == [1, 4, 9]
+
+    def test_empty_items(self):
+        assert parallel_map(_square, [], jobs=1) == []
+        assert parallel_map(_square, [], jobs=4) == []
+
+    def test_serial_never_spawns_processes(self):
+        # A closure is unpicklable, so this would blow up in any
+        # process pool: jobs=1 must degenerate to a plain loop.
+        offset = 10
+        results = parallel_map(lambda x: x + offset, [1, 2], jobs=1)
+        assert results == [11, 12]
+
+    def test_failure_takes_slot_and_sweep_continues(self):
+        results = parallel_map(_square_unless_three, [2, 3, 4], jobs=1)
+        assert results[0] == 4 and results[2] == 16
+        failure = results[1]
+        assert isinstance(failure, TaskFailure)
+        assert failure.index == 1
+        assert failure.item == 3
+        assert "three is right out" in failure.error
+
+    def test_failures_are_falsy(self):
+        results = parallel_map(_square_unless_three, [2, 3, 4], jobs=1)
+        assert [r for r in results if r] == [4, 16]
+        assert not TaskFailure(index=0, item=None, error="boom")
+
+
+class TestParallelMapPool:
+    def test_results_follow_submission_order(self):
+        # Descending delays: with two workers the first item finishes
+        # last, yet the results must come back in submission order.
+        delays = [0.2, 0.1, 0.0]
+        assert parallel_map(_sleep_then_identity, delays, jobs=2) == delays
+
+    def test_pool_matches_serial(self):
+        items = list(range(12))
+        assert parallel_map(_square, items, jobs=2) == parallel_map(
+            _square, items, jobs=1
+        )
+
+    def test_failure_in_worker_process(self):
+        results = parallel_map(_square_unless_three, [1, 3, 5], jobs=2)
+        assert results[0] == 1 and results[2] == 25
+        assert isinstance(results[1], TaskFailure)
+        assert results[1].item == 3
+
+    def test_unpicklable_item_becomes_failure(self):
+        # The pickling error surfaces on the submission side; it must be
+        # contained as a TaskFailure, not abort the sweep.
+        results = parallel_map(_square, [2, lambda: None, 4], jobs=2)
+        assert results[0] == 4 and results[2] == 16
+        assert isinstance(results[1], TaskFailure)
+
+
+class TestTaskSeed:
+    def test_matches_indexed_stream(self):
+        assert task_seed(7, "sweep", 3) == stream_seed(7, "sweep/3")
+
+    def test_distinct_per_index(self):
+        seeds = {task_seed(7, "sweep", i) for i in range(32)}
+        assert len(seeds) == 32
+
+    def test_deterministic(self):
+        assert task_seed(1, "a", 0) == task_seed(1, "a", 0)

@@ -113,3 +113,47 @@ class TestArtifactCache:
 
     def test_config_hash_handles_numpy_scalars(self):
         assert config_hash({"a": np.int64(3)}) == config_hash({"a": 3})
+
+    def test_clear_sweeps_orphaned_tmp_files(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = ArtifactCache("unit", enabled=True)
+        cache.store({"a": 1}, {"x": np.zeros(1)})
+        orphan = cache.root / "deadbeef.npz.tmp"
+        orphan.write_bytes(b"partial write")
+        # Orphans are removed but never counted as entries.
+        assert cache.clear() == 1
+        assert not orphan.exists()
+        assert list(cache.root.glob("*.npz.tmp")) == []
+
+    def test_store_sweeps_stale_tmp_but_keeps_fresh(self, tmp_path, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = ArtifactCache("unit", enabled=True)
+        cache.root.mkdir(parents=True, exist_ok=True)
+        stale = cache.root / "stale.npz.tmp"
+        stale.write_bytes(b"interrupted hours ago")
+        os.utime(stale, (1.0, 1.0))  # mtime far in the past
+        fresh = cache.root / "fresh.npz.tmp"
+        fresh.write_bytes(b"concurrent writer in flight")
+        cache.store({"a": 1}, {"x": np.zeros(1)})
+        assert not stale.exists()
+        assert fresh.exists()  # recent tmp may belong to a live writer
+
+    def test_concurrent_writers_same_key(self, tmp_path, monkeypatch):
+        from concurrent.futures import ThreadPoolExecutor
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = ArtifactCache("unit", enabled=True)
+        config = {"a": 1}
+        payloads = [np.full(64, float(i)) for i in range(8)]
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(lambda arr: cache.store(config, {"x": arr}), payloads))
+
+        # Exactly one visible entry, no leftover temp files, and the
+        # winning entry is one complete payload (last rename wins).
+        assert len(list(cache.root.glob("*.npz"))) == 1
+        assert list(cache.root.glob("*.npz.tmp")) == []
+        loaded = cache.load(config)["x"]
+        assert any(np.array_equal(loaded, arr) for arr in payloads)
