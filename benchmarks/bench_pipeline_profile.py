@@ -1,0 +1,44 @@
+"""Per-stage wall clock of one closed-loop cycle (this PR's profiler).
+
+Runs a short HiL episode with :class:`HilConfig` profiling enabled and
+records each stage's measured mean latency in ``extra_info``, next to
+the Table II modeled figure the control design assumes.  This is the
+observability counterpart of ``bench_table2_runtimes``: that bench
+reproduces the *modeled* numbers, this one shows where this host's
+wall clock actually goes.
+"""
+
+from __future__ import annotations
+
+from repro.core.situation import situation_by_index
+from repro.hil.engine import HilConfig, HilEngine
+from repro.platform.profiles import control_runtime_ms, pr_runtime_ms
+from repro.sim.world import static_situation_track
+from repro.utils.profiling import format_stage_table
+
+
+def test_pipeline_stage_profile(once, benchmark, capsys):
+    track = static_situation_track(situation_by_index(1), length=60.0)
+    config = HilConfig(
+        seed=7, frame_width=192, frame_height=96, profile=True
+    )
+    engine = HilEngine(track, "case4", config=config)
+    result = once(engine.run)
+
+    assert result.profile, "profiling was enabled but no stats were recorded"
+    with capsys.disabled():
+        print()
+        print(result.profile_table())
+
+    for label, stat in result.profile.items():
+        benchmark.extra_info[f"{label}_mean_ms"] = round(stat.mean_ms, 4)
+        benchmark.extra_info[f"{label}_count"] = stat.count
+    benchmark.extra_info["modeled_pr_ms"] = pr_runtime_ms()
+    benchmark.extra_info["modeled_control_ms"] = control_runtime_ms()
+
+    # Every cycle must have passed through the whole sensing chain.
+    cycles = len(result.cycles)
+    for label in ("hil.render", "hil.isp", "hil.pr", "hil.control"):
+        assert result.profile[label].count == cycles
+    # The table renderer must accept the stats it produced.
+    assert "hil.isp" in format_stage_table(result.profile)

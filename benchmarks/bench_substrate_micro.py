@@ -65,8 +65,51 @@ def test_bench_vehicle_step(benchmark):
     benchmark(vehicle.step, 0.005, 0.05)
 
 
+def _time_forward(model, x, repeats: int = 50) -> float:
+    """Best-of-repeats forward wall clock in milliseconds."""
+    import time
+
+    model.forward(x)  # warm caches
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        model.forward(x)
+        best = min(best, time.perf_counter() - t0)
+    return best * 1e3
+
+
 def test_bench_classifier_inference(benchmark):
+    """Deployment-path (fused) inference, with the optimisation ledger.
+
+    ``extra_info`` records the fast-path win of this PR: seed-style
+    (allocating im2col, unfused) vs unfused-with-scratch vs fused, plus
+    the end-to-end speedup and the fused/unfused numeric agreement.
+    """
+    import repro.nn.layers as nn_layers
+
     model = build_tiny_resnet(5, seed=0)
+    fused = model.fuse()
     x = np.random.default_rng(0).standard_normal((1, 3, 24, 48)).astype(np.float32)
-    model.forward(x)
-    benchmark(model.forward, x)
+
+    # Seed-style baseline: disable the inference scratch pool so conv
+    # falls back to the allocating np.pad/im2col path of the seed tree.
+    saved = nn_layers._INFERENCE_SCRATCH
+    nn_layers._INFERENCE_SCRATCH = None
+    try:
+        seed_style_ms = _time_forward(model, x)
+    finally:
+        nn_layers._INFERENCE_SCRATCH = saved
+    unfused_ms = _time_forward(model, x)
+    fused_ms = _time_forward(fused, x)
+    max_diff = float(np.max(np.abs(model.forward(x) - fused.forward(x))))
+
+    benchmark.extra_info["seed_style_ms"] = round(seed_style_ms, 4)
+    benchmark.extra_info["unfused_ms"] = round(unfused_ms, 4)
+    benchmark.extra_info["fused_ms"] = round(fused_ms, 4)
+    benchmark.extra_info["speedup_vs_seed"] = round(seed_style_ms / fused_ms, 2)
+    benchmark.extra_info["fused_max_abs_diff"] = max_diff
+
+    assert max_diff < 1e-4
+    assert seed_style_ms / fused_ms >= 2.0
+
+    benchmark(fused.forward, x)

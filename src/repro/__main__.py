@@ -3,6 +3,7 @@
 Commands
 --------
 run            one closed-loop simulation (situation x case)
+profile        measured per-stage wall clock vs Table II modeled latency
 track          the Fig. 7/8 dynamic-track study
 characterize   design-time knob sweep for a situation (Table III row)
 train          train / load the three situation classifiers (Table IV)
@@ -24,12 +25,59 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     situation = situation_by_index(args.situation)
     track = static_situation_track(situation, length=args.length)
-    engine = HilEngine(track, args.case, config=HilConfig(seed=args.seed))
+    config = HilConfig(seed=args.seed, profile=args.profile)
+    engine = HilEngine(track, args.case, config=config)
     result = engine.run()
     status = "CRASHED" if result.crashed else "completed"
     print(f"{args.case} on '{situation.describe()}': {status}")
     print(f"MAE = {result.mae(skip_time_s=2.0) * 100:.2f} cm over "
           f"{result.duration_s():.1f} s")
+    if result.profile:
+        print()
+        print(result.profile_table())
+    return 1 if result.crashed else 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.core.situation import situation_by_index
+    from repro.hil import HilConfig, HilEngine
+    from repro.platform.profiles import (
+        classifier_runtime_ms,
+        control_runtime_ms,
+        isp_runtime_ms,
+        pr_runtime_ms,
+    )
+    from repro.sim import static_situation_track
+    from repro.utils.profiling import format_stage_table
+
+    situation = situation_by_index(args.situation)
+    track = static_situation_track(situation, length=args.length)
+    config = HilConfig(seed=args.seed, profile=True)
+    result = HilEngine(track, args.case, config=config).run()
+
+    # The 'model ms' column is the latency the control design assumes
+    # (Table II / Table IV, Xavier @ 30 W); measured columns are this
+    # host's wall clock.  Stages without a modeled figure (the renderer
+    # is simulation scaffolding, per-ISP-stage splits are not profiled
+    # in the paper) show '-'.
+    modeled = {
+        "hil.pr": pr_runtime_ms(),
+        "hil.control": control_runtime_ms(),
+    }
+    isp_names = {c.active_isp for c in result.cycles}
+    if len(isp_names) == 1:
+        modeled["hil.isp"] = isp_runtime_ms(next(iter(isp_names)))
+    clf_names = sorted({name for c in result.cycles for name in c.invoked})
+    if clf_names:
+        modeled["hil.classifier"] = sum(
+            classifier_runtime_ms(name) for name in clf_names
+        ) / len(clf_names)
+
+    print(
+        f"{args.case} on '{situation.describe()}' "
+        f"({len(result.cycles)} cycles, seed {args.seed})"
+    )
+    print(format_stage_table(result.profile or {}, modeled_ms=modeled))
     return 1 if result.crashed else 0
 
 
@@ -142,7 +190,19 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["case1", "case2", "case3", "case4", "variable", "adaptive"])
     p_run.add_argument("--length", type=float, default=150.0)
     p_run.add_argument("--seed", type=int, default=1)
+    p_run.add_argument("--profile", action="store_true",
+                       help="print measured per-stage wall clock after the run")
     p_run.set_defaults(func=_cmd_run)
+
+    p_prof = sub.add_parser(
+        "profile", help="measured stage wall clock vs Table II modeled latency"
+    )
+    p_prof.add_argument("--situation", type=int, default=1, help="Table III index 1-21")
+    p_prof.add_argument("--case", default="case4",
+                        choices=["case1", "case2", "case3", "case4", "variable", "adaptive"])
+    p_prof.add_argument("--length", type=float, default=60.0)
+    p_prof.add_argument("--seed", type=int, default=1)
+    p_prof.set_defaults(func=_cmd_profile)
 
     p_track = sub.add_parser("track", help="Fig. 7/8 dynamic-track study")
     p_track.add_argument("--cases", default="", help="comma list, default all five")

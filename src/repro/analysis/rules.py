@@ -549,6 +549,62 @@ class ShadowedImportRule(_ImportTrackingRule):
                 first_seen[bound] = (line, display)
 
 
+class HotPathFloat64Rule(Rule):
+    """PRF001: float64 reference in a per-cycle hot-path module.
+
+    The sensing chain (NN inference, ISP stages, renderer, classifier
+    runtime) runs every control cycle and is deliberately float32
+    end-to-end — a single ``np.float64`` cast or ``dtype="float64"``
+    doubles the bandwidth of everything downstream and silently undoes
+    the fast path.  Geometry/sensor code (``sim/track.py``,
+    ``sim/sensor.py``) legitimately computes in float64 and is not in
+    the guarded set.  A deliberate exception can be suppressed in place
+    with ``# reprolint: disable=PRF001``.
+    """
+
+    id = "PRF001"
+    name = "hot-path-float64"
+    severity = SEVERITY_ERROR
+    description = "float64 reference in a float32 hot-path module"
+
+    _HOT_PATH_SUFFIXES = (
+        "nn/layers.py",
+        "nn/model.py",
+        "isp/stages.py",
+        "isp/pipeline.py",
+        "sim/renderer.py",
+        "classifiers/models.py",
+        "classifiers/runtime.py",
+    )
+    _DTYPE_KEYWORDS = ("dtype", "output")
+
+    def visit_node(self, node: ast.AST, ctx) -> None:
+        if not ctx.posix_path.endswith(self._HOT_PATH_SUFFIXES):
+            return
+        if isinstance(node, ast.Attribute):
+            dotted = _dotted_name(node)
+            if dotted and dotted.endswith(".float64"):
+                ctx.report(
+                    self,
+                    node,
+                    f"{dotted} in a hot-path module; the sensing chain "
+                    "is float32 end-to-end (see DESIGN.md)",
+                )
+        elif isinstance(node, ast.Call):
+            for keyword in node.keywords:
+                if (
+                    keyword.arg in self._DTYPE_KEYWORDS
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value == "float64"
+                ):
+                    ctx.report(
+                        self,
+                        keyword.value,
+                        f'{keyword.arg}="float64" in a hot-path module; '
+                        "the sensing chain is float32 end-to-end",
+                    )
+
+
 class PrintInLibraryRule(Rule):
     """IO001: ``print()`` in library code.
 
@@ -589,6 +645,7 @@ RULES: Tuple[type, ...] = (
     MissingAllRule,
     DeadImportRule,
     ShadowedImportRule,
+    HotPathFloat64Rule,
     PrintInLibraryRule,
 )
 

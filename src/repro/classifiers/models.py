@@ -67,6 +67,19 @@ class SituationClassifier:
         self.classes = tuple(classes)
         self.input_shape = tuple(input_shape)
 
+    def fuse(self) -> "SituationClassifier":
+        """A deployment copy whose network has conv+BN pairs folded.
+
+        Predictions match the unfused classifier to float32 rounding
+        (the fold is exact up to rounding; see
+        :meth:`repro.nn.model.Sequential.fuse`), at a fraction of the
+        per-frame inference cost — this is what the runtime identifier
+        deploys inside the control loop.
+        """
+        return SituationClassifier(
+            self.name, self.model.fuse(), self.classes, self.input_shape
+        )
+
     def predict_proba(self, network_input: np.ndarray) -> np.ndarray:
         """Class probabilities for a preprocessed ``(C, H, W)`` input."""
         if network_input.shape != self.input_shape:

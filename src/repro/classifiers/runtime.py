@@ -19,13 +19,25 @@ class CnnIdentifier(SituationIdentifier):
     The incoming ISP frame is block-averaged to each network's input
     size (the frame must be an integer multiple — the default HiL frame
     of 384x192 maps onto the 48x24 network input with factor 8).
+
+    By default the networks are deployed *fused* (conv+BN folded via
+    :meth:`SituationClassifier.fuse`): classifier invocation sits on
+    the per-cycle hot path, and the fused forward does the same math in
+    a fraction of the passes.  Pass ``fuse=False`` to run the training
+    graphs unchanged (e.g. to A/B the numerics).
     """
 
-    def __init__(self, classifiers: Mapping[str, SituationClassifier]):
+    def __init__(
+        self,
+        classifiers: Mapping[str, SituationClassifier],
+        fuse: bool = True,
+    ):
         missing = {"road", "lane", "scene"} - set(classifiers)
         if missing:
             raise ValueError(f"missing classifiers: {sorted(missing)}")
-        self.classifiers: Dict[str, SituationClassifier] = dict(classifiers)
+        self.classifiers: Dict[str, SituationClassifier] = {
+            name: clf.fuse() if fuse else clf for name, clf in classifiers.items()
+        }
 
     def identify(
         self,

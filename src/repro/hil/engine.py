@@ -43,6 +43,8 @@ from repro.sim.geometry import Pose2D
 from repro.sim.renderer import RenderOptions, RoadSceneRenderer
 from repro.sim.track import Track
 from repro.sim.vehicle import Vehicle, VehicleParams, VehicleState
+from repro.utils import profiling
+from repro.utils.profiling import profile
 
 __all__ = ["HilConfig", "HilEngine"]
 
@@ -74,6 +76,11 @@ class HilConfig:
     use_feedforward: bool = False
     use_lqg: bool = False
     seed: int = 0
+    #: Measure wall-clock time per sensing/control stage and attach the
+    #: stats to :attr:`HilResult.profile`.  Pure observability: the
+    #: simulated trace is bit-identical with profiling on or off (timing
+    #: in the loop is *modeled* via Table II, never measured).
+    profile: bool = False
 
 
 class HilEngine:
@@ -182,53 +189,68 @@ class HilEngine:
         completed = False
         recorded = 0
 
-        for step in range(n_steps):
-            t_ms = step * cfg.sim_step_ms
-            state = vehicle.state
+        # Profiling never alters the simulation: spans only read the
+        # wall clock, and the loop's timing model stays Table II based.
+        # An already-active profiler (REPRO_PROFILE=1) is reused so CLI
+        # runs aggregate across engines; otherwise cfg.profile scopes a
+        # private one to this run.
+        profiler = profiling.get_active()
+        local_profiler = None
+        if profiler is None and cfg.profile:
+            profiler = local_profiler = profiling.Profiler()
+            profiling.activate(local_profiler)
 
-            # Actuate commands whose sensor-to-actuation delay elapsed.
-            # This happens before the new sample: with tau == h the
-            # command lands exactly when the next frame is taken.
-            while pending and pending[0][0] <= step:
-                current_u = pending.pop(0)[1]
+        try:
+            for step in range(n_steps):
+                t_ms = step * cfg.sim_step_ms
+                state = vehicle.state
 
-            if step == control_due:
-                u, decision, record, controller = self._control_cycle(
-                    t_ms, state, s_hint, controller
-                )
-                cycles.append(record)
-                vehicle.set_target_speed(decision.speed_kmph / 3.6)
-                tau_steps = max(
-                    1, int(np.ceil(decision.timing.delay_ms / cfg.sim_step_ms - 1e-9))
-                )
-                h_steps = max(
-                    1, int(round(decision.timing.period_ms / cfg.sim_step_ms))
-                )
-                pending.append((step + tau_steps, u))
-                control_due = step + h_steps
+                # Actuate commands whose sensor-to-actuation delay elapsed.
+                # This happens before the new sample: with tau == h the
+                # command lands exactly when the next frame is taken.
+                while pending and pending[0][0] <= step:
+                    current_u = pending.pop(0)[1]
 
-            vehicle.step(step_s, current_u)
-            state = vehicle.state
-            s_now, d_now = track.frenet(state.pose.x, state.pose.y, s_hint=s_hint)
-            s_hint = s_now
-            look = state.pose.position() + self.perception.lookahead * state.pose.forward()
-            _, y_true = track.frenet(look[0], look[1], s_hint=s_now)
+                if step == control_due:
+                    u, decision, record, controller = self._control_cycle(
+                        t_ms, state, s_hint, controller
+                    )
+                    cycles.append(record)
+                    vehicle.set_target_speed(decision.speed_kmph / 3.6)
+                    tau_steps = max(
+                        1, int(np.ceil(decision.timing.delay_ms / cfg.sim_step_ms - 1e-9))
+                    )
+                    h_steps = max(
+                        1, int(round(decision.timing.period_ms / cfg.sim_step_ms))
+                    )
+                    pending.append((step + tau_steps, u))
+                    control_due = step + h_steps
 
-            times[recorded] = (step + 1) * step_s
-            s_arr[recorded] = s_now
-            d_arr[recorded] = d_now
-            y_arr[recorded] = y_true
-            steer_arr[recorded] = state.steer
-            speed_arr[recorded] = state.speed
-            recorded += 1
+                vehicle.step(step_s, current_u)
+                state = vehicle.state
+                s_now, d_now = track.frenet(state.pose.x, state.pose.y, s_hint=s_hint)
+                s_hint = s_now
+                look = state.pose.position() + self.perception.lookahead * state.pose.forward()
+                _, y_true = track.frenet(look[0], look[1], s_hint=s_now)
 
-            if abs(d_now) > cfg.crash_offset_m:
-                crashed = True
-                crash_s = s_now
-                break
-            if s_now >= track.length - cfg.end_margin_m:
-                completed = True
-                break
+                times[recorded] = (step + 1) * step_s
+                s_arr[recorded] = s_now
+                d_arr[recorded] = d_now
+                y_arr[recorded] = y_true
+                steer_arr[recorded] = state.steer
+                speed_arr[recorded] = state.speed
+                recorded += 1
+
+                if abs(d_now) > cfg.crash_offset_m:
+                    crashed = True
+                    crash_s = s_now
+                    break
+                if s_now >= track.length - cfg.end_margin_m:
+                    completed = True
+                    break
+        finally:
+            if local_profiler is not None:
+                profiling.deactivate()
 
         return HilResult(
             time_s=times[:recorded],
@@ -241,6 +263,7 @@ class HilEngine:
             crashed=crashed,
             crash_s=crash_s,
             completed=completed,
+            profile=profiler.stats() if profiler is not None else None,
         )
 
     # ------------------------------------------------------------------
@@ -286,16 +309,22 @@ class HilEngine:
             decision = self.manager.decide(t_ms, invoked)
             measurement = PerceptionResult.invalid()
         else:
-            raw = self.renderer.render_raw(state.pose)
-            rgb = self._isp(active_isp).process(raw)
+            with profile("hil.render"):
+                raw = self.renderer.render_raw(state.pose)
+            with profile("hil.isp"):
+                rgb = self._isp(active_isp).process(raw)
 
             if invoked:
-                features = self.identifier.identify(rgb, invoked, true_situation)
+                with profile("hil.classifier"):
+                    features = self.identifier.identify(
+                        rgb, invoked, true_situation
+                    )
                 self.manager.integrate_identification(features)
             decision = self.manager.decide(t_ms, invoked)
 
             self.perception.set_roi(decision.roi)
-            measurement = self.perception.process(rgb)
+            with profile("hil.pr"):
+                measurement = self.perception.process(rgb)
         if contracts_enabled():
             # NaN here would silently corrupt the control loop; fail at
             # the sensing/control boundary instead.
@@ -305,32 +334,37 @@ class HilEngine:
             )
         self.manager.observe_measurement(measurement.valid)
 
-        gains = self.gain_scheduler.gains_for(
-            decision.speed_kmph / 3.6,
-            decision.timing.period_s,
-            decision.timing.delay_s,
-        )
-        if controller is None:
-            controller = LaneKeepingController(
-                gains,
-                steer_limit=self.vehicle_params.steer_limit,
-                use_feedforward=self.config.use_feedforward,
+        with profile("hil.control"):
+            gains = self.gain_scheduler.gains_for(
+                decision.speed_kmph / 3.6,
+                decision.timing.period_s,
+                decision.timing.delay_s,
             )
-        else:
-            controller.set_gains(gains)
+            if controller is None:
+                controller = LaneKeepingController(
+                    gains,
+                    steer_limit=self.vehicle_params.steer_limit,
+                    use_feedforward=self.config.use_feedforward,
+                )
+            else:
+                controller.set_gains(gains)
 
-        if self.config.use_lqg:
-            measurement = self._filter_measurement(
-                gains, measurement, controller.state.u_prev
-            )
+            if self.config.use_lqg:
+                measurement = self._filter_measurement(
+                    gains, measurement, controller.state.u_prev
+                )
 
-        if self._imu is not None:
-            v_y, r, steer = self._imu.sample(
-                state, self.config.sim_step_ms / 1000.0
-            )
-        else:
-            v_y, r, steer = state.lateral_velocity, state.yaw_rate, state.steer
-        u = controller.step(measurement, v_y, r, steer)
+            if self._imu is not None:
+                v_y, r, steer = self._imu.sample(
+                    state, self.config.sim_step_ms / 1000.0
+                )
+            else:
+                v_y, r, steer = (
+                    state.lateral_velocity,
+                    state.yaw_rate,
+                    state.steer,
+                )
+            u = controller.step(measurement, v_y, r, steer)
         record = CycleRecord(
             time_ms=t_ms,
             s=s_now,

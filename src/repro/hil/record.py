@@ -5,12 +5,13 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.metrics.qoc import mae
 from repro.sim.track import Track
+from repro.utils.profiling import StageStats, format_stage_table
 
 __all__ = ["CycleRecord", "HilResult", "SectorQoC"]
 
@@ -63,6 +64,17 @@ class HilResult:
     crashed: bool = False
     crash_s: Optional[float] = None
     completed: bool = False
+    #: Measured per-stage wall-clock stats (``HilConfig.profile=True``
+    #: or ``REPRO_PROFILE=1``); ``None`` when profiling was off.  This
+    #: is ephemeral observability data: :meth:`save` does not persist
+    #: it, and it never influences the simulated trace.
+    profile: Optional[Dict[str, StageStats]] = None
+
+    def profile_table(self) -> str:
+        """The stage-timing table as text ('' when profiling was off)."""
+        if not self.profile:
+            return ""
+        return format_stage_table(self.profile)
 
     def mae(self, skip_time_s: float = 0.0) -> float:
         """MAE of the true look-ahead deviation (Eq. 1).

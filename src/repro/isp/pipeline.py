@@ -15,6 +15,7 @@ from repro.isp.stages import (
     gamut_map,
     tone_map,
 )
+from repro.utils.profiling import profile
 
 __all__ = ["IspPipeline"]
 
@@ -33,6 +34,9 @@ _STAGE_FN = {
     IspStage.GAMUT_MAP: gamut_map,
     IspStage.TONE_MAP: tone_map,
 }
+
+#: Profiler labels, precomputed so the hot loop does no string work.
+_STAGE_LABEL = {stage: f"isp.{stage.name.lower()}" for stage in _STAGE_ORDER}
 
 
 class IspPipeline:
@@ -66,11 +70,15 @@ class IspPipeline:
         Downstream perception uses adaptive thresholds to cope with both,
         which is exactly the robustness interplay the paper studies.
         """
-        rgb = demosaic(raw)
+        with profile(_STAGE_LABEL[IspStage.DEMOSAIC]):
+            rgb = demosaic(raw)
         for stage in _STAGE_ORDER[1:]:
             if self.config.has(stage):
-                rgb = _STAGE_FN[stage](rgb)
-        return np.clip(rgb, 0.0, 1.0)
+                with profile(_STAGE_LABEL[stage]):
+                    rgb = _STAGE_FN[stage](rgb)
+        # Every stage output (demosaic included) is a fresh array owned
+        # by this call, so the final clip runs in place.
+        return np.clip(rgb, 0.0, 1.0, out=rgb)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         stages = "+".join(s.value for s in self.config.stages)

@@ -15,10 +15,13 @@ otherwise.  The stage set matches [8], [12] (Buckler et al.'s
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from enum import Enum
 
 import numpy as np
 from scipy import ndimage
+
+from repro.utils.scratch import ScratchCache
 
 __all__ = [
     "IspStage",
@@ -28,6 +31,12 @@ __all__ = [
     "gamut_map",
     "tone_map",
 ]
+
+#: Reusable per-shape temporaries for the stage hot paths (masked
+#: planes, convolution outputs, exposure buffers).  Everything drawn
+#: from here is consumed before the stage returns — stage *outputs*
+#: are always fresh arrays because they escape to the caller.
+_SCRATCH = ScratchCache(max_entries=24)
 
 
 class IspStage(str, Enum):
@@ -46,14 +55,18 @@ _KERNEL_G = np.array([[0, 1, 0], [1, 4, 1], [0, 1, 0]], dtype=np.float32)
 _KERNEL_RB = np.array([[1, 2, 1], [2, 4, 2], [1, 2, 1]], dtype=np.float32)
 
 # The channel masks and their convolved normalizers only depend on the
-# frame shape; cache them (one entry per resolution used in a session).
-_DEMOSAIC_CACHE: dict = {}
+# frame shape; cache them per resolution.  The cache is LRU-bounded so
+# a long sweep over many resolutions (each table set is ~6 full frames
+# of float32) cannot grow it without limit.
+_DEMOSAIC_CACHE: "OrderedDict[tuple, tuple]" = OrderedDict()
+_DEMOSAIC_CACHE_MAX = 8
 
 
 def _demosaic_tables(height: int, width: int):
     key = (height, width)
     cached = _DEMOSAIC_CACHE.get(key)
     if cached is not None:
+        _DEMOSAIC_CACHE.move_to_end(key)
         return cached
     rows = np.arange(height)[:, None]
     cols = np.arange(width)[None, :]
@@ -70,6 +83,8 @@ def _demosaic_tables(height: int, width: int):
         den = ndimage.convolve(mask, kernel, mode="mirror")
         inv_norms.append((1.0 / np.maximum(den, 1e-6)).astype(np.float32))
     tables = (masks, tuple(inv_norms))
+    while len(_DEMOSAIC_CACHE) >= _DEMOSAIC_CACHE_MAX:
+        _DEMOSAIC_CACHE.popitem(last=False)
     _DEMOSAIC_CACHE[key] = tables
     return tables
 
@@ -82,11 +97,16 @@ def demosaic(raw: np.ndarray) -> np.ndarray:
     height, width = raw32.shape
     masks, inv_norms = _demosaic_tables(height, width)
 
+    # Masked plane and convolution output cycle through scratch (same
+    # values as the allocating form; both are consumed per channel).
+    masked = _SCRATCH.get("demosaic-masked", raw32.shape)
+    num = _SCRATCH.get("demosaic-num", raw32.shape)
     rgb = np.empty((height, width, 3), dtype=np.float32)
     for channel, (mask, inv_norm) in enumerate(zip(masks, inv_norms)):
         kernel = _KERNEL_G if channel == 1 else _KERNEL_RB
-        num = ndimage.convolve(raw32 * mask, kernel, mode="mirror")
-        rgb[..., channel] = num * inv_norm
+        np.multiply(raw32, mask, out=masked)
+        ndimage.convolve(masked, kernel, mode="mirror", output=num)
+        np.multiply(num, inv_norm, out=rgb[..., channel])
     return rgb
 
 
@@ -132,7 +152,8 @@ def color_map(rgb: np.ndarray, confidence_knee: float = 0.08) -> np.ndarray:
     gains = np.clip(gains, 0.5, 2.0).astype(np.float32)
     eye = np.eye(3, dtype=np.float32)
     ccm = confidence * _CCM + (1.0 - confidence) * eye
-    balanced = rgb * (confidence * gains + (1.0 - confidence))
+    balanced = _SCRATCH.get("colormap-balanced", rgb.shape, rgb.dtype)
+    np.multiply(rgb, confidence * gains + (np.float32(1.0) - confidence), out=balanced)
     return balanced @ ccm.T
 
 
@@ -144,11 +165,16 @@ def gamut_map(rgb: np.ndarray, knee: float = 0.85) -> np.ndarray:
     """
     if not 0.0 < knee < 1.0:
         raise ValueError(f"knee must be in (0, 1), got {knee}")
-    x = np.clip(rgb, 0.0, None)
-    over = x > knee
+    x = _SCRATCH.get("gamut-clipped", rgb.shape, rgb.dtype)
+    np.clip(rgb, 0.0, None, out=x)
     span = 1.0 - knee
-    compressed = knee + span * np.tanh((x - knee) / span)
-    return np.where(over, compressed, x).astype(np.float32)
+    compressed = _SCRATCH.get("gamut-compressed", rgb.shape, rgb.dtype)
+    np.subtract(x, knee, out=compressed)
+    compressed /= span
+    np.tanh(compressed, out=compressed)
+    compressed *= span
+    compressed += knee
+    return np.where(x > knee, compressed, x).astype(np.float32)
 
 
 def tone_map(
@@ -170,5 +196,7 @@ def tone_map(
     luma = rgb @ np.array([0.299, 0.587, 0.114], dtype=np.float32)
     mean = float(luma.mean())
     gain = np.float32(np.clip(target_mean / max(mean, 1e-6), 1.0, max_gain))
-    exposed = np.clip(rgb * gain, 0.0, 1.0)
+    exposed = _SCRATCH.get("tonemap-exposed", rgb.shape, rgb.dtype)
+    np.multiply(rgb, gain, out=exposed)
+    np.clip(exposed, 0.0, 1.0, out=exposed)
     return np.power(exposed, np.float32(1.0 / gamma))

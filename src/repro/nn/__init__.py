@@ -19,8 +19,9 @@ from repro.nn.layers import (
     BatchNorm2D,
     MaxPool2D,
     GlobalAvgPool2D,
+    fuse_conv_bn,
 )
-from repro.nn.model import Sequential, ResidualBlock
+from repro.nn.model import Sequential, ResidualBlock, FusedResidualBlock
 from repro.nn.losses import softmax_cross_entropy, softmax
 from repro.nn.optim import SGD, Adam
 from repro.nn.trainer import Trainer, TrainConfig, TrainReport
@@ -38,6 +39,8 @@ __all__ = [
     "GlobalAvgPool2D",
     "Sequential",
     "ResidualBlock",
+    "FusedResidualBlock",
+    "fuse_conv_bn",
     "softmax_cross_entropy",
     "softmax",
     "SGD",

@@ -3,7 +3,11 @@
 Every layer implements ``forward(x, training)`` and ``backward(grad)``;
 ``backward`` must be called with the gradient w.r.t. the forward output
 and returns the gradient w.r.t. the forward input, accumulating
-parameter gradients on the way.  Arrays are float32, layout NCHW.
+parameter gradients on the way.  Arrays are float32, layout NCHW:
+parameters are *created* float32 at initialization so no GEMM ever
+promotes to float64, and ``forward(training=False)`` allocates no
+backward caches and draws its im2col temporaries from a bounded
+scratch pool (zero steady-state allocation for repeated shapes).
 """
 
 from __future__ import annotations
@@ -11,6 +15,8 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 import numpy as np
+
+from repro.utils.scratch import ScratchCache
 
 __all__ = [
     "Parameter",
@@ -22,7 +28,13 @@ __all__ = [
     "BatchNorm2D",
     "MaxPool2D",
     "GlobalAvgPool2D",
+    "fuse_conv_bn",
 ]
+
+#: Shared inference-only scratch buffers (padded inputs, im2col
+#: columns).  Bounded LRU so multi-resolution sessions cannot grow it
+#: without limit; see :mod:`repro.utils.scratch` for the safety rules.
+_INFERENCE_SCRATCH = ScratchCache(max_entries=64)
 
 
 class Parameter:
@@ -61,10 +73,15 @@ class Dense(Layer):
 
     def __init__(self, in_features: int, out_features: int, rng: np.random.Generator):
         scale = np.sqrt(2.0 / in_features)
+        # He init, cast once at creation: parameters live as float32 so
+        # every downstream GEMM runs in float32 (no float64 promotion).
         self.w = Parameter(
-            rng.standard_normal((in_features, out_features)) * scale, "dense/w"
+            (rng.standard_normal((in_features, out_features)) * scale).astype(
+                np.float32
+            ),
+            "dense/w",
         )
-        self.b = Parameter(np.zeros(out_features), "dense/b")
+        self.b = Parameter(np.zeros(out_features, dtype=np.float32), "dense/b")
         self._x: Optional[np.ndarray] = None
 
     def parameters(self) -> List[Parameter]:
@@ -108,20 +125,41 @@ class Flatten(Layer):
         return grad.reshape(self._shape)
 
 
-def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int):
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int,
+            scratch: Optional[ScratchCache] = None):
     """Rearrange (N, C, H, W) into GEMM-ready columns.
 
     Returns ``(cols, out_h, out_w)`` with ``cols`` of shape
     ``(C * kh * kw, N * out_h * out_w)`` — already contiguous in the
     layout the convolution GEMM consumes, so no transpose copy is
     needed afterwards.
+
+    With *scratch* (inference only) the padded input and the column
+    buffer come from the pool instead of fresh allocations — the
+    returned ``cols`` view is only valid until the next same-shape
+    call, which is fine because the conv GEMM consumes it immediately.
+    ``np.pad`` is also bypassed: the pooled padding buffer is created
+    zero-filled, only its interior is rewritten per call, so its
+    borders stay zero forever (same values, none of the python-level
+    ``np.pad`` overhead).
     """
     n, c, h, w = x.shape
     out_h = (h + 2 * pad - kh) // stride + 1
     out_w = (w + 2 * pad - kw) // stride + 1
     if pad:
-        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
-    cols = np.empty((c, kh, kw, n, out_h, out_w), dtype=x.dtype)
+        if scratch is not None:
+            padded = scratch.get(
+                "im2col-pad", (n, c, h + 2 * pad, w + 2 * pad), x.dtype, zero=True
+            )
+            padded[:, :, pad : pad + h, pad : pad + w] = x
+            x = padded
+        else:
+            x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    cols_shape = (c, kh, kw, n, out_h, out_w)
+    if scratch is not None:
+        cols = scratch.get("im2col-cols", cols_shape, x.dtype)
+    else:
+        cols = np.empty(cols_shape, dtype=x.dtype)
     for i in range(kh):
         i_end = i + stride * out_h
         for j in range(kw):
@@ -174,17 +212,61 @@ class Conv2D(Layer):
         fan_in = in_channels * kernel_size * kernel_size
         scale = np.sqrt(2.0 / fan_in)
         self.w = Parameter(
-            rng.standard_normal((out_channels, fan_in)) * scale, "conv/w"
+            (rng.standard_normal((out_channels, fan_in)) * scale).astype(np.float32),
+            "conv/w",
         )
-        self.b = Parameter(np.zeros(out_channels), "conv/b") if bias else None
+        self.b = (
+            Parameter(np.zeros(out_channels, dtype=np.float32), "conv/b")
+            if bias
+            else None
+        )
         self._cache = None
+
+    @classmethod
+    def from_weights(
+        cls,
+        w: np.ndarray,
+        b: Optional[np.ndarray],
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        name: str = "conv/w",
+    ) -> "Conv2D":
+        """Build a conv directly from a ``(out_ch, fan_in)`` weight matrix.
+
+        Used by :func:`fuse_conv_bn` to materialize folded weights
+        without burning RNG draws.
+        """
+        conv = cls.__new__(cls)
+        out_channels, fan_in = w.shape
+        if fan_in % (kernel_size * kernel_size):
+            raise ValueError(
+                f"fan_in {fan_in} not divisible by k^2 = {kernel_size ** 2}"
+            )
+        conv.in_channels = fan_in // (kernel_size * kernel_size)
+        conv.out_channels = out_channels
+        conv.kernel_size = kernel_size
+        conv.stride = stride
+        conv.padding = padding
+        conv.w = Parameter(w, name)
+        conv.b = None if b is None else Parameter(b, name.replace("/w", "/b"))
+        conv._cache = None
+        return conv
 
     def parameters(self) -> List[Parameter]:
         return [self.w] + ([self.b] if self.b is not None else [])
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        # Inference draws its temporaries from the bounded scratch pool;
+        # training allocates fresh (the column matrix is kept for
+        # backward and must survive until then).
         flat, out_h, out_w = _im2col(
-            x, self.kernel_size, self.kernel_size, self.stride, self.padding
+            x,
+            self.kernel_size,
+            self.kernel_size,
+            self.stride,
+            self.padding,
+            scratch=None if training else _INFERENCE_SCRATCH,
         )
         n = x.shape[0]
         # One flat GEMM: (out_ch, fan_in) @ (fan_in, n * out_pixels).
@@ -217,8 +299,8 @@ class BatchNorm2D(Layer):
     """Batch normalization over (N, H, W) per channel."""
 
     def __init__(self, channels: int, momentum: float = 0.9, eps: float = 1e-5):
-        self.gamma = Parameter(np.ones(channels), "bn/gamma")
-        self.beta = Parameter(np.zeros(channels), "bn/beta")
+        self.gamma = Parameter(np.ones(channels, dtype=np.float32), "bn/gamma")
+        self.beta = Parameter(np.zeros(channels, dtype=np.float32), "bn/beta")
         self.momentum = momentum
         self.eps = eps
         self.running_mean = np.zeros(channels, dtype=np.float32)
@@ -280,6 +362,14 @@ class MaxPool2D(Layer):
         if h % k or w % k:
             raise ValueError(f"spatial dims {(h, w)} not divisible by pool {k}")
         xr = x.reshape(n, c, h // k, k, w // k, k)
+        if not training and k == 2:
+            # Pairwise maxima beat the generic two-axis reduction on the
+            # small maps of the hot path (identical values: max is exact).
+            out = np.maximum(
+                np.maximum(xr[:, :, :, 0, :, 0], xr[:, :, :, 0, :, 1]),
+                np.maximum(xr[:, :, :, 1, :, 0], xr[:, :, :, 1, :, 1]),
+            )
+            return out
         out = xr.max(axis=(3, 5))
         if training:
             mask = xr == out[:, :, :, None, :, None]
@@ -295,6 +385,39 @@ class MaxPool2D(Layer):
         counts = mask.sum(axis=(3, 5), keepdims=True)
         g = g / np.maximum(counts, 1)
         return g.reshape(x_shape)
+
+
+def fuse_conv_bn(conv: Conv2D, bn: BatchNorm2D) -> Conv2D:
+    """Fold a frozen BatchNorm into the preceding conv (deployment form).
+
+    For inference BN is the per-channel affine
+    ``y = gamma * (conv(x) - mean) / sqrt(var + eps) + beta``; folding
+    the scale into the conv weights and the shift into its bias yields
+    one conv whose outputs match the conv+BN pair to float32 rounding::
+
+        w' = w * gamma / sqrt(var + eps)
+        b' = beta + (b - mean) * gamma / sqrt(var + eps)
+
+    The returned conv owns fresh parameter arrays — the original model
+    is untouched and remains trainable.
+    """
+    inv_std = 1.0 / np.sqrt(bn.running_var + np.float32(bn.eps))
+    scale = (bn.gamma.value * inv_std).astype(np.float32)
+    w = (conv.w.value * scale[:, None]).astype(np.float32)
+    bias = (
+        np.zeros(conv.out_channels, dtype=np.float32)
+        if conv.b is None
+        else conv.b.value
+    )
+    b = (bn.beta.value + (bias - bn.running_mean) * scale).astype(np.float32)
+    return Conv2D.from_weights(
+        w,
+        b,
+        kernel_size=conv.kernel_size,
+        stride=conv.stride,
+        padding=conv.padding,
+        name=conv.w.name.replace("/w", "-fused/w"),
+    )
 
 
 class GlobalAvgPool2D(Layer):

@@ -28,11 +28,12 @@ import numpy as np
 
 from repro.core.situation import LaneColor, LaneForm, Scene
 from repro.sim.camera import CameraModel, GroundMap
-from repro.sim.geometry import Pose2D
+from repro.sim.geometry import Pose2D, rotation_matrix
 from repro.sim.photometry import ScenePhotometry, photometry_for
 from repro.sim.sensor import add_sensor_noise, mosaic
 from repro.sim.track import Track
 from repro.utils.rng import derive_rng
+from repro.utils.scratch import ScratchCache
 
 __all__ = ["RenderOptions", "RoadSceneRenderer"]
 
@@ -50,11 +51,11 @@ RETROREFLECTIVE_GAIN = 0.6
 #: include it so stale artifacts are regenerated automatically.
 RENDERER_VERSION = 4
 
-# Linear-light albedos.
-WHITE_ALBEDO = np.array([0.85, 0.85, 0.85])
-YELLOW_ALBEDO = np.array([0.82, 0.62, 0.10])
-ROAD_ALBEDO = np.array([0.21, 0.21, 0.22])
-SHOULDER_ALBEDO = np.array([0.10, 0.20, 0.08])
+# Linear-light albedos (float32: the frame math never leaves float32).
+WHITE_ALBEDO = np.array([0.85, 0.85, 0.85], dtype=np.float32)
+YELLOW_ALBEDO = np.array([0.82, 0.62, 0.10], dtype=np.float32)
+ROAD_ALBEDO = np.array([0.21, 0.21, 0.22], dtype=np.float32)
+SHOULDER_ALBEDO = np.array([0.10, 0.20, 0.08], dtype=np.float32)
 
 _FORM_CODE = {LaneForm.CONTINUOUS: 0, LaneForm.DOTTED: 1, LaneForm.DOUBLE: 2}
 _COLOR_CODE = {LaneColor.WHITE: 0, LaneColor.YELLOW: 1}
@@ -114,7 +115,13 @@ class RoadSceneRenderer:
             gm.forward_footprint.ravel()[self._vidx], 1e-4
         ).astype(np.float32)
         self._local = np.stack([self._fwd, self._lat], axis=-1)
+        # Per-segment appearance tables are pose-independent: built once
+        # here, reused by every frame (never recomputed per render).
         self._segment_tables = self._build_segment_tables()
+        # Reusable per-frame temporaries (world points, albedo planes)
+        # and per-photometry float32 constants; both bounded.
+        self._scratch = ScratchCache(max_entries=16)
+        self._photometry_arrays: dict = {}
 
     # ------------------------------------------------------------------
     # public API
@@ -170,6 +177,19 @@ class RoadSceneRenderer:
         )
         return bounds, forms, colors
 
+    def _photometry_constants(self, photometry: ScenePhotometry):
+        """Float32 tint/sky arrays, built once per photometry object."""
+        cached = self._photometry_arrays.get(photometry)
+        if cached is None:
+            cached = (
+                photometry.tint_array().astype(np.float32),
+                (photometry.sky_array() * max(photometry.exposure, 0.05)).astype(
+                    np.float32
+                ),
+            )
+            self._photometry_arrays[photometry] = cached
+        return cached
+
     def _render(
         self, pose: Pose2D, photometry: ScenePhotometry, s_vehicle: float
     ) -> np.ndarray:
@@ -178,10 +198,10 @@ class RoadSceneRenderer:
         height, width = cam.height, cam.width
 
         # 1. ground pixels -> world -> road coordinates
-        from repro.sim.geometry import rotation_matrix
-
         rot = rotation_matrix(pose.heading).astype(np.float32)
-        world = self._local @ rot.T + pose.position().astype(np.float32)
+        world = self._scratch.get("world", self._local.shape)
+        np.matmul(self._local, rot.T, out=world)
+        world += pose.position().astype(np.float32)
         window = (s_vehicle - 25.0, s_vehicle + cam.max_distance + 30.0)
         s_pt, d_pt, on_track = self.track.locate_points(world, window)
         s_pt = np.where(on_track, s_pt, np.float32(0.0))
@@ -194,11 +214,11 @@ class RoadSceneRenderer:
         )
         albedo = np.where(
             on_road[:, None],
-            ROAD_ALBEDO[None, :].astype(np.float32),
-            SHOULDER_ALBEDO[None, :].astype(np.float32),
+            ROAD_ALBEDO[None, :],
+            SHOULDER_ALBEDO[None, :],
         )
         texture = np.float32(opts.texture_amplitude) * _position_hash(s_pt, d_pt)
-        albedo = albedo * (np.float32(1.0) + texture[:, None])
+        albedo *= np.float32(1.0) + texture[:, None]
 
         # 3. lane markings
         seg_idx = (
@@ -219,17 +239,18 @@ class RoadSceneRenderer:
         )
         left_color = np.where(
             color_code[:, None] == _COLOR_CODE[LaneColor.YELLOW],
-            YELLOW_ALBEDO[None, :].astype(np.float32),
-            WHITE_ALBEDO[None, :].astype(np.float32),
+            YELLOW_ALBEDO[None, :],
+            WHITE_ALBEDO[None, :],
         )
-        albedo = albedo + left_cov[:, None] * (left_color - albedo)
-        albedo = albedo + right_cov[:, None] * (
-            WHITE_ALBEDO[None, :].astype(np.float32) - albedo
-        )
+        albedo += left_cov[:, None] * (left_color - albedo)
+        albedo += right_cov[:, None] * (WHITE_ALBEDO[None, :] - albedo)
 
         # 4. photometry: exposure, headlight falloff, tint, ambient.
         # Lane paint is retroreflective (glass beads): under headlight
         # illumination the markings return extra light to the camera.
+        # ``albedo`` is a fresh per-call temporary, so the radiance
+        # chain runs in place on it.
+        tint, sky = self._photometry_constants(photometry)
         if np.isfinite(photometry.headlight_falloff):
             illum = np.float32(photometry.exposure) * (
                 np.float32(0.25)
@@ -238,18 +259,19 @@ class RoadSceneRenderer:
             )
             marking_cov = np.maximum(left_cov, right_cov)
             retro = np.float32(1.0) + np.float32(RETROREFLECTIVE_GAIN) * marking_cov
-            radiance = albedo * (illum * retro)[:, None]
+            albedo *= (illum * retro)[:, None]
         else:
-            radiance = albedo * np.float32(photometry.exposure)
-        radiance = radiance * photometry.tint_array().astype(np.float32)
-        radiance = radiance + np.float32(photometry.ambient)
+            albedo *= np.float32(photometry.exposure)
+        albedo *= tint
+        albedo += np.float32(photometry.ambient)
+        radiance = albedo
 
         # 5. scatter into the frame; sky everywhere else
-        sky = photometry.sky_array() * max(photometry.exposure, 0.05)
         frame = np.empty((height * width, 3), dtype=np.float32)
-        frame[:] = sky.astype(np.float32)
+        frame[:] = sky
         frame[self._vidx] = radiance
-        return np.clip(frame.reshape(height, width, 3), 0.0, 1.0)
+        np.clip(frame, 0.0, 1.0, out=frame)
+        return frame.reshape(height, width, 3)
 
     @staticmethod
     def _marking_coverage(

@@ -1,7 +1,9 @@
-"""Shared utilities: deterministic RNG, parallel sweeps, caching, validation."""
+"""Shared utilities: RNG, parallel sweeps, caching, profiling, validation."""
 
 from repro.utils.parallel import TaskFailure, parallel_map, resolve_jobs, task_seed
+from repro.utils.profiling import Profiler, StageStats, profile, profiling_enabled
 from repro.utils.rng import derive_rng, seed_everything
+from repro.utils.scratch import ScratchCache
 from repro.utils.validation import (
     check_finite,
     check_in_range,
@@ -14,6 +16,11 @@ __all__ = [
     "parallel_map",
     "resolve_jobs",
     "task_seed",
+    "Profiler",
+    "StageStats",
+    "profile",
+    "profiling_enabled",
+    "ScratchCache",
     "derive_rng",
     "seed_everything",
     "check_finite",

@@ -1,0 +1,244 @@
+"""Near-zero-overhead scoped stage timers for the per-cycle hot path.
+
+The paper's argument rests on *where the sensor-to-actuation delay
+goes* (Table II profiles every ISP configuration, the PR pipeline and
+the classifiers stage by stage).  This module gives the reproduction
+the same observability over its own wall clock::
+
+    from repro.utils.profiling import profile
+
+    with profile("isp.tone_map"):
+        rgb = tone_map(rgb)
+
+Timings aggregate per label (count / total / mean / p95) on the
+currently *active* :class:`Profiler`.  When no profiler is active —
+the default — ``profile()`` returns a shared no-op context manager:
+no object is allocated per call and nothing is recorded, so
+instrumentation may stay in hot loops permanently.
+
+Enabling
+--------
+- ``REPRO_PROFILE=1`` in the environment activates a process-global
+  profiler at import time (also inherited by CLI entry points), or
+- pass ``--profile`` to ``python -m repro run`` / use
+  ``python -m repro profile``, or
+- programmatically: ``activate(Profiler())`` / the ``activated()``
+  context manager.
+
+Profiling never touches RNG state or array values, so traces are
+bit-identical with profiling on or off.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+__all__ = [
+    "StageStats",
+    "Profiler",
+    "profile",
+    "profiling_enabled",
+    "activate",
+    "deactivate",
+    "get_active",
+    "activated",
+    "format_stage_table",
+]
+
+
+def profiling_enabled() -> bool:
+    """Whether ``REPRO_PROFILE`` requests profiling (checked per call)."""
+    return os.environ.get("REPRO_PROFILE", "0").lower() not in ("", "0", "false")
+
+
+@dataclass(frozen=True)
+class StageStats:
+    """Aggregated timings of one labelled stage."""
+
+    label: str
+    count: int
+    total_ms: float
+    mean_ms: float
+    p95_ms: float
+
+
+class _Span:
+    """Context manager timing one scope into its profiler."""
+
+    __slots__ = ("_profiler", "_label", "_t0")
+
+    def __init__(self, profiler: "Profiler", label: str):
+        self._profiler = profiler
+        self._label = label
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._profiler.record(self._label, time.perf_counter() - self._t0)
+        return False
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out while profiling is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: The singleton no-op span: ``profile()`` with no active profiler
+#: returns this exact object, so the disabled path allocates nothing.
+NULL_SPAN = _NullSpan()
+
+
+class Profiler:
+    """Aggregates scoped timings per label.
+
+    Sample lists are bounded at :data:`MAX_SAMPLES` per label (p95 is
+    computed over the first window); ``count``/``total`` keep
+    accumulating beyond the cap, so long runs stay memory-bounded.
+    """
+
+    MAX_SAMPLES = 65536
+
+    def __init__(self):
+        self._samples: Dict[str, List[float]] = {}
+        self._count: Dict[str, int] = {}
+        self._total: Dict[str, float] = {}
+
+    def span(self, label: str) -> _Span:
+        """A context manager recording one timed scope under *label*."""
+        return _Span(self, label)
+
+    def record(self, label: str, seconds: float) -> None:
+        """Add one measurement (seconds) under *label*."""
+        samples = self._samples.get(label)
+        if samples is None:
+            samples = []
+            self._samples[label] = samples
+            self._count[label] = 0
+            self._total[label] = 0.0
+        if len(samples) < self.MAX_SAMPLES:
+            samples.append(seconds)
+        self._count[label] += 1
+        self._total[label] += seconds
+
+    @property
+    def labels(self) -> List[str]:
+        """Labels in first-recorded order."""
+        return list(self._samples)
+
+    def stats(self) -> Dict[str, StageStats]:
+        """Per-label aggregate statistics, in first-recorded order."""
+        out: Dict[str, StageStats] = {}
+        for label, samples in self._samples.items():
+            count = self._count[label]
+            total = self._total[label]
+            p95 = float(np.percentile(np.asarray(samples), 95.0)) if samples else 0.0
+            out[label] = StageStats(
+                label=label,
+                count=count,
+                total_ms=total * 1e3,
+                mean_ms=(total / count) * 1e3 if count else 0.0,
+                p95_ms=p95 * 1e3,
+            )
+        return out
+
+    def reset(self) -> None:
+        """Drop all recorded measurements."""
+        self._samples.clear()
+        self._count.clear()
+        self._total.clear()
+
+
+_ACTIVE: Optional[Profiler] = None
+
+
+def profile(label: str):
+    """A timed span when a profiler is active, else the shared no-op."""
+    if _ACTIVE is None:
+        return NULL_SPAN
+    return _ACTIVE.span(label)
+
+
+def activate(profiler: Optional[Profiler] = None) -> Profiler:
+    """Install *profiler* (or a fresh one) as the active collector."""
+    global _ACTIVE
+    _ACTIVE = profiler if profiler is not None else Profiler()
+    return _ACTIVE
+
+
+def deactivate() -> Optional[Profiler]:
+    """Remove the active profiler; returns it (with its data)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = None
+    return previous
+
+
+def get_active() -> Optional[Profiler]:
+    """The currently active profiler, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def activated(profiler: Optional[Profiler]):
+    """Scoped activation; ``activated(None)`` is a no-op passthrough.
+
+    Restores whatever profiler was active before on exit, so nested
+    scopes (an engine run inside an env-enabled session) compose.
+    """
+    global _ACTIVE
+    if profiler is None:
+        yield None
+        return
+    previous = _ACTIVE
+    _ACTIVE = profiler
+    try:
+        yield profiler
+    finally:
+        _ACTIVE = previous
+
+
+def format_stage_table(
+    stats: Mapping[str, StageStats],
+    modeled_ms: Optional[Mapping[str, float]] = None,
+) -> str:
+    """Render stats as an aligned text table.
+
+    *modeled_ms* optionally maps labels to the paper's modeled latency
+    (Table II); matching rows grow a ``model ms`` column so measured
+    wall-clock sits next to the latency the control design assumes.
+    """
+    header = f"{'stage':<24} {'count':>7} {'mean ms':>9} {'p95 ms':>9} {'total ms':>10}"
+    if modeled_ms:
+        header += f" {'model ms':>9}"
+    lines = [header]
+    for label, stat in stats.items():
+        row = (
+            f"{label:<24} {stat.count:>7d} {stat.mean_ms:>9.3f} "
+            f"{stat.p95_ms:>9.3f} {stat.total_ms:>10.2f}"
+        )
+        if modeled_ms:
+            model = modeled_ms.get(label)
+            row += f" {model:>9.3f}" if model is not None else f" {'-':>9}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+# REPRO_PROFILE in the environment enables collection for the whole
+# process without touching any call site.
+if profiling_enabled():  # pragma: no cover - env-dependent import effect
+    activate(Profiler())

@@ -1,0 +1,78 @@
+"""Bounded per-shape scratch-buffer caches for hot paths.
+
+Inference-time hot loops (conv im2col, ISP stage temporaries, renderer
+frame math) repeatedly allocate arrays whose shapes are fixed for the
+lifetime of an episode.  :class:`ScratchCache` hands out reusable
+buffers keyed by ``(tag, shape)`` so a steady-state control cycle
+performs no per-cycle allocations for those temporaries.
+
+Rules of use
+------------
+- A scratch buffer may only be used for values that are **consumed
+  before the next request for the same key** — never return one to a
+  caller that outlives the function (the next cycle would overwrite
+  it behind the caller's back).
+- Buffers requested with ``zero=True`` are zero-filled on *creation
+  only*; callers relying on zeros must never write outside the region
+  they fully overwrite each call (the conv padding buffer works this
+  way: borders stay zero forever, the interior is rewritten per call).
+
+The cache is **bounded**: it keeps at most ``max_entries`` buffers and
+evicts least-recently-used ones, so long multi-resolution sweeps (many
+distinct frame shapes) cannot grow it without limit.  Each worker
+process of a parallel sweep holds its own cache (module state is not
+shared across processes), so reuse never races.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Tuple
+
+import numpy as np
+
+__all__ = ["ScratchCache"]
+
+
+class ScratchCache:
+    """LRU-bounded pool of reusable numpy buffers keyed by (tag, shape)."""
+
+    def __init__(self, max_entries: int = 32):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._buffers: "OrderedDict[Hashable, np.ndarray]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    def get(
+        self,
+        tag: Hashable,
+        shape: Tuple[int, ...],
+        dtype=np.float32,
+        zero: bool = False,
+    ) -> np.ndarray:
+        """A reusable buffer of *shape*/*dtype* for the given *tag*.
+
+        The same ``(tag, shape, dtype)`` key always returns the same
+        array object until it is evicted; contents are whatever the
+        previous user left (except ``zero=True`` buffers, which start
+        zero-filled when created).
+        """
+        key = (tag, shape, np.dtype(dtype))
+        buf = self._buffers.get(key)
+        if buf is not None:
+            self._buffers.move_to_end(key)
+            return buf
+        while len(self._buffers) >= self.max_entries:
+            self._buffers.popitem(last=False)
+        buf = (
+            np.zeros(shape, dtype=dtype) if zero else np.empty(shape, dtype=dtype)
+        )
+        self._buffers[key] = buf
+        return buf
+
+    def clear(self) -> None:
+        """Drop every pooled buffer (tests / memory pressure)."""
+        self._buffers.clear()

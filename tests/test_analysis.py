@@ -188,6 +188,20 @@ RULE_FIXTURES = [
         """,
         "pkg/module.py",
     ),
+    (
+        "PRF001",
+        """
+        import numpy as np
+        def f(x):
+            return x.astype(np.float64)
+        """,
+        """
+        import numpy as np
+        def f(x):
+            return x.astype(np.float32)
+        """,
+        "src/repro/nn/layers.py",
+    ),
 ]
 
 
@@ -258,6 +272,17 @@ def test_print_rule_exempts_cli_and_report():
     assert rule_hits(source, "IO001", "src/repro/nn/trainer.py")
     assert not rule_hits(source, "IO001", "src/repro/__main__.py")
     assert not rule_hits(source, "IO001", "src/repro/experiments/report.py")
+
+
+def test_hot_path_float64_scoping():
+    source = "import numpy as np\nx = np.float64(1.0)\n"
+    # Guarded in the float32 sensing chain, allowed in geometry code.
+    assert rule_hits(source, "PRF001", "src/repro/isp/stages.py")
+    assert not rule_hits(source, "PRF001", "src/repro/sim/track.py")
+    # String dtypes count too.
+    assert rule_hits(
+        'x = a.astype(dtype="float64")\n', "PRF001", "src/repro/sim/renderer.py"
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -100,6 +100,32 @@ class TestHilEngine:
         assert not result.completed
         assert result.duration_s() <= 1.0 + 1e-9
 
+    def test_profiling_does_not_change_the_trace(self):
+        """Acceptance: bit-identical traces with profiling on and off."""
+        base, _ = _run("case4", length=60.0)
+        profiled, _ = _run("case4", length=60.0, profile=True)
+        assert base.profile is None
+        assert profiled.profile is not None
+        for attr in ("time_s", "s", "lateral_offset", "y_l_true", "steering",
+                     "speed"):
+            np.testing.assert_array_equal(
+                getattr(base, attr), getattr(profiled, attr)
+            )
+        assert [c.__dict__ for c in base.cycles] == [
+            c.__dict__ for c in profiled.cycles
+        ]
+
+    def test_profile_stats_cover_every_cycle(self):
+        result, _ = _run("case4", length=60.0, profile=True)
+        n = len(result.cycles)
+        for label in ("hil.render", "hil.isp", "hil.pr", "hil.control"):
+            assert result.profile[label].count == n
+        # ISP sub-stages are profiled too (nested spans).
+        assert any(label.startswith("isp.") for label in result.profile)
+        assert "hil.isp" in result.profile_table()
+        # Off by default: the disabled path reports nothing.
+        assert _run("case4", length=60.0)[0].profile_table() == ""
+
 
 class TestIspApplyLag:
     """End-to-end regression for the ISP apply-lag phase contract."""

@@ -165,6 +165,67 @@ class TestLayers:
         assert block_same.projection is None
 
 
+class TestInferenceFastPath:
+    """Float32 end-to-end inference and conv+BN fusion."""
+
+    def _tiny_model(self, seed: int = 0):
+        from repro.classifiers.models import build_tiny_resnet
+
+        return build_tiny_resnet(4, seed=seed)
+
+    def test_parameters_are_float32_at_source(self):
+        model = self._tiny_model()
+        for p in model.parameters():
+            assert p.value.dtype == np.float32, p.name
+
+    def test_no_float64_in_forward_pass(self):
+        # Step through the exact layer chain Sequential.forward runs
+        # and assert every intermediate activation stays float32.
+        model = self._tiny_model()
+        x = RNG.standard_normal((2, 3, 8, 16)).astype(np.float32)
+        for layer in model.layers:
+            x = layer.forward(x, training=False)
+            assert x.dtype == np.float32, type(layer).__name__
+        fused = model.fuse()
+        x = RNG.standard_normal((2, 3, 8, 16)).astype(np.float32)
+        for layer in fused.layers:
+            x = layer.forward(x, training=False)
+            assert x.dtype == np.float32, type(layer).__name__
+
+    def test_fuse_removes_batchnorms(self):
+        from repro.nn.model import FusedResidualBlock
+
+        model = self._tiny_model()
+        fused = model.fuse()
+
+        def walk(seq):
+            for layer in seq.layers:
+                if isinstance(layer, Sequential):
+                    yield from walk(layer)
+                elif isinstance(layer, FusedResidualBlock):
+                    yield layer.conv1
+                    yield layer.conv2
+                else:
+                    yield layer
+        assert any(isinstance(l, BatchNorm2D) for l in model.layers) or any(
+            isinstance(l, ResidualBlock) for l in model.layers
+        )
+        assert not any(isinstance(l, BatchNorm2D) for l in walk(fused))
+
+    def test_fused_model_refuses_training(self):
+        fused = self._tiny_model().fuse()
+        x = RNG.standard_normal((1, 3, 8, 16)).astype(np.float32)
+        with pytest.raises(RuntimeError):
+            fused.forward(x, training=True)
+
+    def test_fuse_does_not_mutate_original(self):
+        model = self._tiny_model()
+        x = RNG.standard_normal((1, 3, 8, 16)).astype(np.float32)
+        before = model.forward(x).copy()
+        model.fuse()
+        np.testing.assert_array_equal(model.forward(x), before)
+
+
 class TestLosses:
     def test_softmax_rows_sum_to_one(self):
         logits = RNG.standard_normal((5, 7))

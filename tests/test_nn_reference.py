@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.nn.layers import Conv2D
+from repro.nn.layers import BatchNorm2D, Conv2D, fuse_conv_bn
 from repro.utils.rng import derive_rng
 
 RNG = derive_rng(0, "nn-ref")
@@ -93,3 +93,62 @@ class TestConvAgainstReference:
         dipped[idx] -= eps
         numeric = (loss(bumped) - loss(dipped)) / (2 * eps)
         assert grad_in[idx] == pytest.approx(numeric, rel=0.02, abs=1e-3)
+
+
+class TestFusedAgainstUnfused:
+    """The deployment (fused) path must match the training graph."""
+
+    def _nontrivial_bn(self, channels: int) -> BatchNorm2D:
+        bn = BatchNorm2D(channels)
+        bn.gamma.value[:] = RNG.uniform(0.5, 1.5, channels).astype(np.float32)
+        bn.beta.value[:] = RNG.standard_normal(channels).astype(np.float32)
+        bn.running_mean[:] = RNG.standard_normal(channels).astype(np.float32)
+        bn.running_var[:] = RNG.uniform(0.2, 2.0, channels).astype(np.float32)
+        return bn
+
+    @pytest.mark.parametrize("bias", [True, False])
+    def test_fuse_conv_bn_matches_sequential_pair(self, bias):
+        conv = Conv2D(3, 6, 3, RNG, bias=bias)
+        bn = self._nontrivial_bn(6)
+        x = RNG.standard_normal((2, 3, 8, 10)).astype(np.float32)
+        reference = bn.forward(conv.forward(x))
+        fused = fuse_conv_bn(conv, bn)
+        out = fused.forward(x)
+        assert out.dtype == np.float32
+        np.testing.assert_allclose(out, reference, atol=1e-4, rtol=0)
+
+    def test_fuse_conv_bn_against_naive_oracle(self):
+        # The folded weights themselves, not just the composition: the
+        # fused conv run through the nested-loop oracle must match
+        # conv -> BN computed in float64.
+        conv = Conv2D(2, 4, 3, RNG, bias=False)
+        bn = self._nontrivial_bn(4)
+        x = RNG.standard_normal((1, 2, 6, 6)).astype(np.float32)
+        fused = fuse_conv_bn(conv, bn)
+        oracle = naive_conv2d(
+            x.astype(np.float64),
+            fused.w.value.astype(np.float64),
+            fused.b.value.astype(np.float64),
+            1,
+            1,
+        )
+        conv_out = naive_conv2d(
+            x.astype(np.float64), conv.w.value.astype(np.float64), None, 1, 1
+        )
+        scale = bn.gamma.value / np.sqrt(bn.running_var + bn.eps)
+        shift = bn.beta.value - bn.running_mean * scale
+        reference = conv_out * scale[None, :, None, None] + shift[
+            None, :, None, None
+        ]
+        np.testing.assert_allclose(oracle, reference, atol=1e-4, rtol=0)
+
+    def test_full_model_fused_matches_unfused(self):
+        from repro.classifiers.models import build_tiny_resnet
+
+        model = build_tiny_resnet(5, seed=3)
+        fused = model.fuse()
+        x = RNG.standard_normal((4, 3, 24, 48)).astype(np.float32)
+        reference = model.forward(x)
+        out = fused.forward(x)
+        assert out.dtype == np.float32
+        np.testing.assert_allclose(out, reference, atol=1e-4, rtol=0)

@@ -350,6 +350,20 @@ class TestPerceptionPipeline:
         pipeline.set_roi("ROI 2")
         assert pipeline._hints is None
 
+    def test_roi_switch_reuses_cached_bev_grid(self, small_camera):
+        # Closed-loop runs flip ROI every reconfiguration; the per-ROI
+        # BEV grids must be built once and reused, not reconstructed
+        # (grid construction is the expensive part of the PR stage).
+        pipeline = PerceptionPipeline(small_camera, "ROI 1")
+        grid1 = pipeline._grid()
+        pipeline.set_roi("ROI 4")
+        grid4 = pipeline._grid()
+        assert grid4 is not grid1
+        pipeline.set_roi("ROI 1")
+        assert pipeline._grid() is grid1
+        pipeline.set_roi("ROI 4")
+        assert pipeline._grid() is grid4
+
     def test_measurement_sign_convention(self, small_camera):
         """Vehicle right of center -> negative y_l."""
         track = static_situation_track(situation_by_index(1), length=200.0)

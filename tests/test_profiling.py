@@ -1,0 +1,154 @@
+"""Tests for the scoped stage profiler and the scratch-buffer pool."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils import profiling
+from repro.utils.profiling import (
+    NULL_SPAN,
+    Profiler,
+    activated,
+    format_stage_table,
+    profile,
+)
+from repro.utils.scratch import ScratchCache
+
+
+@pytest.fixture(autouse=True)
+def _no_global_profiler():
+    """Isolate each test from any env-activated global profiler."""
+    previous = profiling.deactivate()
+    yield
+    if previous is not None:
+        profiling.activate(previous)
+
+
+class TestDisabledPath:
+    def test_disabled_profile_returns_shared_noop(self):
+        # The whole no-overhead claim: with no active profiler, every
+        # profile() call hands back the *same* object — nothing is
+        # allocated per call, nothing is recorded.
+        assert profile("isp.tone_map") is NULL_SPAN
+        assert profile("hil.render") is profile("hil.pr") is NULL_SPAN
+
+    def test_null_span_is_inert_context_manager(self):
+        with profile("anything") as span:
+            assert span is NULL_SPAN
+
+    def test_disabled_path_records_nothing(self):
+        profiler = Profiler()
+        with profile("stage"):
+            pass
+        assert profiler.stats() == {}
+
+
+class TestEnabledAggregation:
+    def test_span_records_count_total_mean_p95(self):
+        profiler = Profiler()
+        with activated(profiler):
+            for _ in range(5):
+                with profile("stage.a"):
+                    pass
+            with profile("stage.b"):
+                pass
+        stats = profiler.stats()
+        assert list(stats) == ["stage.a", "stage.b"]
+        a = stats["stage.a"]
+        assert a.count == 5
+        assert a.total_ms >= 0.0
+        assert a.mean_ms == pytest.approx(a.total_ms / 5)
+        assert a.p95_ms >= 0.0
+
+    def test_record_is_exact(self):
+        profiler = Profiler()
+        for ms in (1.0, 2.0, 3.0, 4.0):
+            profiler.record("x", ms / 1e3)
+        stats = profiler.stats()["x"]
+        assert stats.count == 4
+        assert stats.total_ms == pytest.approx(10.0)
+        assert stats.mean_ms == pytest.approx(2.5)
+
+    def test_sample_cap_keeps_count_and_total(self):
+        profiler = Profiler()
+        cap = Profiler.MAX_SAMPLES
+        profiler._samples["x"] = [0.001] * cap
+        profiler._count["x"] = cap
+        profiler._total["x"] = 0.001 * cap
+        profiler.record("x", 0.001)
+        assert len(profiler._samples["x"]) == cap  # bounded
+        assert profiler.stats()["x"].count == cap + 1  # still counted
+
+    def test_reset_clears_everything(self):
+        profiler = Profiler()
+        profiler.record("x", 0.001)
+        profiler.reset()
+        assert profiler.stats() == {}
+
+    def test_activated_restores_previous(self):
+        outer, inner = Profiler(), Profiler()
+        with activated(outer):
+            with activated(inner):
+                assert profiling.get_active() is inner
+            assert profiling.get_active() is outer
+        assert profiling.get_active() is None
+
+    def test_activated_none_is_passthrough(self):
+        with activated(None):
+            assert profiling.get_active() is None
+            assert profile("x") is NULL_SPAN
+
+
+class TestStageTable:
+    def test_table_contains_labels_and_model_column(self):
+        profiler = Profiler()
+        profiler.record("hil.pr", 0.004)
+        text = format_stage_table(profiler.stats(), modeled_ms={"hil.pr": 3.0})
+        assert "hil.pr" in text
+        assert "model ms" in text
+        assert "3.000" in text
+
+    def test_table_dashes_unmodeled_rows(self):
+        profiler = Profiler()
+        profiler.record("hil.render", 0.001)
+        text = format_stage_table(profiler.stats(), modeled_ms={"hil.pr": 3.0})
+        assert text.splitlines()[1].rstrip().endswith("-")
+
+
+class TestScratchCache:
+    def test_same_key_returns_same_buffer(self):
+        cache = ScratchCache()
+        a = cache.get("buf", (4, 4))
+        b = cache.get("buf", (4, 4))
+        assert a is b
+        assert a.dtype == np.float32
+
+    def test_distinct_shape_dtype_or_tag_are_distinct(self):
+        cache = ScratchCache()
+        base = cache.get("buf", (4, 4))
+        assert cache.get("buf", (4, 5)) is not base
+        assert cache.get("buf", (4, 4), np.float64) is not base
+        assert cache.get("other", (4, 4)) is not base
+
+    def test_lru_bound_evicts_oldest(self):
+        cache = ScratchCache(max_entries=2)
+        a = cache.get("a", (2,))
+        cache.get("b", (2,))
+        cache.get("a", (2,))  # refresh a: b is now the oldest
+        cache.get("c", (2,))  # evicts b
+        assert len(cache) == 2
+        assert cache.get("a", (2,)) is a  # survived as most-recent
+
+    def test_zero_fills_on_creation_only(self):
+        # Documented contract: zero=True buffers start zero-filled but
+        # are NOT re-zeroed on reuse — callers must fully overwrite the
+        # region they read (the conv pad buffer's borders stay zero
+        # because nobody ever writes them).
+        cache = ScratchCache()
+        buf = cache.get("z", (3,), zero=True)
+        assert np.array_equal(buf, np.zeros(3, dtype=np.float32))
+        buf[:] = 7.0
+        again = cache.get("z", (3,), zero=True)
+        assert again is buf
+        assert np.array_equal(again, np.full(3, 7.0, dtype=np.float32))
