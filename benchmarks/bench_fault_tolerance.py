@@ -1,0 +1,46 @@
+"""EF — fault tolerance: graceful degradation off vs on.
+
+Each scenario runs the same deterministic fault campaign twice
+(mitigation disabled / enabled) and the table reports crash + QoC per
+arm.  ``extra_info`` records the per-scenario crash/MAE pairs so the
+mitigation benefit lands in the benchmark history.
+"""
+
+from repro.experiments.fault_tolerance import (
+    format_fault_tolerance,
+    run_fault_tolerance,
+)
+
+
+def test_fault_tolerance(once, benchmark, capsys):
+    results = once(run_fault_tolerance)
+    with capsys.disabled():
+        print()
+        print(format_fault_tolerance(results))
+
+    for r in results:
+        key = r.scenario.name.replace("-", "_")
+        benchmark.extra_info[f"{key}_crash_off"] = r.baseline.crashed
+        benchmark.extra_info[f"{key}_crash_on"] = r.mitigated.crashed
+        benchmark.extra_info[f"{key}_mae_off"] = round(r.baseline.mae, 4)
+        benchmark.extra_info[f"{key}_mae_on"] = round(r.mitigated.mae, 4)
+        benchmark.extra_info[f"{key}_degraded_frac"] = round(
+            r.mitigated.degraded_fraction, 3
+        )
+
+    # Faults actually fired in every scenario, in both arms.
+    assert all(r.baseline.fault_kinds for r in results)
+    assert all(r.mitigated.fault_kinds for r in results)
+    # Mitigation only ever degrades cycles in the mitigated arm.
+    assert all(r.baseline.degraded_fraction == 0.0 for r in results)
+
+    # The acceptance bar: graceful degradation is strictly better on at
+    # least one scenario (survives a crash or beats the baseline MAE).
+    wins = [r.scenario.name for r in results if r.mitigation_wins]
+    assert wins, "mitigation should win at least one scenario"
+
+    # The flagship blind-turn outage: the unmitigated design crashes in
+    # the curve, the mitigated one completes the track.
+    outage = next(r for r in results if r.scenario.name == "blind-turn-outage")
+    assert outage.baseline.crashed
+    assert not outage.mitigated.crashed

@@ -12,11 +12,8 @@ from __future__ import annotations
 
 import sys
 
-from repro.core.characterization import (
-    CharacterizationConfig,
-    characterize_situation,
-    prescreen_isp,
-)
+import repro
+from repro.core.characterization import CharacterizationConfig, prescreen_isp
 from repro.core.situation import situation_by_index
 
 
@@ -32,7 +29,7 @@ def main() -> None:
         print(f"  {isp}: {bad * 100:5.1f} %{flag}")
 
     print("\nclosed-loop sweep (best first):")
-    evaluations = characterize_situation(situation, config)
+    evaluations = repro.characterize(situation=index, config=config)
     for ev in evaluations:
         status = "CRASH" if ev.crashed else f"MAE {ev.mae * 100:6.2f} cm"
         print(

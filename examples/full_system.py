@@ -4,7 +4,9 @@ Everywhere else the examples use a ground-truth oracle for situation
 identification (fast, and isolates perception/control effects).  This
 example closes the last gap to the paper's system: the actual trained
 road/lane/scene networks classify every ISP output frame inside the
-closed loop while the vehicle drives the nine-sector track.
+closed loop while the vehicle drives the nine-sector track.  The
+``identifier="cnn"`` registry spec trains (or loads) the networks and
+wires them in.
 
 Run:  python examples/full_system.py          (case 4, whole track)
       python examples/full_system.py variable
@@ -15,24 +17,19 @@ from __future__ import annotations
 import sys
 import time
 
-from repro.classifiers import CnnIdentifier, train_all_classifiers
-from repro.hil import HilConfig, HilEngine
+import repro
+from repro.core.cases import case_config
+from repro.core.defaults import natural_roi
 from repro.sim import fig7_track
 
 
 def main() -> None:
     case = sys.argv[1] if len(sys.argv) > 1 else "case4"
-    print("loading classifiers (trains on first use, then cached)...")
-    trained = train_all_classifiers()
-    identifier = CnnIdentifier({k: v.classifier for k, v in trained.items()})
-    for name, result in trained.items():
-        print(f"  {name:6s}: val accuracy {result.val_accuracy * 100:.2f} %")
-
     track = fig7_track()
-    engine = HilEngine(track, case, identifier=identifier, config=HilConfig(seed=1))
-    print(f"\ndriving the Fig. 7 track with {case} + CNN identification...")
+    print(f"driving the Fig. 7 track with {case} + CNN identification")
+    print("(classifiers train on first use, then cached)...")
     started = time.time()
-    result = engine.run()
+    result = repro.simulate(track=track, case=case, identifier="cnn", seed=1)
     wall = time.time() - started
 
     status = "CRASHED" if result.crashed else "completed"
@@ -41,16 +38,13 @@ def main() -> None:
     print(f"MAE: {result.mae(skip_time_s=2.0) * 100:.2f} cm")
 
     # How often did the CNN identification disagree with the truth?
+    # The ROI knob encodes the believed layout family; compare it with
+    # the ROI the true situation would select.
     wrong = 0
-    for cycle in result.cycles:
-        true_situation = track.situation_at(cycle.s)
-        believed_roi_family = cycle.roi
-        # The ROI knob encodes the believed layout family; compare.
-        from repro.core.defaults import natural_roi
-
-        if engine.case.adapt_roi_fine:
-            expected = natural_roi(true_situation)
-            if believed_roi_family != expected:
+    if case_config(case).adapt_roi_fine:
+        for cycle in result.cycles:
+            true_situation = track.situation_at(cycle.s)
+            if cycle.roi != natural_roi(true_situation):
                 wrong += 1
     print(
         f"cycles whose selected ROI mismatched the true situation: "

@@ -3,23 +3,21 @@
 Simulates the robust design (case 3: road + lane classifiers) on a
 straight daytime road, prints the quality-of-control summary, and then
 repeats the run on a right turn to show the situation-aware ROI and
-speed knobs kicking in.
+speed knobs kicking in.  Everything goes through the stable
+``repro.simulate`` facade.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
+import repro
 from repro.core.situation import situation_by_index
-from repro.hil import HilConfig, HilEngine
-from repro.sim import static_situation_track
 
 
 def run_one(situation_index: int, case: str) -> None:
     situation = situation_by_index(situation_index)
-    track = static_situation_track(situation, length=150.0)
-    engine = HilEngine(track, case, config=HilConfig(seed=1))
-    result = engine.run()
+    result = repro.simulate(situation=situation_index, case=case, seed=1)
 
     status = "CRASHED" if result.crashed else "completed"
     print(f"\n{case} on '{situation.describe()}': {status}")

@@ -14,8 +14,23 @@ Subpackages
 - :mod:`repro.hil` — closed-loop hardware-in-the-loop engine
 - :mod:`repro.metrics` — QoC (MAE) and detection-accuracy metrics
 - :mod:`repro.experiments` — regeneration of every paper table/figure
+- :mod:`repro.faults` — deterministic fault injection + mitigation
+- :mod:`repro.api` — the stable keyword-only facade re-exported here
+
+The four facade functions (:func:`simulate`, :func:`characterize`,
+:func:`profile`, :func:`inject`) are the supported programmatic entry
+points; see :mod:`repro.api` for the stability contract.
 """
 
-__version__ = "1.0.0"
+from repro.api import ProfileReport, characterize, inject, profile, simulate
 
-__all__ = ["__version__"]
+__version__ = "1.1.0"
+
+__all__ = [
+    "__version__",
+    "simulate",
+    "characterize",
+    "profile",
+    "inject",
+    "ProfileReport",
+]

@@ -4,12 +4,16 @@ Commands
 --------
 run            one closed-loop simulation (situation x case)
 profile        measured per-stage wall clock vs Table II modeled latency
+inject         closed-loop simulation under a fault campaign
 track          the Fig. 7/8 dynamic-track study
 characterize   design-time knob sweep for a situation (Table III row)
 train          train / load the three situation classifiers (Table IV)
 sensitivity    Monte-Carlo knob-sensitivity study (Sec. III-B)
 report         regenerate every paper artifact into a markdown report
 lint           project static analysis (reprolint) over a file set
+
+The simulation commands are thin wrappers over :mod:`repro.api` — the
+same keyword-only facade scripts are expected to use.
 """
 
 from __future__ import annotations
@@ -18,18 +22,38 @@ import argparse
 import sys
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.core.situation import situation_by_index
-    from repro.hil import HilConfig, HilEngine
-    from repro.sim import static_situation_track
+def _parse_frame(text):
+    """``"WxH"`` -> (width, height), or None for an empty string."""
+    if not text:
+        return None
+    try:
+        width, _, height = text.partition("x")
+        return int(width), int(height)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"frame must look like 384x192, got {text!r}"
+        ) from None
 
-    situation = situation_by_index(args.situation)
-    track = static_situation_track(situation, length=args.length)
-    config = HilConfig(seed=args.seed, profile=args.profile)
-    engine = HilEngine(track, args.case, config=config)
-    result = engine.run()
+
+def _describe_situation(index: int) -> str:
+    from repro.core.situation import situation_by_index
+
+    return situation_by_index(index).describe()
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.api import simulate
+
+    result = simulate(
+        situation=args.situation,
+        case=args.case,
+        length_m=args.length,
+        seed=args.seed,
+        frame=args.frame,
+        profile=args.profile,
+    )
     status = "CRASHED" if result.crashed else "completed"
-    print(f"{args.case} on '{situation.describe()}': {status}")
+    print(f"{args.case} on '{_describe_situation(args.situation)}': {status}")
     print(f"MAE = {result.mae(skip_time_s=2.0) * 100:.2f} cm over "
           f"{result.duration_s():.1f} s")
     if result.profile:
@@ -39,45 +63,69 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    from repro.core.situation import situation_by_index
-    from repro.hil import HilConfig, HilEngine
-    from repro.platform.profiles import (
-        classifier_runtime_ms,
-        control_runtime_ms,
-        isp_runtime_ms,
-        pr_runtime_ms,
+    from repro.api import profile
+
+    report = profile(
+        situation=args.situation,
+        case=args.case,
+        length_m=args.length,
+        seed=args.seed,
+        frame=args.frame,
     )
-    from repro.sim import static_situation_track
-    from repro.utils.profiling import format_stage_table
-
-    situation = situation_by_index(args.situation)
-    track = static_situation_track(situation, length=args.length)
-    config = HilConfig(seed=args.seed, profile=True)
-    result = HilEngine(track, args.case, config=config).run()
-
     # The 'model ms' column is the latency the control design assumes
     # (Table II / Table IV, Xavier @ 30 W); measured columns are this
     # host's wall clock.  Stages without a modeled figure (the renderer
     # is simulation scaffolding, per-ISP-stage splits are not profiled
     # in the paper) show '-'.
-    modeled = {
-        "hil.pr": pr_runtime_ms(),
-        "hil.control": control_runtime_ms(),
-    }
-    isp_names = {c.active_isp for c in result.cycles}
-    if len(isp_names) == 1:
-        modeled["hil.isp"] = isp_runtime_ms(next(iter(isp_names)))
-    clf_names = sorted({name for c in result.cycles for name in c.invoked})
-    if clf_names:
-        modeled["hil.classifier"] = sum(
-            classifier_runtime_ms(name) for name in clf_names
-        ) / len(clf_names)
-
+    result = report.result
     print(
-        f"{args.case} on '{situation.describe()}' "
+        f"{args.case} on '{_describe_situation(args.situation)}' "
         f"({len(result.cycles)} cycles, seed {args.seed})"
     )
-    print(format_stage_table(result.profile or {}, modeled_ms=modeled))
+    print(report.table())
+    return 1 if result.crashed else 0
+
+
+def _summarize_fault_run(label: str, result) -> None:
+    status = "CRASHED" if result.crashed else "completed"
+    print(
+        f"  {label:12s} {status:9s} "
+        f"MAE {result.mae(skip_time_s=2.0) * 100:6.2f} cm  "
+        f"degraded {result.degraded_fraction() * 100:5.1f} % "
+        f"of {len(result.cycles)} cycles"
+    )
+
+
+def _cmd_inject(args: argparse.Namespace) -> int:
+    from repro.api import inject
+    from repro.faults import resolve_fault_plan
+
+    try:
+        plan = resolve_fault_plan(args.faults)
+    except ValueError as exc:
+        print(f"repro inject: {exc}", file=sys.stderr)
+        return 2
+    kwargs = dict(
+        faults=plan,
+        situation=args.situation,
+        case=args.case,
+        length_m=args.length,
+        seed=args.seed,
+        frame=args.frame,
+    )
+    print(
+        f"{args.case} on '{_describe_situation(args.situation)}' "
+        f"under faults: {plan.describe()}"
+    )
+    if args.compare:
+        baseline = inject(mitigate=False, **kwargs)
+        _summarize_fault_run("unmitigated", baseline)
+    result = inject(mitigate=not args.no_mitigation, **kwargs)
+    _summarize_fault_run(
+        "unmitigated" if args.no_mitigation else "mitigated", result
+    )
+    if result.fault_kinds():
+        print(f"  faults seen: {', '.join(result.fault_kinds())}")
     return 1 if result.crashed else 0
 
 
@@ -91,17 +139,10 @@ def _cmd_track(args: argparse.Namespace) -> int:
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
-    from repro.core.characterization import (
-        CharacterizationConfig,
-        characterize_situation,
-    )
-    from repro.core.situation import situation_by_index
+    from repro.api import characterize
 
-    situation = situation_by_index(args.situation)
-    evaluations = characterize_situation(
-        situation, CharacterizationConfig(), jobs=args.jobs
-    )
-    print(f"{situation.describe()}:")
+    evaluations = characterize(situation=args.situation, jobs=args.jobs)
+    print(f"{_describe_situation(args.situation)}:")
     for ev in evaluations:
         status = "CRASH" if ev.crashed else f"MAE {ev.mae * 100:6.2f} cm"
         print(
@@ -192,6 +233,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=1)
     p_run.add_argument("--profile", action="store_true",
                        help="print measured per-stage wall clock after the run")
+    p_run.add_argument("--frame", type=_parse_frame, default=None,
+                       help="camera frame as WxH (default 384x192)")
     p_run.set_defaults(func=_cmd_run)
 
     p_prof = sub.add_parser(
@@ -202,7 +245,31 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["case1", "case2", "case3", "case4", "variable", "adaptive"])
     p_prof.add_argument("--length", type=float, default=60.0)
     p_prof.add_argument("--seed", type=int, default=1)
+    p_prof.add_argument("--frame", type=_parse_frame, default=None,
+                        help="camera frame as WxH (default 384x192)")
     p_prof.set_defaults(func=_cmd_profile)
+
+    p_inj = sub.add_parser(
+        "inject", help="closed-loop simulation under a fault campaign"
+    )
+    p_inj.add_argument(
+        "--faults", required=True,
+        help="preset name (blackout, banding, classifier-outage, "
+             "flaky-classifiers, stress) or a spec string like "
+             "'blackout@2000:2800;timeout@1500:inf,probability=0.5'",
+    )
+    p_inj.add_argument("--situation", type=int, default=1, help="Table III index 1-21")
+    p_inj.add_argument("--case", default="case3",
+                       choices=["case1", "case2", "case3", "case4", "variable", "adaptive"])
+    p_inj.add_argument("--length", type=float, default=150.0)
+    p_inj.add_argument("--seed", type=int, default=1)
+    p_inj.add_argument("--frame", type=_parse_frame, default=None,
+                       help="camera frame as WxH (default 384x192)")
+    p_inj.add_argument("--no-mitigation", action="store_true",
+                       help="run without graceful degradation")
+    p_inj.add_argument("--compare", action="store_true",
+                       help="also run the unmitigated baseline first")
+    p_inj.set_defaults(func=_cmd_inject)
 
     p_track = sub.add_parser("track", help="Fig. 7/8 dynamic-track study")
     p_track.add_argument("--cases", default="", help="comma list, default all five")

@@ -634,6 +634,55 @@ class PrintInLibraryRule(Rule):
             )
 
 
+class FacadeSignatureRule(Rule):
+    """API002: the ``repro.api`` facade must be keyword-only and documented.
+
+    The facade's stability contract (see ``repro/api.py``) promises that
+    public entry points never break callers by reordering parameters:
+    everything past an optional first positional argument is
+    keyword-only, and every public function carries a docstring.  This
+    rule turns that promise into a tier-1 gate.
+    """
+
+    id = "API002"
+    name = "facade-signature"
+    severity = SEVERITY_ERROR
+    description = (
+        "repro.api public function with extra positional parameters or "
+        "no docstring; the facade is keyword-only by contract"
+    )
+
+    _FACADE_SUFFIX = "repro/api.py"
+
+    def visit_node(self, node: ast.AST, ctx) -> None:
+        if not ctx.posix_path.endswith(self._FACADE_SUFFIX):
+            return
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return
+        if node.name.startswith("_"):
+            return
+        if ast.get_docstring(node) is None:
+            ctx.report(
+                self,
+                node,
+                f"public facade function {node.name}() has no docstring",
+            )
+        positional = list(getattr(node.args, "posonlyargs", [])) + list(
+            node.args.args
+        )
+        if positional and positional[0].arg in ("self", "cls"):
+            positional = positional[1:]
+        if len(positional) > 1:
+            extras = ", ".join(a.arg for a in positional[1:])
+            ctx.report(
+                self,
+                node,
+                f"{node.name}() takes positional parameters ({extras}) "
+                "past the first; make them keyword-only (add * to the "
+                "signature) to honour the facade stability contract",
+            )
+
+
 #: All rule classes in id order; the engine instantiates per run.
 RULES: Tuple[type, ...] = (
     UnseededRandomRule,
@@ -647,6 +696,7 @@ RULES: Tuple[type, ...] = (
     ShadowedImportRule,
     HotPathFloat64Rule,
     PrintInLibraryRule,
+    FacadeSignatureRule,
 )
 
 

@@ -1,0 +1,340 @@
+"""Stable top-level entry points (``import repro; repro.simulate(...)``).
+
+This module is the supported programmatic surface of the package: four
+keyword-only functions that cover the common workflows without touching
+engine plumbing —
+
+- :func:`simulate` — one closed-loop HiL run;
+- :func:`characterize` — the design-time knob sweep (Table III);
+- :func:`profile` — a run with per-stage wall-clock measurement plus
+  the Table II modeled latencies for comparison;
+- :func:`inject` — a run under a fault campaign with graceful
+  degradation enabled (see :mod:`repro.faults`).
+
+Stability contract (see also ``docs/DESIGN.md``): every public function
+here takes keyword-only arguments, new parameters are only ever added
+with defaults that preserve existing behaviour, and returned objects
+only grow fields.  Everything below :mod:`repro.api` (engine classes,
+manager internals) may change between versions; scripts that stick to
+this module keep working.  The ``API002`` lint rule enforces the
+keyword-only + docstring convention mechanically.
+
+All heavy imports are deferred into the function bodies, so
+``import repro`` stays cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:
+    from repro.core.cases import CaseConfig
+    from repro.core.characterization import CharacterizationConfig, KnobEvaluation
+    from repro.core.knobs import KnobSetting
+    from repro.core.reconfiguration import MitigationConfig, SituationIdentifier
+    from repro.core.situation import Situation
+    from repro.faults.plan import FaultPlan
+    from repro.hil.engine import HilConfig
+    from repro.hil.record import HilResult
+    from repro.sim.track import Track
+
+__all__ = [
+    "simulate",
+    "characterize",
+    "profile",
+    "inject",
+    "ProfileReport",
+]
+
+
+def _coerce_situation(situation: Union[int, Situation]) -> Situation:
+    """A :class:`Situation` from a Table III index or an instance."""
+    from repro.core.situation import Situation, situation_by_index
+
+    if isinstance(situation, Situation):
+        return situation
+    return situation_by_index(situation)
+
+
+def _coerce_track(
+    track: Optional[Track],
+    situation: Union[int, Situation],
+    length_m: float,
+) -> Tuple[Track, Situation]:
+    """The track to simulate on (an explicit one wins over *situation*)."""
+    from repro.sim import static_situation_track
+
+    resolved = _coerce_situation(situation)
+    if track is not None:
+        return track, resolved
+    return static_situation_track(resolved, length=length_m), resolved
+
+
+def _build_config(
+    config: Optional[HilConfig],
+    seed: Optional[int],
+    frame: Optional[Tuple[int, int]],
+    profile: bool,
+    faults: Union[FaultPlan, str, None],
+    mitigate: Union[bool, MitigationConfig],
+) -> HilConfig:
+    """Merge the convenience keywords over the base :class:`HilConfig`.
+
+    Only explicitly-provided keywords override the base; ``None`` /
+    ``False`` leave the base untouched, so ``config=`` composes with the
+    shortcuts instead of fighting them.
+    """
+    from dataclasses import replace
+
+    from repro.core.reconfiguration import MitigationConfig
+    from repro.faults.plan import resolve_fault_plan
+    from repro.hil.engine import HilConfig
+
+    base = config if config is not None else HilConfig()
+    overrides: Dict[str, object] = {}
+    if seed is not None:
+        overrides["seed"] = seed
+    if frame is not None:
+        width, height = frame
+        overrides["frame_width"] = int(width)
+        overrides["frame_height"] = int(height)
+    if profile:
+        overrides["profile"] = True
+    if faults is not None:
+        overrides["fault_plan"] = resolve_fault_plan(faults)
+    if mitigate is True:
+        overrides["mitigation"] = MitigationConfig()
+    elif isinstance(mitigate, MitigationConfig):
+        overrides["mitigation"] = mitigate
+    if not overrides:
+        return base
+    return replace(base, **overrides)
+
+
+def simulate(
+    *,
+    situation: Union[int, Situation] = 1,
+    case: Union[str, CaseConfig] = "case3",
+    track: Optional[Track] = None,
+    length_m: float = 150.0,
+    identifier: Union[SituationIdentifier, str, None] = None,
+    table: Optional[Dict[Situation, KnobSetting]] = None,
+    faults: Union[FaultPlan, str, None] = None,
+    mitigate: Union[bool, MitigationConfig] = False,
+    seed: Optional[int] = None,
+    frame: Optional[Tuple[int, int]] = None,
+    profile: bool = False,
+    config: Optional[HilConfig] = None,
+) -> HilResult:
+    """Run one closed-loop HiL simulation and return its trace.
+
+    Parameters
+    ----------
+    situation:
+        Table III situation index (1-21) or a :class:`Situation`; it
+        defines the static track unless ``track`` is given.
+    case:
+        Design case name (``"case1"`` .. ``"case4"``, ``"variable"``,
+        ``"adaptive"``) or a :class:`CaseConfig`.
+    track:
+        An explicit :class:`Track` (e.g. the Fig. 7 dynamic layout);
+        overrides ``situation``/``length_m`` for the geometry while
+        ``situation`` still seeds the initial belief via the track.
+    length_m:
+        Length of the generated static track in metres.
+    identifier:
+        Situation identifier: an instance, a registry spec such as
+        ``"oracle:0.99"`` or ``"cnn"`` (see
+        :mod:`repro.core.identifiers`), or ``None`` for the perfect
+        oracle.
+    table:
+        Situation -> knob characterization table (``None`` uses the
+        built-in default characterization).
+    faults:
+        Fault campaign: a :class:`~repro.faults.plan.FaultPlan`, a
+        preset name (``"blackout"``, ``"stress"`` ...), or a spec
+        string like ``"timeout@1500:inf,probability=0.5"``.
+    mitigate:
+        ``True`` enables graceful degradation with default policy; a
+        :class:`MitigationConfig` customizes it; ``False`` leaves the
+        base config's setting.
+    seed:
+        Run seed; ``None`` keeps the base config's seed.
+    frame:
+        ``(width, height)`` of the simulated camera frame.
+    profile:
+        Measure per-stage wall clock (attached to ``result.profile``).
+    config:
+        Base :class:`HilConfig`; the keywords above override it field
+        by field.
+    """
+    from repro.hil.engine import HilEngine
+
+    resolved_track, _ = _coerce_track(track, situation, length_m)
+    cfg = _build_config(config, seed, frame, profile, faults, mitigate)
+    engine = HilEngine(
+        resolved_track, case, table=table, identifier=identifier, config=cfg
+    )
+    return engine.run()
+
+
+def characterize(
+    *,
+    situation: Union[int, Situation, None] = None,
+    situations: Optional[Sequence[Union[int, Situation]]] = None,
+    config: Optional[CharacterizationConfig] = None,
+    use_cache: bool = True,
+    verbose: bool = False,
+    jobs: Optional[int] = None,
+) -> Union[Dict[Situation, KnobSetting], list[KnobEvaluation]]:
+    """Design-time knob characterization (the Table III sweep).
+
+    With ``situation`` (a single index or :class:`Situation`) the full
+    ranked list of knob evaluations for that situation is returned —
+    the per-row view the CLI prints.  Otherwise the situation -> best
+    knob table is built for ``situations`` (default: all of Table III),
+    using the on-disk artifact cache unless ``use_cache=False``.
+    ``jobs`` fans independent evaluations across a process pool with
+    bit-identical results for any worker count.
+    """
+    from repro.core.characterization import (
+        CharacterizationConfig,
+        characterize as characterize_table,
+        characterize_situation,
+    )
+    from repro.core.situation import TABLE3_SITUATIONS
+
+    if situation is not None and situations is not None:
+        raise ValueError("pass either situation= or situations=, not both")
+    cfg = config if config is not None else CharacterizationConfig()
+    if situation is not None:
+        return characterize_situation(
+            _coerce_situation(situation), cfg, jobs=jobs
+        )
+    resolved = (
+        tuple(_coerce_situation(s) for s in situations)
+        if situations is not None
+        else TABLE3_SITUATIONS
+    )
+    return characterize_table(
+        resolved, cfg, use_cache=use_cache, verbose=verbose, jobs=jobs
+    )
+
+
+@dataclass
+class ProfileReport:
+    """Result of :func:`profile`: the run plus modeled latencies."""
+
+    #: The closed-loop trace (``result.profile`` holds measured stats).
+    result: HilResult
+    #: Stage label -> Table II / Table IV modeled latency on Xavier.
+    modeled_ms: Dict[str, float]
+
+    def table(self) -> str:
+        """Measured-vs-modeled stage table as text."""
+        from repro.utils.profiling import format_stage_table
+
+        return format_stage_table(
+            self.result.profile or {}, modeled_ms=self.modeled_ms
+        )
+
+
+def _modeled_latencies(result: HilResult) -> Dict[str, float]:
+    """Modeled per-stage latencies matching the run's actual knobs.
+
+    Stages without a paper figure (the renderer is simulation
+    scaffolding; per-ISP-stage splits are not profiled) are omitted, as
+    is the ISP when the run switched configurations mid-trace (no
+    single modeled number applies).
+    """
+    from repro.platform.profiles import (
+        classifier_runtime_ms,
+        control_runtime_ms,
+        isp_runtime_ms,
+        pr_runtime_ms,
+    )
+
+    modeled = {
+        "hil.pr": pr_runtime_ms(),
+        "hil.control": control_runtime_ms(),
+    }
+    isp_names = {c.active_isp for c in result.cycles}
+    if len(isp_names) == 1:
+        modeled["hil.isp"] = isp_runtime_ms(next(iter(isp_names)))
+    clf_names = sorted({name for c in result.cycles for name in c.invoked})
+    if clf_names:
+        modeled["hil.classifier"] = sum(
+            classifier_runtime_ms(name) for name in clf_names
+        ) / len(clf_names)
+    return modeled
+
+
+def profile(
+    *,
+    situation: Union[int, Situation] = 1,
+    case: Union[str, CaseConfig] = "case4",
+    track: Optional[Track] = None,
+    length_m: float = 60.0,
+    identifier: Union[SituationIdentifier, str, None] = None,
+    seed: Optional[int] = None,
+    frame: Optional[Tuple[int, int]] = None,
+    config: Optional[HilConfig] = None,
+) -> ProfileReport:
+    """Run a simulation with stage profiling and modeled-latency context.
+
+    Same semantics as :func:`simulate` (profiling forced on); returns a
+    :class:`ProfileReport` whose :meth:`~ProfileReport.table` renders
+    the measured-vs-modeled comparison.  Profiling is observational
+    only: the returned trace is bit-identical to an unprofiled run.
+    """
+    result = simulate(
+        situation=situation,
+        case=case,
+        track=track,
+        length_m=length_m,
+        identifier=identifier,
+        seed=seed,
+        frame=frame,
+        profile=True,
+        config=config,
+    )
+    return ProfileReport(result=result, modeled_ms=_modeled_latencies(result))
+
+
+def inject(
+    *,
+    faults: Union[FaultPlan, str],
+    situation: Union[int, Situation] = 1,
+    case: Union[str, CaseConfig] = "case3",
+    track: Optional[Track] = None,
+    length_m: float = 150.0,
+    identifier: Union[SituationIdentifier, str, None] = None,
+    table: Optional[Dict[Situation, KnobSetting]] = None,
+    mitigate: Union[bool, MitigationConfig] = True,
+    seed: Optional[int] = None,
+    frame: Optional[Tuple[int, int]] = None,
+    config: Optional[HilConfig] = None,
+) -> HilResult:
+    """Run a simulation under a fault campaign (mitigation on by default).
+
+    ``faults`` is required: a :class:`~repro.faults.plan.FaultPlan`, a
+    preset name (see ``FAULT_PLAN_PRESETS``), or a spec string such as
+    ``"blackout@2000:2800;timeout@1500:inf,probability=0.5"``.  Pass
+    ``mitigate=False`` for the unmitigated baseline; the returned
+    trace's ``degraded_fraction()`` and ``fault_kinds()`` summarize the
+    campaign's footprint.
+    """
+    return simulate(
+        situation=situation,
+        case=case,
+        track=track,
+        length_m=length_m,
+        identifier=identifier,
+        table=table,
+        faults=faults,
+        mitigate=mitigate,
+        seed=seed,
+        frame=frame,
+        config=config,
+    )

@@ -39,6 +39,27 @@ class CnnIdentifier(SituationIdentifier):
             name: clf.fuse() if fuse else clf for name, clf in classifiers.items()
         }
 
+    @classmethod
+    def from_trained(
+        cls,
+        use_cache: bool = True,
+        fuse: bool = True,
+        verbose: bool = False,
+    ) -> "CnnIdentifier":
+        """Train (or load from cache) all three classifiers and wrap them.
+
+        This is the one-call path behind the ``"cnn"`` identifier spec
+        (see :mod:`repro.core.identifiers`): it hides the
+        ``train_all_classifiers`` plumbing the examples previously
+        inlined.
+        """
+        from repro.classifiers.train import train_all_classifiers
+
+        trained = train_all_classifiers(use_cache=use_cache, verbose=verbose)
+        return cls(
+            {name: t.classifier for name, t in trained.items()}, fuse=fuse
+        )
+
     def identify(
         self,
         frame_rgb: np.ndarray,

@@ -26,9 +26,15 @@ from repro.core.scheduler import (
 )
 from repro.core.reconfiguration import (
     CycleDecision,
+    MitigationConfig,
     OracleIdentifier,
     ReconfigurationManager,
     SituationIdentifier,
+)
+from repro.core.identifiers import (
+    register_identifier,
+    registered_identifiers,
+    resolve_identifier,
 )
 
 # NOTE: repro.core.characterization is intentionally NOT imported here:
@@ -51,9 +57,13 @@ __all__ = [
     "InvocationScheme",
     "VariableScheme",
     "CycleDecision",
+    "MitigationConfig",
     "OracleIdentifier",
     "ReconfigurationManager",
     "SituationIdentifier",
+    "register_identifier",
+    "registered_identifiers",
+    "resolve_identifier",
     "LaneColor",
     "LaneForm",
     "RoadLayout",

@@ -1,0 +1,105 @@
+"""Identifier registry: resolve string specs to situation identifiers.
+
+The HiL engine accepts ``identifier="oracle:0.99"`` (or ``"cnn"``) the
+same way it accepts ``case="case3"`` — a short registry spec instead of
+a constructed object.  A spec is ``"name"`` or ``"name:arg"``:
+
+- ``"oracle"`` — ground-truth :class:`~repro.core.reconfiguration
+  .OracleIdentifier`; the optional argument is its per-call accuracy
+  (``"oracle:0.99"``).
+- ``"cnn"`` — the trained CNN classifiers via
+  :meth:`~repro.classifiers.runtime.CnnIdentifier.from_trained`
+  (training is cached); ``"cnn:nofuse"`` keeps the unfused training
+  graphs.
+
+Third-party identifiers can join the registry with
+:func:`register_identifier`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+from repro.core.reconfiguration import OracleIdentifier, SituationIdentifier
+
+__all__ = [
+    "IdentifierFactory",
+    "register_identifier",
+    "registered_identifiers",
+    "resolve_identifier",
+]
+
+#: A factory takes the spec argument (the part after ``":"``, or ``None``)
+#: and the run seed, and returns a ready identifier.
+IdentifierFactory = Callable[[Optional[str], int], SituationIdentifier]
+
+
+def _make_oracle(arg: Optional[str], seed: int) -> SituationIdentifier:
+    if arg is None:
+        return OracleIdentifier(seed=seed)
+    try:
+        accuracy = float(arg)
+    except ValueError:
+        raise ValueError(
+            f"oracle identifier argument must be an accuracy in (0, 1], got {arg!r}"
+        ) from None
+    return OracleIdentifier(accuracy=accuracy, seed=seed)
+
+
+def _make_cnn(arg: Optional[str], seed: int) -> SituationIdentifier:
+    # Imported lazily: repro.classifiers itself imports repro.core.
+    from repro.classifiers.runtime import CnnIdentifier
+
+    if arg is None:
+        return CnnIdentifier.from_trained()
+    if arg == "nofuse":
+        return CnnIdentifier.from_trained(fuse=False)
+    raise ValueError(f"unknown cnn identifier argument {arg!r} (try 'nofuse')")
+
+
+_REGISTRY: Dict[str, IdentifierFactory] = {
+    "oracle": _make_oracle,
+    "cnn": _make_cnn,
+}
+
+
+def register_identifier(name: str, factory: IdentifierFactory) -> None:
+    """Add (or replace) an identifier factory under *name*.
+
+    The factory is called as ``factory(arg, seed)`` where ``arg`` is the
+    text after the ``":"`` in the spec (``None`` when absent).
+    """
+    if not name or ":" in name:
+        raise ValueError(f"invalid identifier name {name!r}")
+    _REGISTRY[name] = factory
+
+
+def registered_identifiers() -> tuple:
+    """Names currently resolvable by :func:`resolve_identifier` (sorted)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_identifier(
+    spec: Union[SituationIdentifier, str, None],
+    seed: int = 0,
+) -> SituationIdentifier:
+    """Resolve *spec* to a :class:`SituationIdentifier`.
+
+    Instances pass through unchanged; ``None`` resolves to the perfect
+    oracle; strings are registry specs (``"name"`` or ``"name:arg"``).
+    """
+    if spec is None:
+        return OracleIdentifier(seed=seed)
+    if isinstance(spec, SituationIdentifier):
+        return spec
+    if not isinstance(spec, str):
+        raise TypeError(
+            "identifier must be a SituationIdentifier, a registry spec "
+            f"string, or None — got {type(spec).__name__}"
+        )
+    name, _, arg = spec.partition(":")
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        known = ", ".join(registered_identifiers())
+        raise ValueError(f"unknown identifier {name!r} (known: {known})")
+    return factory(arg if arg else None, seed)

@@ -22,8 +22,9 @@ for isolating perception effects from classification effects).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -49,6 +50,7 @@ __all__ = [
     "SituationIdentifier",
     "OracleIdentifier",
     "CycleDecision",
+    "MitigationConfig",
     "ReconfigurationManager",
 ]
 
@@ -125,6 +127,57 @@ class CycleDecision:
     speed_kmph: float
     timing: PipelineTiming
     believed: Situation
+    #: True when the staleness watchdog selected the safe fallback
+    #: knobs instead of the characterized tuning (see
+    #: :class:`MitigationConfig`).
+    degraded: bool = False
+
+
+@dataclass(frozen=True)
+class MitigationConfig:
+    """Graceful-degradation policy for the reconfiguration manager.
+
+    Attach one via ``ReconfigurationManager(mitigation=...)`` (or
+    ``HilConfig(mitigation=...)``) to enable:
+
+    - **staleness watchdog** — the manager tracks when identification
+      last succeeded; once the believed situation is older than
+      ``stale_after_ms`` (classifier outage, persistent timeouts, a
+      blind sensor), knob selection falls back to the safe defaults:
+      the *natural* ROI of the believed situation and the conservative
+      speed, with the active ISP held (no blind switching);
+    - **bounded retry** — a classifier invocation that produced no
+      output is re-invoked in the next cycle's budget, at most
+      ``retry_limit`` times per failure episode (the count resets when
+      the classifier succeeds again).
+
+    Without faults the watchdog never fires and no retries are
+    scheduled, so an attached-but-idle mitigation leaves closed-loop
+    traces bit-identical (the acceptance regression pins this).
+    """
+
+    #: Believed-situation age beyond which the safe fallback engages.
+    #: 900 ms = three 300 ms invocation windows — every scheme
+    #: refreshes at least one feature well inside that.
+    stale_after_ms: float = 900.0
+    #: Retries per failed classifier invocation (per failure episode).
+    retry_limit: int = 1
+    #: Fallback speed knob when identification is stale (the paper's
+    #: conservative turn speed).
+    conservative_speed_kmph: float = 30.0
+
+    def __post_init__(self):
+        if self.stale_after_ms <= 0:
+            raise ValueError(
+                f"stale_after_ms must be > 0, got {self.stale_after_ms}"
+            )
+        if self.retry_limit < 0:
+            raise ValueError(f"retry_limit must be >= 0, got {self.retry_limit}")
+        if self.conservative_speed_kmph <= 0:
+            raise ValueError(
+                "conservative_speed_kmph must be > 0, got "
+                f"{self.conservative_speed_kmph}"
+            )
 
 
 class ReconfigurationManager:
@@ -134,9 +187,11 @@ class ReconfigurationManager:
         self,
         case: CaseConfig,
         table: Optional[Mapping[Situation, KnobSetting]] = None,
-        window_ms: float = 300.0,
+        invocation_window_ms: float = 300.0,
         isp_apply_lag: int = 1,
         power_mode: str = "30W",
+        mitigation: Optional[MitigationConfig] = None,
+        window_ms: Optional[float] = None,
     ):
         """``isp_apply_lag`` is the number of cycles between deciding an
         ISP knob and it taking effect.  The paper's scheme is 1 (the
@@ -144,18 +199,38 @@ class ReconfigurationManager:
         a hypothetical same-cycle oracle and larger values a slower
         reconfiguration path — exercised by the ablation benchmarks.
         ``power_mode`` rescales the platform's profiled runtimes (the
-        paper measures at the Xavier 30 W preset)."""
+        paper measures at the Xavier 30 W preset).
+        ``invocation_window_ms`` is the variable-scheme window (the
+        same keyword as ``HilConfig.invocation_window_ms``); the old
+        ``window_ms`` spelling is deprecated and forwards with a
+        :class:`DeprecationWarning`.  ``mitigation`` enables graceful
+        degradation (see :class:`MitigationConfig`); ``None`` disables
+        it entirely."""
+        if window_ms is not None:
+            warnings.warn(
+                "ReconfigurationManager(window_ms=...) is deprecated; "
+                "use invocation_window_ms=... (the HilConfig keyword)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            invocation_window_ms = window_ms
         if isp_apply_lag < 0:
             raise ValueError(f"isp_apply_lag must be >= 0, got {isp_apply_lag}")
         self.case = case
         self.power_mode = power_mode
         self.table = dict(table) if table is not None else default_characterization()
-        self.scheme: InvocationScheme = case.make_scheme(window_ms)
+        self.invocation_window_ms = invocation_window_ms
+        self.scheme: InvocationScheme = case.make_scheme(invocation_window_ms)
         self.isp_apply_lag = isp_apply_lag
+        self.mitigation = mitigation
         self._believed: Optional[Situation] = None
         self._believed_changed = False
         self._active_isp = "S0"
         self._isp_queue: list = []
+        self._last_identified_ms = 0.0
+        self._identification_failed = False
+        self._retry_queue: List[str] = []
+        self._retry_counts: Dict[str, int] = {}
 
     # -- lifecycle -------------------------------------------------------
 
@@ -167,6 +242,10 @@ class ReconfigurationManager:
         isp = self._select_isp(initial_situation)
         self._active_isp = isp
         self._isp_queue = []
+        self._last_identified_ms = 0.0
+        self._identification_failed = False
+        self._retry_queue = []
+        self._retry_counts = {}
 
     @property
     def believed(self) -> Situation:
@@ -178,7 +257,12 @@ class ReconfigurationManager:
     # -- per-cycle protocol ------------------------------------------------
 
     def begin_cycle(self, time_ms: float) -> Tuple[str, Tuple[str, ...]]:
-        """Apply the pending ISP knob and pick this cycle's classifiers."""
+        """Apply the pending ISP knob and pick this cycle's classifiers.
+
+        Classifier invocations that failed last cycle and were granted
+        a retry (see :class:`MitigationConfig`) are appended to the
+        scheduled set — the bounded retry rides in this cycle's budget.
+        """
         if self._isp_queue and len(self._isp_queue) >= self.isp_apply_lag:
             self._active_isp = self._isp_queue.pop(0)
         invoked = tuple(
@@ -186,6 +270,10 @@ class ReconfigurationManager:
             for c in self.scheme.classifiers_for_cycle(time_ms)
             if c in self.case.classifiers
         )
+        if self._retry_queue:
+            retries = tuple(c for c in self._retry_queue if c not in invoked)
+            self._retry_queue = []
+            invoked = invoked + retries
         return self._active_isp, invoked
 
     def integrate_identification(self, features: Mapping[str, object]) -> Situation:
@@ -200,10 +288,55 @@ class ReconfigurationManager:
             self._believed_changed = True
         return self._believed
 
+    def note_identification(
+        self,
+        time_ms: float,
+        succeeded: Tuple[str, ...],
+        failed: Tuple[str, ...] = (),
+    ) -> None:
+        """Record which scheduled classifier invocations produced output.
+
+        Successful identification refreshes the believed situation's
+        timestamp (the staleness watchdog's input) and closes any retry
+        episode for those classifiers.  Failed invocations (timeout,
+        outage, blind frame) are queued for a bounded retry in the next
+        cycle when mitigation is enabled.
+        """
+        if succeeded:
+            self._last_identified_ms = time_ms
+            for name in succeeded:
+                self._retry_counts.pop(name, None)
+        if failed:
+            self._identification_failed = True
+            if self.mitigation is not None:
+                for name in failed:
+                    used = self._retry_counts.get(name, 0)
+                    if used < self.mitigation.retry_limit and name not in self._retry_queue:
+                        self._retry_counts[name] = used + 1
+                        self._retry_queue.append(name)
+
+    def identification_age_ms(self, time_ms: float) -> float:
+        """Age of the believed situation at *time_ms* (0 when fresh)."""
+        return max(0.0, time_ms - self._last_identified_ms)
+
+    def is_stale(self, time_ms: float) -> bool:
+        """Whether the staleness watchdog would fire at *time_ms*.
+
+        Always False without a :class:`MitigationConfig` or for cases
+        that deploy no classifiers (nothing to go stale: the design is
+        static by construction).
+        """
+        if self.mitigation is None or not self.case.classifiers:
+            return False
+        return self.identification_age_ms(time_ms) > self.mitigation.stale_after_ms
+
     def observe_measurement(self, measurement_valid: bool) -> None:
         """Per-cycle feedback for adaptive invocation schemes."""
-        self.scheme.observe(self._believed_changed, measurement_valid)
+        self.scheme.observe(
+            self._believed_changed, measurement_valid, self._identification_failed
+        )
         self._believed_changed = False
+        self._identification_failed = False
 
     def preview(self, invoked: Tuple[str, ...] = ()) -> CycleDecision:
         """Knob selection for the believed situation, **without** side
@@ -221,7 +354,17 @@ class ReconfigurationManager:
     def decide(
         self, time_ms: float, invoked: Tuple[str, ...]
     ) -> CycleDecision:
-        """Select knobs for the believed situation (Sec. III-D rules)."""
+        """Select knobs for the believed situation (Sec. III-D rules).
+
+        When the staleness watchdog fires (see :meth:`is_stale`) the
+        characterized tuning is *not* trusted: the manager degrades to
+        the safe fallback knobs — natural ROI, conservative speed, the
+        active ISP held — until identification recovers.
+        """
+        if self.is_stale(time_ms):
+            # Degraded: no ISP switch is enqueued either — switching the
+            # pipeline on a stale belief risks making sensing worse.
+            return self._fallback_decision(invoked)
         isp = self._select_isp(self.believed)
         # ISP knob switches take effect ``isp_apply_lag`` cycles later
         # (Sec. III-D: one cycle in the paper's scheme).
@@ -234,22 +377,57 @@ class ReconfigurationManager:
                 self._isp_queue.pop(0)
         return self._decision(invoked)
 
-    def _decision(self, invoked: Tuple[str, ...]) -> CycleDecision:
-        """Assemble the cycle decision from the current manager state."""
-        believed = self.believed
-        timing = pipeline_timing(
+    def _timing(self) -> PipelineTiming:
+        """Timing for the currently active ISP and the case's budget."""
+        return pipeline_timing(
             self._active_isp,
             self.case.classifier_budget(),
             dynamic_isp=self.case.adapt_isp,
             power_mode=self.power_mode,
         )
+
+    def _decision(self, invoked: Tuple[str, ...]) -> CycleDecision:
+        """Assemble the cycle decision from the current manager state."""
+        believed = self.believed
         return CycleDecision(
             active_isp=self._active_isp,
             invoked_classifiers=invoked,
             roi=self._select_roi(believed),
             speed_kmph=self._select_speed(believed),
-            timing=timing,
+            timing=self._timing(),
             believed=believed,
+        )
+
+    def _fallback_decision(self, invoked: Tuple[str, ...]) -> CycleDecision:
+        """The safe-default decision used while identification is stale.
+
+        The pre-characterized *natural* knobs of the believed situation
+        are the least-risk choice the manager can still justify: the
+        natural ROI degrades gracefully if the layout changed, and the
+        conservative speed bounds how fast the vehicle runs into
+        whatever the stale belief is missing.
+        """
+        believed = self.believed
+        assert self.mitigation is not None  # is_stale() gated on it
+        if self.case.adapt_roi_fine:
+            roi = natural_roi(believed)
+        else:
+            roi = self._select_roi(believed)
+        if self.case.adapt_speed:
+            speed = min(
+                self.mitigation.conservative_speed_kmph,
+                natural_speed_kmph(believed),
+            )
+        else:
+            speed = self._select_speed(believed)
+        return CycleDecision(
+            active_isp=self._active_isp,
+            invoked_classifiers=invoked,
+            roi=roi,
+            speed_kmph=speed,
+            timing=self._timing(),
+            believed=believed,
+            degraded=True,
         )
 
     # -- knob selection ----------------------------------------------------

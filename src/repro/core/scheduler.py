@@ -42,10 +42,17 @@ class InvocationScheme:
     def reset(self) -> None:
         """Clear any internal phase state (new run)."""
 
-    def observe(self, believed_changed: bool, measurement_valid: bool) -> None:
+    def observe(
+        self,
+        believed_changed: bool,
+        measurement_valid: bool,
+        identification_failed: bool = False,
+    ) -> None:
         """Feedback hook called once per cycle after identification and
         perception; event-triggered schemes react to it, the paper's
-        schemes ignore it."""
+        schemes ignore it.  ``identification_failed`` reports that a
+        scheduled classifier produced no output this cycle (timeout /
+        outage / blind frame — see :mod:`repro.faults`)."""
 
 
 class EveryFrameScheme(InvocationScheme):
@@ -116,6 +123,8 @@ class EventTriggeredScheme(InvocationScheme):
       other features quickly),
     - perception missed ``miss_threshold`` consecutive frames (the
       active knobs may be wrong for the actual situation),
+    - a scheduled classifier failed to produce output (timeout/outage:
+      re-confirm the features as soon as the path recovers),
     - nothing refreshed for ``max_staleness_ms`` (safety fallback).
     """
 
@@ -138,8 +147,13 @@ class EventTriggeredScheme(InvocationScheme):
         self._last_refresh_ms = 0.0
         self._trigger = False
 
-    def observe(self, believed_changed: bool, measurement_valid: bool) -> None:
-        if believed_changed:
+    def observe(
+        self,
+        believed_changed: bool,
+        measurement_valid: bool,
+        identification_failed: bool = False,
+    ) -> None:
+        if believed_changed or identification_failed:
             self._trigger = True
         if measurement_valid:
             self._misses = 0

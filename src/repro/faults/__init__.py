@@ -1,0 +1,72 @@
+"""Deterministic fault injection and graceful degradation.
+
+The subsystem has two halves:
+
+- **Injection** (:mod:`repro.faults.plan`, :mod:`repro.faults
+  .injection`) — a :class:`FaultPlan` of typed, windowed fault specs
+  (sensor blackout/banding, ISP corruption/latency spikes, classifier
+  wrong-label/timeout/outage, perception dropout) compiled into a
+  :class:`FaultInjector` the HiL engine consults at each seam.  All
+  randomness is seeded per spec; an empty plan is a shared no-op and
+  leaves traces bit-identical.
+- **Mitigation** — graceful degradation lives with the runtime it
+  protects: :class:`repro.core.reconfiguration.MitigationConfig`
+  enables staleness tracking, the safe-knob watchdog, and bounded
+  classifier retries inside the reconfiguration manager, and the HiL
+  engine records the per-cycle ``degraded`` flag on
+  :class:`repro.hil.record.CycleRecord`.
+
+Entry points: ``HilConfig(fault_plan=..., mitigation=...)``,
+:func:`repro.api.inject`, ``python -m repro inject``, and the
+``bench_fault_tolerance`` benchmark.
+"""
+
+from repro.faults.injection import (
+    CLASSIFIER_FAILED,
+    CLASSIFIER_OK,
+    CLASSIFIER_WRONG,
+    FaultInjector,
+    NULL_INJECTOR,
+    NullInjector,
+    build_injector,
+)
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FAULT_PLAN_PRESETS,
+    ClassifierOutage,
+    ClassifierTimeout,
+    ClassifierWrongLabel,
+    FaultPlan,
+    FaultSpec,
+    IspCorruption,
+    IspLatencySpike,
+    PerceptionDropout,
+    SensorBanding,
+    SensorBlackout,
+    parse_fault_spec,
+    resolve_fault_plan,
+)
+
+__all__ = [
+    "FaultSpec",
+    "SensorBlackout",
+    "SensorBanding",
+    "IspCorruption",
+    "IspLatencySpike",
+    "ClassifierWrongLabel",
+    "ClassifierTimeout",
+    "ClassifierOutage",
+    "PerceptionDropout",
+    "FaultPlan",
+    "FAULT_KINDS",
+    "FAULT_PLAN_PRESETS",
+    "parse_fault_spec",
+    "resolve_fault_plan",
+    "CLASSIFIER_OK",
+    "CLASSIFIER_WRONG",
+    "CLASSIFIER_FAILED",
+    "NullInjector",
+    "NULL_INJECTOR",
+    "FaultInjector",
+    "build_injector",
+]

@@ -1,0 +1,279 @@
+"""Fault injectors: the runtime half of :mod:`repro.faults`.
+
+The HiL engine talks to a single injector object through thin per-seam
+hooks (raw frame, ISP tap, timing, classifier outcomes, perception),
+so the fault model stays in one place instead of scattering ``if``
+checks through the loop:
+
+- :data:`NULL_INJECTOR` — the shared no-op used when no plan is
+  attached.  It draws no random numbers and allocates nothing, so runs
+  without faults stay bit-identical to a build without this subsystem.
+- :class:`FaultInjector` — compiled from a :class:`~repro.faults.plan
+  .FaultPlan`; every spec gets its own generator derived from the run
+  seed via :func:`repro.utils.rng.derive_rng` (stream
+  ``fault/<index>/<kind>``), so adding a spec never perturbs the draws
+  of another.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.faults.plan import (
+    ClassifierOutage,
+    ClassifierTimeout,
+    ClassifierWrongLabel,
+    FaultPlan,
+    IspCorruption,
+    IspLatencySpike,
+    PerceptionDropout,
+    SensorBanding,
+    SensorBlackout,
+)
+from repro.sim.sensor import band_frame, blackout_frame
+from repro.utils.rng import derive_rng
+
+__all__ = [
+    "CLASSIFIER_OK",
+    "CLASSIFIER_WRONG",
+    "CLASSIFIER_FAILED",
+    "NullInjector",
+    "NULL_INJECTOR",
+    "FaultInjector",
+    "build_injector",
+]
+
+#: Classifier invocation outcomes reported by the injector.
+CLASSIFIER_OK = "ok"
+CLASSIFIER_WRONG = "wrong"
+CLASSIFIER_FAILED = "failed"
+
+
+class NullInjector:
+    """No faults: every hook is the identity / a constant.
+
+    Shared singleton (:data:`NULL_INJECTOR`); keeping the hooks trivial
+    means the engine needs no ``if injector is not None`` branches and
+    fault-free runs pay essentially nothing.
+    """
+
+    #: Whether any fault can ever fire (False here).
+    enabled = False
+
+    def active_kinds(self, time_ms: float) -> Tuple[str, ...]:
+        """Kind strings of the faults live at *time_ms* (always empty)."""
+        return ()
+
+    def corrupt_raw(self, time_ms: float, raw: np.ndarray) -> np.ndarray:
+        """Sensor seam: return the RAW frame unchanged."""
+        return raw
+
+    def isp_tap(
+        self, time_ms: float
+    ) -> Optional[Callable[[str, np.ndarray], np.ndarray]]:
+        """ISP seam: no per-stage tap."""
+        return None
+
+    def extra_latency_ms(self, time_ms: float) -> float:
+        """Timing seam: no latency spike."""
+        return 0.0
+
+    def classifier_outcomes(
+        self, time_ms: float, invoked: Tuple[str, ...]
+    ) -> Optional[Dict[str, str]]:
+        """Classifier seam: ``None`` means every invocation is clean."""
+        return None
+
+    def corrupt_features(
+        self, time_ms: float, features: Dict[str, object], wrong: Tuple[str, ...]
+    ) -> Dict[str, object]:
+        """Classifier seam: no labels to flip."""
+        return features
+
+    def perception_dropout(self, time_ms: float) -> bool:
+        """Perception seam: never drop the measurement."""
+        return False
+
+
+#: The shared no-op injector.
+NULL_INJECTOR = NullInjector()
+
+
+def _wrong_label_domain(name: str) -> List[object]:
+    """The class domain of classifier *name* (for wrong-label flips)."""
+    from repro.core.situation import LaneColor, LaneForm, RoadLayout, Scene
+
+    if name == "road":
+        return list(RoadLayout)
+    if name == "lane":
+        return [(color, form) for color in LaneColor for form in LaneForm]
+    if name == "scene":
+        return list(Scene)
+    raise ValueError(f"unknown classifier {name!r}")
+
+
+class FaultInjector(NullInjector):
+    """Applies a :class:`~repro.faults.plan.FaultPlan` deterministically.
+
+    Specs fire in plan order; each spec owns a seeded generator and
+    draws from it only while its window is active, so traces are
+    bit-identical for a given ``(plan, seed)`` regardless of which
+    other specs are present.
+    """
+
+    enabled = True
+
+    def __init__(self, plan: FaultPlan, seed: int = 0):
+        self.plan = plan
+        self.seed = seed
+        entries = [
+            (spec, derive_rng(seed, f"fault/{index}/{spec.kind}"))
+            for index, spec in enumerate(plan.specs)
+        ]
+        self._entries = entries
+        self._sensor = [
+            (s, r) for s, r in entries if isinstance(s, (SensorBlackout, SensorBanding))
+        ]
+        self._isp = [(s, r) for s, r in entries if isinstance(s, IspCorruption)]
+        self._latency = [s for s, _ in entries if isinstance(s, IspLatencySpike)]
+        self._classifier = [
+            (s, r)
+            for s, r in entries
+            if isinstance(
+                s, (ClassifierWrongLabel, ClassifierTimeout, ClassifierOutage)
+            )
+        ]
+        self._blackouts = [s for s, _ in entries if isinstance(s, SensorBlackout)]
+        self._dropout = [
+            (s, r) for s, r in entries if isinstance(s, PerceptionDropout)
+        ]
+        # wrong-label generator per classifier name, stashed between
+        # classifier_outcomes() and corrupt_features() of one cycle.
+        self._wrong_rng: Dict[str, np.random.Generator] = {}
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def active_kinds(self, time_ms: float) -> Tuple[str, ...]:
+        """Kind strings of the specs live at *time_ms* (plan order)."""
+        return tuple(s.kind for s, _ in self._entries if s.active(time_ms))
+
+    # -- sensor seam -----------------------------------------------------
+
+    def corrupt_raw(self, time_ms: float, raw: np.ndarray) -> np.ndarray:
+        """Apply active blackout/banding faults to the RAW frame."""
+        for spec, rng in self._sensor:
+            if not spec.active(time_ms):
+                continue
+            if isinstance(spec, SensorBlackout):
+                raw = blackout_frame(raw)
+            else:
+                raw = band_frame(raw, rng, spec.band_px, spec.strength)
+        return raw
+
+    # -- ISP seam --------------------------------------------------------
+
+    def isp_tap(
+        self, time_ms: float
+    ) -> Optional[Callable[[str, np.ndarray], np.ndarray]]:
+        """A per-stage corruption tap, or ``None`` if none is active."""
+        live = [(s, r) for s, r in self._isp if s.active(time_ms)]
+        if not live:
+            return None
+
+        def tap(stage: str, rgb: np.ndarray) -> np.ndarray:
+            for spec, rng in live:
+                if spec.stage != stage:
+                    continue
+                noise = rng.standard_normal(rgb.shape, dtype=np.float32)
+                rgb = np.clip(rgb + spec.strength * noise, 0.0, 1.0)
+            return rgb
+
+        return tap
+
+    def extra_latency_ms(self, time_ms: float) -> float:
+        """Sum of the active latency spikes (added to tau and h)."""
+        return sum(s.extra_ms for s in self._latency if s.active(time_ms))
+
+    # -- classifier seam -------------------------------------------------
+
+    def classifier_outcomes(
+        self, time_ms: float, invoked: Tuple[str, ...]
+    ) -> Optional[Dict[str, str]]:
+        """Outcome per invoked classifier, or ``None`` when all clean.
+
+        Outcomes: :data:`CLASSIFIER_OK` (invoke normally),
+        :data:`CLASSIFIER_WRONG` (invoke, then flip the label via
+        :meth:`corrupt_features`) and :data:`CLASSIFIER_FAILED` (no
+        output this cycle — timeout, outage, or a blacked-out frame
+        that carries nothing to classify).
+        """
+        blind = any(s.active(time_ms) for s in self._blackouts)
+        live = [(s, r) for s, r in self._classifier if s.active(time_ms)]
+        if not blind and not live:
+            return None
+        self._wrong_rng.clear()
+        outcomes: Dict[str, str] = {}
+        for name in invoked:
+            outcome = CLASSIFIER_OK
+            if blind:
+                outcome = CLASSIFIER_FAILED
+            else:
+                for spec, rng in live:
+                    if spec.classifier and spec.classifier != name:
+                        continue
+                    if isinstance(spec, ClassifierOutage):
+                        outcome = CLASSIFIER_FAILED
+                    else:
+                        fired = (
+                            spec.probability >= 1.0
+                            or rng.random() < spec.probability
+                        )
+                        if not fired:
+                            continue
+                        if isinstance(spec, ClassifierTimeout):
+                            outcome = CLASSIFIER_FAILED
+                        else:
+                            outcome = CLASSIFIER_WRONG
+                            self._wrong_rng[name] = rng
+                    break
+            outcomes[name] = outcome
+        return outcomes
+
+    def corrupt_features(
+        self, time_ms: float, features: Dict[str, object], wrong: Tuple[str, ...]
+    ) -> Dict[str, object]:
+        """Flip the labels of the classifiers marked wrong this cycle."""
+        if not wrong:
+            return features
+        flipped = dict(features)
+        for name in wrong:
+            rng = self._wrong_rng.get(name)
+            if rng is None or name not in flipped:
+                continue
+            candidates = [
+                value
+                for value in _wrong_label_domain(name)
+                if value != flipped[name]
+            ]
+            flipped[name] = candidates[int(rng.integers(len(candidates)))]
+        return flipped
+
+    # -- perception seam -------------------------------------------------
+
+    def perception_dropout(self, time_ms: float) -> bool:
+        """Whether the PR measurement is dropped this cycle."""
+        for spec, rng in self._dropout:
+            if not spec.active(time_ms):
+                continue
+            if spec.probability >= 1.0 or rng.random() < spec.probability:
+                return True
+        return False
+
+
+def build_injector(plan: Optional[FaultPlan], seed: int = 0) -> NullInjector:
+    """The injector for *plan*: :data:`NULL_INJECTOR` when it is empty."""
+    if not plan:
+        return NULL_INJECTOR
+    return FaultInjector(plan, seed)

@@ -1,0 +1,411 @@
+"""Typed, windowed fault specifications and the :class:`FaultPlan`.
+
+The paper studies *benign* sensing imperfections (noise, drops,
+misclassification); this module adds the failure modes a robustness
+study needs on top of the same closed loop, in the spirit of the
+CARMA-style degraded-sensing and ADAS-corruption literature (see
+PAPERS.md):
+
+- **sensor** faults — :class:`SensorBlackout` (no scene information)
+  and :class:`SensorBanding` (readout row banding);
+- **ISP** faults — :class:`IspCorruption` (a stage emits a corrupted
+  frame) and :class:`IspLatencySpike` (a stage stalls, stretching the
+  cycle past the modeled ``tau``/``h``);
+- **classifier** faults — :class:`ClassifierWrongLabel` (silent wrong
+  output), :class:`ClassifierTimeout` (an invocation misses its
+  deadline with some probability) and :class:`ClassifierOutage` (the
+  accelerator is gone for the whole window);
+- **perception** faults — :class:`PerceptionDropout` (the PR stage
+  reports no measurement).
+
+Every spec is *windowed* (``start_ms <= t < end_ms`` in simulation
+time) and all randomness is drawn from per-spec generators derived via
+:func:`repro.utils.rng.derive_rng`, so a fault campaign is bit-exactly
+reproducible for a given ``(plan, seed)`` and specs never perturb each
+other's streams.
+
+Plans can be built programmatically, parsed from compact CLI spec
+strings (``"timeout@1500:6000,classifier=road,probability=0.7"``), or
+looked up from the named presets in :data:`FAULT_PLAN_PRESETS`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple, Type, Union
+
+__all__ = [
+    "FaultSpec",
+    "SensorBlackout",
+    "SensorBanding",
+    "IspCorruption",
+    "IspLatencySpike",
+    "ClassifierWrongLabel",
+    "ClassifierTimeout",
+    "ClassifierOutage",
+    "PerceptionDropout",
+    "FaultPlan",
+    "FAULT_KINDS",
+    "FAULT_PLAN_PRESETS",
+    "parse_fault_spec",
+    "resolve_fault_plan",
+]
+
+#: Classifier names a classifier-targeted spec may name ("" = all).
+_CLASSIFIERS = ("road", "lane", "scene")
+
+#: ISP stage labels an :class:`IspCorruption` may target.  The stage
+#: acronyms follow Fig. 3(a); ``"output"`` corrupts the final frame
+#: regardless of the active configuration.
+_ISP_STAGES = ("DM", "DN", "CM", "GM", "TM", "output")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Base class: one fault, active inside ``[start_ms, end_ms)``."""
+
+    start_ms: float
+    end_ms: float
+
+    #: Stable kind string used by the parser, per-cycle records, and
+    #: the RNG stream derivation.  Overridden by every concrete spec.
+    kind = "abstract"
+
+    def __post_init__(self):
+        if not self.start_ms >= 0.0:
+            raise ValueError(f"start_ms must be >= 0, got {self.start_ms}")
+        if not self.end_ms > self.start_ms:
+            raise ValueError(
+                f"end_ms must be > start_ms, got "
+                f"[{self.start_ms}, {self.end_ms})"
+            )
+
+    def active(self, time_ms: float) -> bool:
+        """Whether this fault is live at simulation time *time_ms*."""
+        return self.start_ms <= time_ms < self.end_ms
+
+    def _check_probability(self, value: float, field: str) -> None:
+        if not 0.0 < value <= 1.0:
+            raise ValueError(f"{field} must be in (0, 1], got {value}")
+
+    def _check_classifier(self, name: str) -> None:
+        if name and name not in _CLASSIFIERS:
+            raise ValueError(
+                f"unknown classifier {name!r}; expected one of "
+                f"{_CLASSIFIERS} (or '' for all)"
+            )
+
+
+@dataclass(frozen=True)
+class SensorBlackout(FaultSpec):
+    """The sensor stops integrating light: frames carry no scene.
+
+    Perception cannot measure and classifiers cannot identify on a
+    blacked-out frame, so the injector also reports every scheduled
+    classifier invocation in the window as failed ("blind").
+    """
+
+    kind = "blackout"
+
+
+@dataclass(frozen=True)
+class SensorBanding(FaultSpec):
+    """Readout row banding: alternating row bands are attenuated."""
+
+    kind = "banding"
+    band_px: int = 8
+    strength: float = 0.85
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.band_px < 1:
+            raise ValueError(f"band_px must be >= 1, got {self.band_px}")
+        if not 0.0 <= self.strength <= 1.0:
+            raise ValueError(f"strength must be in [0, 1], got {self.strength}")
+
+
+@dataclass(frozen=True)
+class IspCorruption(FaultSpec):
+    """An ISP stage emits a corrupted frame (additive seeded noise).
+
+    ``stage`` is a Fig. 3(a) acronym (``DM``/``DN``/``CM``/``GM``/
+    ``TM``) — corruption applies right after that stage *if the active
+    configuration runs it* — or ``"output"`` to corrupt the final frame
+    of any configuration.
+    """
+
+    kind = "isp_corruption"
+    stage: str = "output"
+    strength: float = 0.5
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.stage not in _ISP_STAGES:
+            raise ValueError(
+                f"unknown ISP stage {self.stage!r}; expected one of {_ISP_STAGES}"
+            )
+        if not self.strength > 0.0:
+            raise ValueError(f"strength must be > 0, got {self.strength}")
+
+
+@dataclass(frozen=True)
+class IspLatencySpike(FaultSpec):
+    """The ISP stalls: the cycle stretches ``extra_ms`` past the model.
+
+    The controller keeps the gains designed for the *nominal* timing —
+    exactly the hardware/control mismatch the paper's delay-aware
+    design is sensitive to.
+    """
+
+    kind = "latency"
+    extra_ms: float = 20.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        if not self.extra_ms > 0.0:
+            raise ValueError(f"extra_ms must be > 0, got {self.extra_ms}")
+
+
+@dataclass(frozen=True)
+class ClassifierWrongLabel(FaultSpec):
+    """A classifier silently returns a wrong label.
+
+    With probability *probability* per invocation the true output is
+    replaced by a uniformly drawn wrong class — the adversarial cousin
+    of :class:`~repro.core.reconfiguration.OracleIdentifier` accuracy.
+    """
+
+    kind = "wrong_label"
+    classifier: str = ""
+    probability: float = 1.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        self._check_classifier(self.classifier)
+        self._check_probability(self.probability, "probability")
+
+
+@dataclass(frozen=True)
+class ClassifierTimeout(FaultSpec):
+    """A classifier invocation misses its deadline (no output).
+
+    Unlike :class:`ClassifierOutage` the failure is per-invocation and
+    probabilistic, so a bounded retry in the next cycle's budget (the
+    mitigation path) has a real chance of succeeding.
+    """
+
+    kind = "timeout"
+    classifier: str = ""
+    probability: float = 1.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        self._check_classifier(self.classifier)
+        self._check_probability(self.probability, "probability")
+
+
+@dataclass(frozen=True)
+class ClassifierOutage(FaultSpec):
+    """A classifier is unavailable for the whole window (hard outage)."""
+
+    kind = "outage"
+    classifier: str = ""
+
+    def __post_init__(self):
+        super().__post_init__()
+        self._check_classifier(self.classifier)
+
+
+@dataclass(frozen=True)
+class PerceptionDropout(FaultSpec):
+    """The PR stage reports no measurement (invalid) for the cycle."""
+
+    kind = "dropout"
+    probability: float = 1.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        self._check_probability(self.probability, "probability")
+
+
+#: kind string -> spec class (the parser's registry).
+FAULT_KINDS: Dict[str, Type[FaultSpec]] = {
+    cls.kind: cls
+    for cls in (
+        SensorBlackout,
+        SensorBanding,
+        IspCorruption,
+        IspLatencySpike,
+        ClassifierWrongLabel,
+        ClassifierTimeout,
+        ClassifierOutage,
+        PerceptionDropout,
+    )
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, immutable collection of fault specs for one run.
+
+    The plan itself is pure data: the per-seam behaviour (and all RNG
+    state) lives in :class:`repro.faults.injection.FaultInjector`,
+    which the HiL engine builds from ``HilConfig.fault_plan``.  An
+    empty plan is falsy and injects nothing — closed-loop traces are
+    bit-identical to runs without a plan.
+    """
+
+    specs: Tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self):
+        for spec in self.specs:
+            if not isinstance(spec, FaultSpec):
+                raise TypeError(f"not a FaultSpec: {spec!r}")
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    @classmethod
+    def empty(cls) -> "FaultPlan":
+        """A plan with no faults (injects nothing, mitigations stay idle)."""
+        return cls()
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse ``;``-separated spec strings into a plan.
+
+        See :func:`parse_fault_spec` for the per-spec grammar.
+        """
+        specs = tuple(
+            parse_fault_spec(part)
+            for part in text.split(";")
+            if part.strip()
+        )
+        return cls(specs)
+
+    def describe(self) -> str:
+        """One line per spec, e.g. for CLI output."""
+        lines = []
+        for spec in self.specs:
+            window = f"[{spec.start_ms:g}, {spec.end_ms:g}) ms"
+            params = {
+                f.name: getattr(spec, f.name)
+                for f in dataclasses.fields(spec)
+                if f.name not in ("start_ms", "end_ms")
+                and getattr(spec, f.name) != ""
+            }
+            detail = (
+                " " + ", ".join(f"{k}={v}" for k, v in params.items())
+                if params
+                else ""
+            )
+            lines.append(f"{spec.kind} @ {window}{detail}")
+        return "\n".join(lines) if lines else "(empty plan)"
+
+
+def parse_fault_spec(text: str) -> FaultSpec:
+    """Parse one compact spec string: ``kind@start:end[,key=value]*``.
+
+    ``start``/``end`` are milliseconds of simulation time (``end`` may
+    be ``inf``); the optional ``key=value`` pairs set the spec's extra
+    fields, coerced to the field's type.  Examples::
+
+        blackout@2000:2800
+        timeout@1500:6000,classifier=road,probability=0.7
+        latency@1000:2000,extra_ms=25
+    """
+    head, _, param_text = text.strip().partition(",")
+    kind, at, window = head.partition("@")
+    if not at or ":" not in window:
+        raise ValueError(
+            f"bad fault spec {text!r}; expected 'kind@start:end[,key=value]*'"
+        )
+    cls = FAULT_KINDS.get(kind.strip())
+    if cls is None:
+        raise ValueError(
+            f"unknown fault kind {kind.strip()!r}; expected one of "
+            f"{sorted(FAULT_KINDS)}"
+        )
+    start_text, _, end_text = window.partition(":")
+    try:
+        kwargs: Dict[str, object] = {
+            "start_ms": float(start_text),
+            "end_ms": math.inf if end_text.strip() == "inf" else float(end_text),
+        }
+    except ValueError as exc:
+        raise ValueError(f"bad fault window in {text!r}: {exc}") from exc
+    field_types = {f.name: f.type for f in dataclasses.fields(cls)}
+    for pair in param_text.split(",") if param_text else ():
+        key, eq, value = pair.partition("=")
+        key = key.strip()
+        if not eq or key not in field_types:
+            known = sorted(set(field_types) - {"start_ms", "end_ms"})
+            raise ValueError(
+                f"bad parameter {pair!r} for {cls.kind!r}; known: {known}"
+            )
+        if key == "band_px":
+            kwargs[key] = int(value)
+        elif key in ("classifier", "stage"):
+            kwargs[key] = value.strip()
+        else:
+            kwargs[key] = float(value)
+    return cls(**kwargs)  # type: ignore[arg-type]
+
+
+def _presets() -> Dict[str, FaultPlan]:
+    """Build the named preset plans (fresh instances, plans are frozen)."""
+    return {
+        # A 0.8 s sensor blackout while cruising.
+        "blackout": FaultPlan((SensorBlackout(2000.0, 2800.0),)),
+        # Persistent readout banding.
+        "banding": FaultPlan((SensorBanding(1000.0, 6000.0),)),
+        # The classifier accelerator disappears and never comes back.
+        "classifier-outage": FaultPlan((ClassifierOutage(1500.0, math.inf),)),
+        # Flaky accelerator: invocations miss deadlines 70 % of the
+        # time — the regime where bounded retries pay off.
+        "flaky-classifiers": FaultPlan(
+            (ClassifierTimeout(1500.0, math.inf, probability=0.7),)
+        ),
+        # Everything at once, at survivable intensities.
+        "stress": FaultPlan(
+            (
+                SensorBanding(1000.0, math.inf, band_px=8, strength=0.6),
+                ClassifierTimeout(1000.0, math.inf, probability=0.4),
+                PerceptionDropout(1000.0, math.inf, probability=0.2),
+                IspLatencySpike(3000.0, 4000.0, extra_ms=15.0),
+            )
+        ),
+    }
+
+
+#: Named fault campaigns for the CLI / benchmarks (see :func:`_presets`).
+FAULT_PLAN_PRESETS: Dict[str, FaultPlan] = _presets()
+
+
+def resolve_fault_plan(plan: Union[FaultPlan, str, None]) -> FaultPlan:
+    """Coerce *plan* to a :class:`FaultPlan`.
+
+    Accepts a plan instance, a preset name from
+    :data:`FAULT_PLAN_PRESETS`, a spec string (anything containing
+    ``@``, see :func:`parse_fault_spec`), or ``None`` (empty plan).
+    """
+    if plan is None:
+        return FaultPlan.empty()
+    if isinstance(plan, FaultPlan):
+        return plan
+    if not isinstance(plan, str):
+        raise TypeError(f"expected FaultPlan, preset name or spec string, got {plan!r}")
+    if "@" in plan:
+        return FaultPlan.parse(plan)
+    preset = FAULT_PLAN_PRESETS.get(plan)
+    if preset is None:
+        raise ValueError(
+            f"unknown fault plan preset {plan!r}; known presets: "
+            f"{sorted(FAULT_PLAN_PRESETS)} (or pass 'kind@start:end' specs)"
+        )
+    return preset

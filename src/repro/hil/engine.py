@@ -30,11 +30,18 @@ from repro.control.lqr import LqrWeights
 from repro.core.cases import CaseConfig, case_config
 from repro.core.knobs import KnobSetting
 from repro.core.reconfiguration import (
+    MitigationConfig,
     OracleIdentifier,
     ReconfigurationManager,
     SituationIdentifier,
 )
 from repro.core.situation import Situation
+from repro.faults.injection import (
+    CLASSIFIER_FAILED,
+    CLASSIFIER_WRONG,
+    build_injector,
+)
+from repro.faults.plan import FaultPlan
 from repro.hil.record import CycleRecord, HilResult
 from repro.isp.pipeline import IspPipeline
 from repro.perception.pipeline import PerceptionPipeline, PerceptionResult
@@ -81,6 +88,14 @@ class HilConfig:
     #: simulated trace is bit-identical with profiling on or off (timing
     #: in the loop is *modeled* via Table II, never measured).
     profile: bool = False
+    #: Deterministic fault campaign applied at the sensing seams (see
+    #: :mod:`repro.faults`).  ``None`` or an empty plan injects nothing
+    #: and leaves the trace bit-identical.
+    fault_plan: Optional[FaultPlan] = None
+    #: Graceful-degradation policy (staleness watchdog + bounded
+    #: classifier retries).  ``None`` disables mitigation; an attached
+    #: but idle policy (no faults firing) does not alter the trace.
+    mitigation: Optional[MitigationConfig] = None
 
 
 class HilEngine:
@@ -91,7 +106,7 @@ class HilEngine:
         track: Track,
         case: Union[CaseConfig, str],
         table: Optional[Mapping[Situation, KnobSetting]] = None,
-        identifier: Optional[SituationIdentifier] = None,
+        identifier: Optional[Union[SituationIdentifier, str]] = None,
         config: HilConfig = HilConfig(),
         vehicle_params: VehicleParams = VehicleParams(),
         weights: LqrWeights = LqrWeights(),
@@ -111,13 +126,21 @@ class HilEngine:
             seed=config.seed,
         )
         self.perception = PerceptionPipeline(self.camera)
+        if isinstance(identifier, str):
+            # Registry spec, e.g. "oracle:0.99" or "cnn" — mirrors
+            # case_config(name) for the case argument.
+            from repro.core.identifiers import resolve_identifier
+
+            identifier = resolve_identifier(identifier, seed=config.seed)
         self.identifier = identifier or OracleIdentifier(seed=config.seed)
+        self.injector = build_injector(config.fault_plan, config.seed)
         self.manager = ReconfigurationManager(
             self.case,
             table,
-            window_ms=config.invocation_window_ms,
+            invocation_window_ms=config.invocation_window_ms,
             isp_apply_lag=config.isp_apply_lag,
             power_mode=config.power_mode,
+            mitigation=config.mitigation,
         )
         self.gain_scheduler = GainScheduler(vehicle_params, weights)
         self._isp_cache: Dict[str, IspPipeline] = {}
@@ -217,11 +240,15 @@ class HilEngine:
                     )
                     cycles.append(record)
                     vehicle.set_target_speed(decision.speed_kmph / 3.6)
+                    # Use the record's timing, not the decision's: a
+                    # latency-spike fault adds to both delay and period
+                    # (the cycle blocks); without faults the values are
+                    # bit-identical to decision.timing.
                     tau_steps = max(
-                        1, int(np.ceil(decision.timing.delay_ms / cfg.sim_step_ms - 1e-9))
+                        1, int(np.ceil(record.delay_ms / cfg.sim_step_ms - 1e-9))
                     )
                     h_steps = max(
-                        1, int(round(decision.timing.period_ms / cfg.sim_step_ms))
+                        1, int(round(record.period_ms / cfg.sim_step_ms))
                     )
                     pending.append((step + tau_steps, u))
                     control_due = step + h_steps
@@ -311,20 +338,50 @@ class HilEngine:
         else:
             with profile("hil.render"):
                 raw = self.renderer.render_raw(state.pose)
+            raw = self.injector.corrupt_raw(t_ms, raw)
             with profile("hil.isp"):
-                rgb = self._isp(active_isp).process(raw)
+                rgb = self._isp(active_isp).process(
+                    raw, tap=self.injector.isp_tap(t_ms)
+                )
 
-            if invoked:
-                with profile("hil.classifier"):
-                    features = self.identifier.identify(
-                        rgb, invoked, true_situation
+            # None means every invocation is clean (the only path the
+            # null injector takes, so fault-free runs stay identical).
+            outcomes = self.injector.classifier_outcomes(t_ms, invoked)
+            if outcomes is None:
+                if invoked:
+                    with profile("hil.classifier"):
+                        features = self.identifier.identify(
+                            rgb, invoked, true_situation
+                        )
+                    self.manager.integrate_identification(features)
+                self.manager.note_identification(t_ms, invoked)
+            else:
+                ok = tuple(
+                    n for n in invoked if outcomes[n] != CLASSIFIER_FAILED
+                )
+                failed = tuple(
+                    n for n in invoked if outcomes[n] == CLASSIFIER_FAILED
+                )
+                wrong = tuple(n for n in ok if outcomes[n] == CLASSIFIER_WRONG)
+                if ok:
+                    with profile("hil.classifier"):
+                        features = self.identifier.identify(
+                            rgb, ok, true_situation
+                        )
+                    features = self.injector.corrupt_features(
+                        t_ms, features, wrong
                     )
-                self.manager.integrate_identification(features)
+                    self.manager.integrate_identification(features)
+                self.manager.note_identification(t_ms, ok, failed)
             decision = self.manager.decide(t_ms, invoked)
 
             self.perception.set_roi(decision.roi)
             with profile("hil.pr"):
                 measurement = self.perception.process(rgb)
+            if self.injector.perception_dropout(t_ms):
+                # The PR stage produced nothing usable this cycle; the
+                # controller holds exactly as on a missed detection.
+                measurement = PerceptionResult.invalid()
         if contracts_enabled():
             # NaN here would silently corrupt the control loop; fail at
             # the sensing/control boundary instead.
@@ -365,17 +422,23 @@ class HilEngine:
                     state.steer,
                 )
             u = controller.step(measurement, v_y, r, steer)
+        # A latency-spike fault blocks the pipeline: the extra time adds
+        # to this cycle's delay and period (0.0 without faults, which
+        # leaves the float values bit-identical).
+        extra_ms = self.injector.extra_latency_ms(t_ms)
         record = CycleRecord(
             time_ms=t_ms,
             s=s_now,
             active_isp=decision.active_isp,
             roi=decision.roi,
             speed_kmph=decision.speed_kmph,
-            period_ms=decision.timing.period_ms,
-            delay_ms=decision.timing.delay_ms,
+            period_ms=decision.timing.period_ms + extra_ms,
+            delay_ms=decision.timing.delay_ms + extra_ms,
             invoked=invoked,
             measurement_valid=measurement.valid,
             y_l_measured=measurement.y_l,
             steering=u,
+            degraded=decision.degraded,
+            faults=self.injector.active_kinds(t_ms),
         )
         return u, decision, record, controller

@@ -31,6 +31,12 @@ class CycleRecord:
     measurement_valid: bool
     y_l_measured: float
     steering: float
+    #: True when the cycle ran on the mitigation fallback knobs
+    #: (identification stale — see repro.core.reconfiguration).
+    degraded: bool = False
+    #: Kind strings of the fault specs active during this cycle
+    #: (empty without a fault plan — see repro.faults).
+    faults: tuple = ()
 
 
 @dataclass
@@ -102,6 +108,20 @@ class HilResult:
             return 0.0
         return float(np.max(np.abs(self.lateral_offset)))
 
+    def degraded_cycles(self) -> int:
+        """Cycles that ran on the mitigation fallback knobs."""
+        return sum(1 for c in self.cycles if c.degraded)
+
+    def degraded_fraction(self) -> float:
+        """Fraction of cycles in degraded mode (0.0 without cycles)."""
+        if not self.cycles:
+            return 0.0
+        return self.degraded_cycles() / len(self.cycles)
+
+    def fault_kinds(self) -> tuple:
+        """Distinct fault kinds seen across the run's cycles (sorted)."""
+        return tuple(sorted({kind for c in self.cycles for kind in c.faults}))
+
     def save(self, path: str) -> Path:
         """Persist the trace to ``.npz`` (cycle records as JSON inside).
 
@@ -131,7 +151,16 @@ class HilResult:
         """Inverse of :meth:`save`."""
         with np.load(path, allow_pickle=False) as data:
             cycles = [
-                CycleRecord(**{**c, "invoked": tuple(c["invoked"])})
+                CycleRecord(
+                    **{
+                        **c,
+                        "invoked": tuple(c["invoked"]),
+                        # Absent in traces saved before the fault
+                        # subsystem existed; default to clean cycles.
+                        "faults": tuple(c.get("faults", ())),
+                        "degraded": bool(c.get("degraded", False)),
+                    }
+                )
                 for c in json.loads(str(data["cycles_json"]))
             ]
             crash_s = float(data["crash_s"])

@@ -62,20 +62,34 @@ class IspPipeline:
         """The Table II name of the active configuration."""
         return self.config.name
 
-    def process(self, raw: np.ndarray) -> np.ndarray:
+    def process(self, raw: np.ndarray, tap=None) -> np.ndarray:
         """Transform a RAW Bayer plane into an RGB frame.
 
         The output domain depends on the configuration: with tone map it
         is display-referred (gamma-encoded); without it stays linear.
         Downstream perception uses adaptive thresholds to cope with both,
         which is exactly the robustness interplay the paper studies.
+
+        ``tap``, if given, is called as ``tap(stage_label, rgb)`` after
+        each executed stage (labels are the Fig. 3a acronyms ``"DM"``
+        .. ``"TM"``) and once more as ``tap("output", rgb)`` on the
+        final frame, and must return the (possibly replaced) frame.
+        This is the fault-injection seam of :mod:`repro.faults`: stage
+        corruption attaches here instead of branching inside the
+        stages.
         """
         with profile(_STAGE_LABEL[IspStage.DEMOSAIC]):
             rgb = demosaic(raw)
+        if tap is not None:
+            rgb = tap(IspStage.DEMOSAIC.value, rgb)
         for stage in _STAGE_ORDER[1:]:
             if self.config.has(stage):
                 with profile(_STAGE_LABEL[stage]):
                     rgb = _STAGE_FN[stage](rgb)
+                if tap is not None:
+                    rgb = tap(stage.value, rgb)
+        if tap is not None:
+            rgb = tap("output", rgb)
         # Every stage output (demosaic included) is a fresh array owned
         # by this call, so the final clip runs in place.
         return np.clip(rgb, 0.0, 1.0, out=rgb)

@@ -17,6 +17,8 @@ __all__ = [
     "bayer_channel_masks",
     "mosaic",
     "add_sensor_noise",
+    "blackout_frame",
+    "band_frame",
 ]
 
 #: RGGB: rows 0,2,... start R G, rows 1,3,... start G B.
@@ -67,3 +69,39 @@ def add_sensor_noise(
     dtype = raw.dtype if raw.dtype in (np.float32, np.float64) else np.float64
     noisy = signal + sigma * rng.standard_normal(raw.shape, dtype=dtype)
     return np.clip(noisy, 0.0, 1.0)
+
+
+def blackout_frame(raw: np.ndarray) -> np.ndarray:
+    """A fully dark frame of the same shape/dtype (sensor blackout fault).
+
+    Models a sensor that stops integrating light (shutter stuck, power
+    glitch, severe under-exposure): the readout still produces a frame,
+    but it carries no scene information.
+    """
+    return np.zeros_like(raw)
+
+
+def band_frame(
+    raw: np.ndarray,
+    rng: np.random.Generator,
+    band_px: int = 8,
+    strength: float = 0.85,
+) -> np.ndarray:
+    """Attenuate alternating horizontal row bands (readout banding fault).
+
+    Models the row-banding artifact of a failing readout chain: every
+    other band of ``band_px`` rows is attenuated by ``strength`` (1.0
+    blanks the band entirely).  The band phase is drawn from *rng* per
+    frame so the artifact crawls over the image the way real rolling
+    banding does — pass a seeded generator for reproducible runs.
+    """
+    if band_px < 1:
+        raise ValueError(f"band_px must be >= 1, got {band_px}")
+    if not 0.0 <= strength <= 1.0:
+        raise ValueError(f"strength must be in [0, 1], got {strength}")
+    phase = int(rng.integers(2))
+    rows = np.arange(raw.shape[0])
+    mask = ((rows // band_px) + phase) % 2 == 0
+    banded = raw.copy()
+    banded[mask] *= 1.0 - strength
+    return banded

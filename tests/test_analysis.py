@@ -189,6 +189,20 @@ RULE_FIXTURES = [
         "pkg/module.py",
     ),
     (
+        "API002",
+        '''
+        def simulate(situation, case):
+            """Docstring present, but case is positional."""
+            return situation, case
+        ''',
+        '''
+        def simulate(situation=1, *, case="case3"):
+            """Run one closed-loop simulation."""
+            return situation, case
+        ''',
+        "src/repro/api.py",
+    ),
+    (
         "PRF001",
         """
         import numpy as np
@@ -272,6 +286,28 @@ def test_print_rule_exempts_cli_and_report():
     assert rule_hits(source, "IO001", "src/repro/nn/trainer.py")
     assert not rule_hits(source, "IO001", "src/repro/__main__.py")
     assert not rule_hits(source, "IO001", "src/repro/experiments/report.py")
+
+
+def test_facade_rule_scoping_and_privates():
+    source = """
+    def run(a, b, c):
+        return a + b + c
+    """
+    # Only the facade module is held to the contract.
+    assert rule_hits(source, "API002", "src/repro/api.py")
+    assert not rule_hits(source, "API002", "src/repro/hil/engine.py")
+    # Private helpers and docstring-less privates are exempt.
+    private = """
+    def _coerce(a, b):
+        return a, b
+    """
+    assert not rule_hits(private, "API002", "src/repro/api.py")
+    # Missing docstring alone is a finding even if keyword-only.
+    undocumented = """
+    def inject(*, faults):
+        return faults
+    """
+    assert rule_hits(undocumented, "API002", "src/repro/api.py")
 
 
 def test_hot_path_float64_scoping():

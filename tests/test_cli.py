@@ -1,0 +1,133 @@
+"""CLI smoke tests: argument parsing, exit codes, and output shape for
+``python -m repro run / profile / inject``.
+
+Each executing test uses the small test frame (192x96) and a short
+track so the whole module stays tier-1 fast; the lint subcommand has
+its own coverage in tests/test_analysis.py.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import _parse_frame, build_parser, main
+
+FRAME_ARGS = ["--frame", "192x96"]
+
+
+# ---------------------------------------------------------------------------
+# parsing
+
+
+class TestParsing:
+    def test_parse_frame(self):
+        import argparse
+
+        assert _parse_frame("384x192") == (384, 192)
+        assert _parse_frame("") is None
+        with pytest.raises(argparse.ArgumentTypeError, match="384x192"):
+            _parse_frame("widexhigh")
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.situation == 1 and args.case == "case3"
+        assert args.length == 150.0 and args.seed == 1
+        assert args.frame is None and args.profile is False
+
+    def test_inject_arguments(self):
+        args = build_parser().parse_args(
+            ["inject", "--faults", "stress", "--situation", "8",
+             "--frame", "192x96", "--no-mitigation", "--compare"]
+        )
+        assert args.faults == "stress"
+        assert args.situation == 8
+        assert args.frame == (192, 96)
+        assert args.no_mitigation and args.compare
+
+    def test_inject_requires_faults(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["inject"])
+        assert excinfo.value.code == 2
+        assert "--faults" in capsys.readouterr().err
+
+    def test_bad_case_and_bad_frame_are_usage_errors(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["run", "--case", "case9"])
+        assert excinfo.value.code == 2
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["run", "--frame", "huge"])
+        assert excinfo.value.code == 2
+        capsys.readouterr()
+
+    def test_unknown_command_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["teleport"])
+        assert excinfo.value.code == 2
+        capsys.readouterr()
+
+
+# ---------------------------------------------------------------------------
+# execution and exit codes
+
+
+class TestRunCommand:
+    def test_clean_run_exits_zero(self, capsys):
+        code = main(["run", "--length", "60", "--seed", "7", *FRAME_ARGS])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "completed" in out and "MAE" in out
+
+    def test_run_with_profile_prints_stage_table(self, capsys):
+        code = main(
+            ["run", "--length", "40", "--seed", "7", "--profile", *FRAME_ARGS]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "hil.control" in out
+
+
+class TestProfileCommand:
+    def test_profile_prints_measured_vs_modeled(self, capsys):
+        code = main(["profile", "--length", "40", "--seed", "7", *FRAME_ARGS])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "model ms" in out and "hil.pr" in out
+
+
+class TestInjectCommand:
+    def test_inject_reports_plan_and_exits_zero(self, capsys):
+        code = main(
+            ["inject", "--faults", "banding@1000:2000", "--length", "60",
+             "--seed", "7", *FRAME_ARGS]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "banding @" in out          # the plan description
+        assert "mitigated" in out
+        assert "faults seen: banding" in out
+
+    def test_compare_runs_both_arms(self, capsys):
+        code = main(
+            ["inject", "--faults", "banding@1000:2000", "--length", "60",
+             "--seed", "7", "--compare", *FRAME_ARGS]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "unmitigated" in out and "mitigated" in out
+
+    def test_crash_exits_one(self, capsys):
+        # A permanent sensor blackout in a turn: the vehicle departs the
+        # lane once the curve starts and the run must report failure.
+        code = main(
+            ["inject", "--faults", "blackout@0:inf", "--situation", "8",
+             "--length", "100", "--seed", "7", "--no-mitigation", *FRAME_ARGS]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "CRASHED" in out
+
+    def test_unknown_preset_exits_two(self, capsys):
+        code = main(["inject", "--faults", "gremlins", *FRAME_ARGS])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "unknown fault plan preset" in captured.err

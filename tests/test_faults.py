@@ -1,0 +1,305 @@
+"""Tests for repro.faults: plans, injectors, and closed-loop effects.
+
+The load-bearing test here is the bit-identity regression: attaching an
+empty :class:`FaultPlan` plus an idle :class:`MitigationConfig` must
+leave the HiL traces bit-for-bit identical to a run without either —
+the invariant that makes the fault subsystem safe to keep wired in.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.reconfiguration import MitigationConfig
+from repro.core.situation import situation_by_index
+from repro.faults import (
+    CLASSIFIER_FAILED,
+    CLASSIFIER_OK,
+    CLASSIFIER_WRONG,
+    FAULT_PLAN_PRESETS,
+    FaultInjector,
+    FaultPlan,
+    NULL_INJECTOR,
+    ClassifierOutage,
+    ClassifierTimeout,
+    ClassifierWrongLabel,
+    IspLatencySpike,
+    PerceptionDropout,
+    SensorBlackout,
+    build_injector,
+    parse_fault_spec,
+    resolve_fault_plan,
+)
+from repro.hil.engine import HilConfig, HilEngine
+from repro.sim.world import static_situation_track
+
+FAST = dict(frame_width=192, frame_height=96)
+
+
+def _run(case: str = "case3", sit: int = 1, length: float = 70.0, **kwargs):
+    track = static_situation_track(situation_by_index(sit), length=length)
+    config = HilConfig(seed=7, **FAST, **kwargs)
+    return HilEngine(track, case, config=config).run()
+
+
+# ---------------------------------------------------------------------------
+# plans and parsing
+
+
+class TestPlan:
+    def test_parse_spec_window_and_params(self):
+        spec = parse_fault_spec("timeout@1500:6000,classifier=road,probability=0.7")
+        assert isinstance(spec, ClassifierTimeout)
+        assert spec.start_ms == 1500.0 and spec.end_ms == 6000.0
+        assert spec.classifier == "road"
+        assert spec.probability == pytest.approx(0.7)
+
+    def test_parse_spec_inf_window(self):
+        spec = parse_fault_spec("outage@1500:inf")
+        assert math.isinf(spec.end_ms)
+        assert spec.active(1e12) and not spec.active(1499.9)
+
+    @pytest.mark.parametrize(
+        "text,match",
+        [
+            ("blackout", "expected 'kind@start:end"),
+            ("wat@0:100", "unknown fault kind"),
+            ("blackout@zero:100", "bad fault window"),
+            ("blackout@0:100,nope=1", "bad parameter"),
+            ("timeout@0:100,probability=1.5", "probability"),
+            ("timeout@0:100,classifier=gps", "unknown classifier"),
+            ("isp_corruption@0:100,stage=XX", "unknown ISP stage"),
+            ("blackout@100:100", "end_ms must be > start_ms"),
+        ],
+    )
+    def test_parse_spec_rejects(self, text, match):
+        with pytest.raises(ValueError, match=match):
+            parse_fault_spec(text)
+
+    def test_plan_parse_multiple_and_truthiness(self):
+        plan = FaultPlan.parse("blackout@0:100; dropout@200:300,probability=0.5")
+        assert len(plan) == 2 and bool(plan)
+        assert not FaultPlan.empty()
+        assert FaultPlan.parse("  ") == FaultPlan.empty()
+
+    def test_plan_rejects_non_specs(self):
+        with pytest.raises(TypeError, match="not a FaultSpec"):
+            FaultPlan(("blackout",))  # type: ignore[arg-type]
+
+    def test_describe_lists_kinds_and_skips_empty_fields(self):
+        plan = FaultPlan.parse("outage@1:2; timeout@1:2,classifier=lane")
+        text = plan.describe()
+        assert "outage @" in text and "classifier=lane" in text
+        # The outage targets all classifiers (classifier="") — the empty
+        # field must not render as "classifier=".
+        assert "classifier=\n" not in text and not text.endswith("classifier=")
+        assert FaultPlan.empty().describe() == "(empty plan)"
+
+    def test_resolve_accepts_plan_preset_and_spec(self):
+        plan = FAULT_PLAN_PRESETS["blackout"]
+        assert resolve_fault_plan(plan) is plan
+        assert resolve_fault_plan(None) == FaultPlan.empty()
+        assert resolve_fault_plan("blackout") == plan
+        parsed = resolve_fault_plan("blackout@2000:2800")
+        assert parsed == plan
+        with pytest.raises(ValueError, match="unknown fault plan preset"):
+            resolve_fault_plan("nope")
+        with pytest.raises(TypeError):
+            resolve_fault_plan(42)  # type: ignore[arg-type]
+
+    def test_presets_are_valid_plans(self):
+        for name, plan in FAULT_PLAN_PRESETS.items():
+            assert plan, name
+            assert all(s.end_ms > s.start_ms for s in plan.specs)
+
+
+# ---------------------------------------------------------------------------
+# injector behaviour (no closed loop)
+
+
+class TestInjector:
+    def test_empty_plan_uses_shared_null_injector(self):
+        assert build_injector(None) is NULL_INJECTOR
+        assert build_injector(FaultPlan.empty()) is NULL_INJECTOR
+        assert not NULL_INJECTOR.enabled
+
+    def test_null_injector_hooks_are_identity(self):
+        raw = np.ones((4, 4), dtype=np.float32)
+        assert NULL_INJECTOR.corrupt_raw(0.0, raw) is raw
+        assert NULL_INJECTOR.isp_tap(0.0) is None
+        assert NULL_INJECTOR.extra_latency_ms(0.0) == 0.0
+        assert NULL_INJECTOR.classifier_outcomes(0.0, ("road",)) is None
+        assert NULL_INJECTOR.perception_dropout(0.0) is False
+        assert NULL_INJECTOR.active_kinds(0.0) == ()
+
+    def test_active_kinds_respects_windows(self):
+        plan = FaultPlan.parse("blackout@100:200; latency@150:300,extra_ms=10")
+        injector = build_injector(plan, seed=1)
+        assert injector.active_kinds(50.0) == ()
+        assert injector.active_kinds(120.0) == ("blackout",)
+        assert injector.active_kinds(180.0) == ("blackout", "latency")
+        assert injector.active_kinds(250.0) == ("latency",)
+
+    def test_blackout_fails_every_classifier(self):
+        injector = build_injector(FaultPlan((SensorBlackout(0.0, 100.0),)), seed=1)
+        outcomes = injector.classifier_outcomes(50.0, ("road", "lane"))
+        assert outcomes == {"road": CLASSIFIER_FAILED, "lane": CLASSIFIER_FAILED}
+        assert injector.classifier_outcomes(150.0, ("road",)) is None
+
+    def test_outage_targets_named_classifier_only(self):
+        plan = FaultPlan((ClassifierOutage(0.0, 100.0, classifier="road"),))
+        outcomes = build_injector(plan, seed=1).classifier_outcomes(
+            10.0, ("road", "lane")
+        )
+        assert outcomes == {"road": CLASSIFIER_FAILED, "lane": CLASSIFIER_OK}
+
+    def test_wrong_label_flips_to_a_different_value(self):
+        from repro.core.situation import RoadLayout
+
+        plan = FaultPlan((ClassifierWrongLabel(0.0, 100.0, classifier="road"),))
+        injector = build_injector(plan, seed=1)
+        outcomes = injector.classifier_outcomes(10.0, ("road",))
+        assert outcomes == {"road": CLASSIFIER_WRONG}
+        features = {"road": RoadLayout.STRAIGHT}
+        flipped = injector.corrupt_features(10.0, features, ("road",))
+        assert flipped["road"] != RoadLayout.STRAIGHT
+        assert isinstance(flipped["road"], RoadLayout)
+        # The input dict is never mutated.
+        assert features["road"] is RoadLayout.STRAIGHT
+
+    def test_probabilistic_faults_are_seed_deterministic(self):
+        plan = FaultPlan(
+            (
+                ClassifierTimeout(0.0, math.inf, probability=0.5),
+                PerceptionDropout(0.0, math.inf, probability=0.5),
+            )
+        )
+        a, b = (build_injector(plan, seed=9) for _ in range(2))
+        seq_a = [
+            (a.classifier_outcomes(t, ("road",)), a.perception_dropout(t))
+            for t in np.arange(0.0, 500.0, 33.0)
+        ]
+        seq_b = [
+            (b.classifier_outcomes(t, ("road",)), b.perception_dropout(t))
+            for t in np.arange(0.0, 500.0, 33.0)
+        ]
+        assert seq_a == seq_b
+        outcomes = {o["road"] for o, _ in seq_a}
+        assert CLASSIFIER_FAILED in outcomes and CLASSIFIER_OK in outcomes
+
+    def test_latency_spikes_sum(self):
+        plan = FaultPlan(
+            (
+                IspLatencySpike(0.0, 100.0, extra_ms=10.0),
+                IspLatencySpike(50.0, 100.0, extra_ms=5.0),
+            )
+        )
+        injector = build_injector(plan, seed=1)
+        assert injector.extra_latency_ms(25.0) == pytest.approx(10.0)
+        assert injector.extra_latency_ms(75.0) == pytest.approx(15.0)
+        assert injector.extra_latency_ms(150.0) == 0.0
+
+    def test_isp_tap_only_touches_named_stage(self):
+        injector = build_injector(
+            FaultPlan.parse("isp_corruption@0:100,stage=DN,strength=0.5"), seed=1
+        )
+        tap = injector.isp_tap(10.0)
+        rgb = np.full((4, 4, 3), 0.5, dtype=np.float32)
+        assert np.array_equal(tap("DM", rgb), rgb)
+        assert not np.array_equal(tap("DN", rgb), rgb)
+        assert injector.isp_tap(200.0) is None
+
+
+# ---------------------------------------------------------------------------
+# closed loop: bit identity and fault effects
+
+
+class TestClosedLoop:
+    def test_empty_plan_and_idle_mitigation_are_bit_identical(self):
+        """The acceptance-criteria regression: an empty FaultPlan plus an
+        attached-but-never-triggered MitigationConfig must not change a
+        single bit of the HiL traces."""
+        baseline = _run("case4", sit=8)
+        wired = _run(
+            "case4",
+            sit=8,
+            fault_plan=FaultPlan.empty(),
+            mitigation=MitigationConfig(),
+        )
+        for field in ("time_s", "s", "lateral_offset", "y_l_true", "steering", "speed"):
+            assert np.array_equal(getattr(baseline, field), getattr(wired, field)), field
+        assert baseline.crashed == wired.crashed
+        assert len(baseline.cycles) == len(wired.cycles)
+        for before, after in zip(baseline.cycles, wired.cycles):
+            assert before == after
+        assert wired.degraded_cycles() == 0
+        assert wired.fault_kinds() == ()
+
+    def test_fault_runs_are_seed_deterministic(self):
+        plan = resolve_fault_plan("stress")
+        first = _run(fault_plan=plan, mitigation=MitigationConfig())
+        second = _run(fault_plan=plan, mitigation=MitigationConfig())
+        assert np.array_equal(first.lateral_offset, second.lateral_offset)
+        assert first.cycles == second.cycles
+
+    def test_cycles_record_active_fault_kinds(self):
+        result = _run(fault_plan=FaultPlan.parse("banding@1000:2000"))
+        in_window = [c for c in result.cycles if 1000.0 <= c.time_ms < 2000.0]
+        assert in_window and all("banding" in c.faults for c in in_window)
+        outside = [c for c in result.cycles if c.time_ms >= 2000.0]
+        assert outside and all(c.faults == () for c in outside)
+        assert result.fault_kinds() == ("banding",)
+
+    def test_latency_spike_stretches_recorded_timing(self):
+        # Straight situation + case3: nominal timing is constant across
+        # the run, so any pre-fault cycle serves as the reference.
+        spiked = _run(fault_plan=FaultPlan.parse("latency@1000:2000,extra_ms=25"))
+        nominal = spiked.cycles[0]
+        assert nominal.faults == ()
+        hit = [c for c in spiked.cycles if "latency" in c.faults]
+        assert hit
+        for cycle in hit:
+            assert cycle.period_ms == pytest.approx(nominal.period_ms + 25.0)
+            assert cycle.delay_ms == pytest.approx(nominal.delay_ms + 25.0)
+
+    def test_outage_without_mitigation_never_degrades(self):
+        result = _run(fault_plan=FaultPlan.parse("outage@1000:inf"))
+        assert result.degraded_cycles() == 0
+        assert all(not c.degraded for c in result.cycles)
+
+    def test_stale_watchdog_falls_back_to_safe_knobs(self):
+        from repro.core.defaults import natural_roi
+
+        mitigation = MitigationConfig(stale_after_ms=500.0)
+        result = _run(
+            fault_plan=FaultPlan.parse("outage@1000:inf"),
+            mitigation=mitigation,
+        )
+        degraded = [c for c in result.cycles if c.degraded]
+        assert degraded, "the watchdog should trip once identification is stale"
+        # Staleness is measured from the last successful identification
+        # (just before the outage starts), so nothing degrades before
+        # the outage and everything does once it has run long enough.
+        assert min(c.time_ms for c in degraded) >= 1000.0
+        late = [c for c in result.cycles if c.time_ms >= 1000.0 + mitigation.stale_after_ms]
+        assert late and all(c.degraded for c in late)
+        situation = situation_by_index(1)
+        for cycle in degraded:
+            assert cycle.speed_kmph <= mitigation.conservative_speed_kmph
+            assert cycle.roi == natural_roi(situation)
+
+    def test_save_load_round_trips_fault_fields(self, tmp_path):
+        result = _run(
+            fault_plan=FaultPlan.parse("banding@1000:2000"),
+            mitigation=MitigationConfig(stale_after_ms=500.0),
+        )
+        from repro.hil.record import HilResult
+
+        path = result.save(str(tmp_path / "run.npz"))
+        loaded = HilResult.load(str(path))
+        assert loaded.fault_kinds() == result.fault_kinds()
+        assert loaded.degraded_cycles() == result.degraded_cycles()
+        assert [c.faults for c in loaded.cycles] == [c.faults for c in result.cycles]
