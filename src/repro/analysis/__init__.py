@@ -1,17 +1,26 @@
 """Project-aware static analysis and runtime contracts (reprolint).
 
-- :mod:`repro.analysis.engine` — config, file collection, the shared
-  single-pass AST walk, suppression comments;
-- :mod:`repro.analysis.rules` — the ~10 project-specific rules
-  (unseeded RNG, knob domains, unit suffixes, ...);
+Analysis layers (token -> AST -> graph):
+
+- :mod:`repro.analysis.engine` — config, file collection, suppression
+  comments (token level), the shared single-pass AST walk, and the
+  whole-program ``lint_project`` pass;
+- :mod:`repro.analysis.rules` — the per-file AST rules (unseeded RNG,
+  knob domains, unit suffixes, ...);
+- :mod:`repro.analysis.graph` — the project rules over the parsed-once
+  import/call graph (architecture contract, import cycles, dead
+  functions, API lockfile drift, RNG-stream flow);
+- :mod:`repro.analysis.surface` — static public-API extraction and the
+  ``api_surface.json`` lockfile;
 - :mod:`repro.analysis.report` — findings, text/JSON rendering, exit
   codes;
-- :mod:`repro.analysis.contracts` — ``@check_shapes`` /
-  ``@check_finite`` runtime guards, gated by ``REPRO_CONTRACTS``.
+- :mod:`repro.analysis.contracts` — backward-compatible re-export of
+  the runtime guards, which live in :mod:`repro.utils.contracts`.
 
-CLI: ``python -m repro lint [paths]`` (or the ``reprolint`` console
-script).  The tier-1 gate ``tests/test_analysis.py`` keeps ``src/repro``
-clean under the full rule set.
+CLI: ``python -m repro lint [--project] [paths]`` (or the ``reprolint``
+console script) and ``python -m repro graph``.  The tier-1 gate
+``tests/test_analysis.py`` keeps ``src/repro`` clean under the full
+rule set, project pass included.
 """
 
 from repro.analysis.contracts import (
@@ -22,9 +31,27 @@ from repro.analysis.contracts import (
     contracts_enabled,
     set_contracts_enabled,
 )
-from repro.analysis.engine import LintConfig, LintEngine, load_config
+from repro.analysis.engine import (
+    LintConfig,
+    LintEngine,
+    all_rules_by_id,
+    load_config,
+)
+from repro.analysis.graph import (
+    PROJECT_RULES,
+    ProjectGraph,
+    ProjectRule,
+    default_project_rules,
+    project_rules_by_id,
+)
 from repro.analysis.report import Finding, LintReport
 from repro.analysis.rules import RULES, Rule, default_rules, rules_by_id
+from repro.analysis.surface import (
+    extract_api_surface,
+    read_lockfile,
+    render_lockfile,
+    write_lockfile,
+)
 
 __all__ = [
     "ContractViolation",
@@ -32,14 +59,24 @@ __all__ = [
     "LintConfig",
     "LintEngine",
     "LintReport",
+    "PROJECT_RULES",
+    "ProjectGraph",
+    "ProjectRule",
     "RULES",
     "Rule",
+    "all_rules_by_id",
     "assert_finite",
     "check_finite",
     "check_shapes",
     "contracts_enabled",
+    "default_project_rules",
     "default_rules",
+    "extract_api_surface",
     "load_config",
+    "project_rules_by_id",
+    "read_lockfile",
+    "render_lockfile",
     "rules_by_id",
     "set_contracts_enabled",
+    "write_lockfile",
 ]

@@ -31,30 +31,55 @@ import ast
 import io
 import re
 import tokenize
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 from pathlib import Path
 from fnmatch import fnmatch
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.analysis.graph import (
+    ProjectGraph,
+    default_project_rules,
+    project_rules_by_id,
+)
 from repro.analysis.report import Finding, LintReport, SEVERITY_FATAL
 from repro.analysis.rules import Rule, default_rules, rules_by_id
 
-__all__ = ["LintConfig", "LintEngine", "load_config"]
+__all__ = ["LintConfig", "LintEngine", "all_rules_by_id", "load_config"]
 
 _SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s-]+)")
 
 
+def all_rules_by_id() -> Dict[str, type]:
+    """Registry of every rule id: per-file rules plus project rules."""
+    merged = dict(rules_by_id())
+    merged.update(project_rules_by_id())
+    return merged
+
+
 @dataclass(frozen=True)
 class LintConfig:
-    """Engine configuration (the ``[tool.reprolint]`` block)."""
+    """Engine configuration (the ``[tool.reprolint]`` block).
+
+    ``root`` is the directory the config was loaded from (where
+    ``pyproject.toml`` lives); exclude patterns match paths relative to
+    it, and the API lockfile resolves against it.  ``layers`` is the
+    architecture contract (``[tool.reprolint.layers]``): layer name ->
+    layers it may import.  ``entry_points`` are function names reachable
+    from outside the package (console scripts), used as dead-code roots.
+    """
 
     select: Tuple[str, ...] = ()
     ignore: Tuple[str, ...] = ()
     exclude: Tuple[str, ...] = ()
+    root: Optional[str] = None
+    layers: Mapping[str, Tuple[str, ...]] = field(default_factory=dict)
+    lockfile: str = "api_surface.json"
+    entry_points: Tuple[str, ...] = ()
 
     def active_rule_ids(self) -> Tuple[str, ...]:
         """Rule ids to run, honouring select/ignore."""
-        known = tuple(rules_by_id())
+        known = tuple(all_rules_by_id())
         chosen = self.select or known
         unknown = [rid for rid in (*chosen, *self.ignore) if rid not in known]
         if unknown:
@@ -63,12 +88,54 @@ class LintConfig:
             )
         return tuple(rid for rid in chosen if rid not in self.ignore)
 
-    def is_excluded(self, posix_path: str) -> bool:
-        """Whether *posix_path* matches any exclude pattern."""
+    def normalize(self, path: Path) -> str:
+        """POSIX path relative to the config root (when under it)."""
+        candidate = path if path.is_absolute() else Path.cwd() / path
+        if self.root is not None:
+            try:
+                return candidate.resolve().relative_to(
+                    Path(self.root).resolve()
+                ).as_posix()
+            except ValueError:
+                pass
+        return path.as_posix()
+
+    def is_excluded(self, path) -> bool:
+        """Whether *path* (str or Path) matches any exclude pattern.
+
+        Paths are normalized to POSIX form relative to the config root
+        before matching, so ``examples/*`` behaves identically whether
+        ``lint_paths`` received a relative or an absolute path.
+        """
+        posix_path = (
+            self.normalize(path) if isinstance(path, Path) else path
+        )
         return any(
             fnmatch(posix_path, pattern) or fnmatch(f"/{posix_path}", f"*/{pattern}")
             for pattern in self.exclude
         )
+
+
+def _parse_layers(block: Mapping) -> Dict[str, Tuple[str, ...]]:
+    """The ``[tool.reprolint.layers]`` allowlist as plain tuples."""
+    layers = block.get("layers", {})
+    if not isinstance(layers, Mapping):
+        return {}
+    return {
+        str(name): tuple(str(dep) for dep in deps)
+        for name, deps in layers.items()
+    }
+
+
+def _parse_entry_points(data: Mapping) -> Tuple[str, ...]:
+    """Function names referenced by ``[project.scripts]`` specs."""
+    scripts = data.get("project", {}).get("scripts", {})
+    names = []
+    for spec in scripts.values():
+        _, _, attr = str(spec).partition(":")
+        if attr:
+            names.append(attr.split(".")[0].strip())
+    return tuple(sorted(set(names)))
 
 
 def load_config(start: Optional[Path] = None) -> LintConfig:
@@ -96,6 +163,10 @@ def load_config(start: Optional[Path] = None) -> LintConfig:
             select=tuple(block.get("select", ())),
             ignore=tuple(block.get("ignore", ())),
             exclude=tuple(block.get("exclude", ())),
+            root=str(candidate),
+            layers=_parse_layers(block),
+            lockfile=str(block.get("lockfile", "api_surface.json")),
+            entry_points=_parse_entry_points(data),
         )
     return LintConfig()
 
@@ -207,6 +278,7 @@ class LintEngine:
             active = set(self.config.active_rule_ids())
             rules = [r for r in default_rules() if r.id in active]
         self.rules: List[Rule] = list(rules)
+        self._sources: Dict[str, str] = {}
 
     # -- file collection ------------------------------------------------
 
@@ -226,7 +298,7 @@ class LintEngine:
                 if resolved in seen:
                     continue
                 seen.add(resolved)
-                if self.config.is_excluded(candidate.as_posix()):
+                if self.config.is_excluded(candidate):
                     excluded += 1
                     continue
                 kept.append(candidate)
@@ -270,6 +342,14 @@ class LintEngine:
             findings = [_fatal(path, f"cannot parse: {exc}")]
             return (findings, 0) if count_suppressed else findings
 
+        findings = self._run_file_rules(path, source, tree)
+        kept, suppressed = self._apply_suppressions(findings, source, path)
+        return (kept, suppressed) if count_suppressed else kept
+
+    def _run_file_rules(
+        self, path: str, source: str, tree: ast.Module
+    ) -> List[Finding]:
+        """One shared walk of *tree* through every per-file rule."""
         ctx = FileContext(path, source, tree)
         for rule in self.rules:
             rule.begin_file(ctx)
@@ -278,11 +358,26 @@ class LintEngine:
                 rule.visit_node(node, ctx)
         for rule in self.rules:
             rule.end_file(ctx)
+        return ctx.findings
 
+    def _apply_suppressions(
+        self, findings: Sequence[Finding], source: str, path: str
+    ) -> Tuple[List[Finding], int]:
+        """Split *findings* into (kept, n_suppressed) per the comments."""
         per_line, per_file = _parse_suppressions(source)
+        known = all_rules_by_id()
+        for rule_id in sorted(
+            {i for ids in (*per_line.values(), per_file) for i in ids}
+        ):
+            if rule_id != "all" and rule_id not in known:
+                warnings.warn(
+                    f"reprolint: suppression in {path} names unknown rule "
+                    f"id {rule_id!r}",
+                    stacklevel=2,
+                )
         kept: List[Finding] = []
         suppressed = 0
-        for finding in ctx.findings:
+        for finding in findings:
             line_ids = per_line.get(finding.line, set())
             if (
                 "all" in per_file
@@ -293,7 +388,70 @@ class LintEngine:
                 suppressed += 1
             else:
                 kept.append(finding)
-        return (kept, suppressed) if count_suppressed else kept
+        return kept, suppressed
+
+    # -- whole-program analysis -----------------------------------------
+
+    def build_graph(self, package_dir) -> Tuple[ProjectGraph, LintReport]:
+        """Parse the package tree once into a :class:`ProjectGraph`.
+
+        Returns the graph plus a partial report holding the per-file
+        findings (and parse failures) gathered during the same pass; the
+        project findings are added by :meth:`lint_project`.
+        """
+        package_dir = Path(package_dir)
+        report = LintReport()
+        graph = ProjectGraph(package_dir.name, package_dir)
+        files, report.files_excluded = self.collect_files([str(package_dir)])
+        sources: Dict[str, str] = {}
+        for path in files:
+            display = path.as_posix()
+            try:
+                source = path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError) as exc:
+                report.findings.append(_fatal(display, f"unreadable: {exc}"))
+                continue
+            try:
+                tree = ast.parse(source, filename=display)
+            except (SyntaxError, ValueError) as exc:
+                report.findings.append(_fatal(display, f"cannot parse: {exc}"))
+                continue
+            report.files_checked += 1
+            sources[display] = source
+            graph.add_source(path, display, source, tree)
+            kept, suppressed = self._apply_suppressions(
+                self._run_file_rules(display, source, tree), source, display
+            )
+            report.findings.extend(kept)
+            report.suppressed += suppressed
+        self._sources = sources
+        return graph, report
+
+    def lint_project(self, package_dir) -> LintReport:
+        """Per-file rules plus the whole-program pass over *package_dir*.
+
+        The tree is parsed exactly once; the project rules (architecture
+        contract, import cycles, dead functions, API lockfile, RNG flow)
+        run over the resulting :class:`ProjectGraph`, and their findings
+        honour the same suppression comments and select/ignore config as
+        the per-file rules.
+        """
+        graph, report = self.build_graph(package_dir)
+        active = set(self.config.active_rule_ids())
+        for rule in default_project_rules():
+            if rule.id not in active:
+                continue
+            for finding in rule.check(graph, self.config):
+                source = self._sources.get(finding.path)
+                if source is None:
+                    report.findings.append(finding)
+                    continue
+                kept, suppressed = self._apply_suppressions(
+                    [finding], source, finding.path
+                )
+                report.findings.extend(kept)
+                report.suppressed += suppressed
+        return report
 
 
 def _fatal(path: str, message: str) -> Finding:

@@ -8,7 +8,9 @@ process exit codes:
 
 - ``0`` — clean (no unsuppressed findings),
 - ``1`` — findings were reported,
-- ``2`` — the engine crashed on an input (unparseable file).
+- ``2`` — the analysis itself is untrustworthy: an input could not be
+  parsed, or the project pass found a module-level import cycle
+  (``ARC002``), which makes the layer analysis ill-founded.
 """
 
 from __future__ import annotations
@@ -31,7 +33,7 @@ __all__ = [
 
 SEVERITY_WARNING = "warning"
 SEVERITY_ERROR = "error"
-#: Reserved for engine-level failures (unparseable input), not rule hits.
+#: Analysis-invalidating failures: unparseable input, import cycles.
 SEVERITY_FATAL = "fatal"
 
 EXIT_CLEAN = 0

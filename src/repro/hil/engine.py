@@ -23,7 +23,7 @@ from typing import Dict, Mapping, Optional, Union
 
 import numpy as np
 
-from repro.analysis.contracts import assert_finite, contracts_enabled
+from repro.utils.contracts import assert_finite, contracts_enabled
 from repro.control.controller import LaneKeepingController
 from repro.control.gains import GainScheduler
 from repro.control.lqr import LqrWeights

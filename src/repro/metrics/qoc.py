@@ -16,7 +16,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.analysis.contracts import check_finite
+from repro.utils.contracts import check_finite
 
 __all__ = ["mae", "rmse", "max_abs", "normalize_to"]
 

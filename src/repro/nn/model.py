@@ -13,7 +13,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.analysis.contracts import check_finite, check_shapes
+from repro.utils.contracts import check_finite, check_shapes
 from repro.nn.layers import BatchNorm2D, Conv2D, Layer, Parameter, ReLU, fuse_conv_bn
 
 __all__ = ["Sequential", "ResidualBlock", "FusedResidualBlock"]

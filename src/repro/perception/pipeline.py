@@ -22,7 +22,7 @@ from typing import Dict, Union
 
 import numpy as np
 
-from repro.analysis.contracts import check_shapes
+from repro.utils.contracts import check_shapes
 from repro.perception.bev import BevGrid
 from repro.perception.lane_fit import LaneFit, fit_lane_lines
 from repro.perception.roi import RoiPreset, roi_preset

@@ -21,7 +21,7 @@ import networkx as nx
 from repro.platform.profiles import PROFILE_DB, SENSING_OVERHEAD_MS
 from repro.platform.resources import Resource
 
-__all__ = ["DagTask", "TaskDag", "lkas_dag"]
+__all__ = ["DagTask", "TaskDag", "dag_delay_ms", "lkas_dag"]
 
 
 @dataclass(frozen=True)

@@ -26,7 +26,7 @@ scheme struggles with.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 import numpy as np
 
@@ -117,8 +117,3 @@ def static_situation_track(
             sections.append(SectorSpec(lead_in, 0.0, entry_situation))
     sections.append(SectorSpec(length, curvature, situation))
     return Track.from_sections(sections, Pose2D(0.0, 0.0, 0.0))
-
-
-def sector_boundaries(track: Track) -> List[Tuple[float, float]]:
-    """``(s_start, s_end)`` per sector — used for per-sector QoC (Fig. 8)."""
-    return [(seg.s_start, seg.s_end) for seg in track.segments]

@@ -22,12 +22,16 @@ from repro.analysis import (
     ContractViolation,
     LintConfig,
     LintEngine,
+    all_rules_by_id,
     assert_finite,
     check_finite,
     check_shapes,
+    extract_api_surface,
     load_config,
+    project_rules_by_id,
     rules_by_id,
     set_contracts_enabled,
+    write_lockfile,
 )
 from repro.analysis.report import (
     EXIT_CLEAN,
@@ -357,6 +361,44 @@ def test_suppress_all_keyword():
     assert not lint(source)
 
 
+def test_suppress_all_on_own_line_mid_file_covers_whole_file():
+    # A standalone disable=all comment is file-wide no matter where it
+    # sits: findings *above* it are suppressed too.
+    source = """
+    a = x == 1.5
+    # reprolint: disable=all
+    b = y == 2.5
+    import os
+    """
+    engine = LintEngine()
+    findings, suppressed = engine.lint_source(
+        textwrap.dedent(source), count_suppressed=True
+    )
+    assert findings == []
+    assert suppressed == 3  # two FLT001 + one IMP001
+
+
+def test_suppress_multiple_ids_with_whitespace():
+    source = (
+        "import os\n"
+        "y = x == 1.5  # reprolint: disable= FLT001 ,  RNG001\n"
+    )
+    engine = LintEngine()
+    findings, suppressed = engine.lint_source(source, count_suppressed=True)
+    # The comma list tolerates spaces; only the named line is covered.
+    assert suppressed == 1
+    assert {f.rule_id for f in findings} == {"IMP001"}
+
+
+def test_suppress_unknown_rule_id_warns_but_still_lints():
+    source = "y = x == 1.5  # reprolint: disable=NOPE999\n"
+    engine = LintEngine()
+    with pytest.warns(UserWarning, match="unknown rule id 'NOPE999'"):
+        findings = engine.lint_source(source)
+    # The unknown id suppresses nothing and does not crash the run.
+    assert {f.rule_id for f in findings} == {"FLT001"}
+
+
 # ---------------------------------------------------------------------------
 # report and exit codes
 
@@ -424,6 +466,271 @@ def test_load_config_reads_pyproject(tmp_path):
     config = load_config(nested)
     assert config.ignore == ("FLT001",)
     assert config.exclude == ("examples/*",)
+    assert Path(config.root) == tmp_path.resolve()
+
+
+def test_exclude_patterns_match_absolute_paths_against_root(tmp_path):
+    # `examples/*` must exclude the same files whether lint_paths gets a
+    # relative or an absolute path: matching is against the POSIX path
+    # relative to the config root, not the raw argument string.
+    (tmp_path / "pyproject.toml").write_text(
+        '[tool.reprolint]\nexclude = ["examples/*"]\n'
+    )
+    (tmp_path / "examples").mkdir()
+    (tmp_path / "examples" / "demo.py").write_text("y = x == 1.5\n")
+    (tmp_path / "lib.py").write_text("y = x == 1.5\n")
+
+    engine = LintEngine(load_config(tmp_path))
+    report = engine.lint_paths([str(tmp_path)])  # absolute argument
+    assert report.files_excluded == 1
+    assert report.files_checked == 1
+    assert {Path(f.path).name for f in report.findings} == {"lib.py"}
+
+    # The same absolute file passed directly is excluded too.
+    direct = engine.lint_paths([str(tmp_path / "examples" / "demo.py")])
+    assert direct.files_excluded == 1
+    assert direct.files_checked == 0
+
+
+# ---------------------------------------------------------------------------
+# project rules (whole-program pass)
+
+
+def make_project(tmp_path, files, pyproject):
+    """Write a pyproject + ``src/pkg`` tree; return the package dir."""
+    pkg = tmp_path / "src" / "pkg"
+    pkg.mkdir(parents=True, exist_ok=True)
+    for rel, text in files.items():
+        target = pkg / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(text))
+    (tmp_path / "pyproject.toml").write_text(textwrap.dedent(pyproject))
+    return pkg
+
+
+def project_report(tmp_path, files, pyproject):
+    pkg = make_project(tmp_path, files, pyproject)
+    return LintEngine(load_config(tmp_path)).lint_project(pkg)
+
+
+def test_every_project_rule_is_registered_and_covered_here():
+    # all_rules_by_id merges both registries without id collisions.
+    merged = all_rules_by_id()
+    assert set(project_rules_by_id()) == {
+        "API003", "ARC001", "ARC002", "DED001", "RNG002", "RNG003",
+    }
+    assert set(rules_by_id()) | set(project_rules_by_id()) == set(merged)
+    assert len(merged) == len(rules_by_id()) + len(project_rules_by_id())
+
+
+def test_arc001_flags_undeclared_cross_layer_import(tmp_path):
+    files = {
+        "__init__.py": "",
+        "a/__init__.py": "",
+        "a/mod.py": "from pkg.b.mod import X\nY = X\n",
+        "b/__init__.py": "",
+        "b/mod.py": "X = 1\n",
+    }
+    violating = """
+    [tool.reprolint]
+    select = ["ARC001"]
+    [tool.reprolint.layers]
+    a = []
+    b = []
+    """
+    report = project_report(tmp_path, files, violating)
+    assert report.exit_code() == EXIT_FINDINGS
+    (finding,) = report.findings
+    assert finding.rule_id == "ARC001"
+    assert "'a' may not import 'b'" in finding.message
+
+    allowed = violating.replace("a = []", 'a = ["b"]')
+    clean = project_report(tmp_path, files, allowed)
+    assert clean.exit_code() == EXIT_CLEAN, clean.render_text()
+
+
+def test_arc001_flags_layer_missing_from_contract(tmp_path):
+    files = {
+        "__init__.py": "",
+        "a/__init__.py": "",
+        "c/__init__.py": "",
+        "c/mod.py": "import pkg.a\n",
+    }
+    pyproject = """
+    [tool.reprolint]
+    select = ["ARC001"]
+    [tool.reprolint.layers]
+    a = []
+    """
+    report = project_report(tmp_path, files, pyproject)
+    (finding,) = report.findings
+    assert "layer 'c' is not declared" in finding.message
+
+
+def test_arc002_import_cycle_is_fatal(tmp_path):
+    files = {
+        "__init__.py": "",
+        "a.py": "import pkg.b\n",
+        "b.py": "import pkg.a\n",
+    }
+    pyproject = '[tool.reprolint]\nselect = ["ARC002"]\n'
+    report = project_report(tmp_path, files, pyproject)
+    assert report.crashed
+    assert report.exit_code() == EXIT_CRASH
+    (finding,) = report.findings
+    assert finding.rule_id == "ARC002"
+    assert "pkg.a -> pkg.b -> pkg.a" in finding.message
+
+    # A lazy (function-scope) import is the sanctioned cycle break.
+    files["b.py"] = "def late():\n    import pkg.a\n    return pkg.a\n"
+    clean = project_report(tmp_path, files, pyproject)
+    assert clean.exit_code() == EXIT_CLEAN, clean.render_text()
+
+
+def test_ded001_dead_function_detection(tmp_path):
+    files = {
+        "__init__.py": "",
+        "mod.py": """
+        __all__ = ["used"]
+
+        def used():
+            return _helper()
+
+        def _helper():
+            return 1
+
+        def _orphan():
+            return 2
+
+        def undeclared():
+            return 3
+        """,
+    }
+    pyproject = '[tool.reprolint]\nselect = ["DED001"]\n'
+    report = project_report(tmp_path, files, pyproject)
+    assert report.exit_code() == EXIT_FINDINGS
+    messages = [f.message for f in report.sorted_findings()]
+    assert len(messages) == 2
+    assert "private function _orphan()" in messages[0]
+    assert "undeclared() is never referenced" in messages[1]
+
+
+def test_ded001_conservative_reference_sources(tmp_path):
+    # Identifier-shaped string literals (registry keys, getattr) and
+    # modules without __all__ keep the detector conservative.
+    files = {
+        "__init__.py": "",
+        "mod.py": '__all__ = []\n\ndef fetch():\n    return 1\n',
+        "reg.py": 'HANDLER = "fetch"\n',
+        "open_surface.py": "def anything_public():\n    return 1\n",
+    }
+    pyproject = '[tool.reprolint]\nselect = ["DED001"]\n'
+    report = project_report(tmp_path, files, pyproject)
+    assert report.exit_code() == EXIT_CLEAN, report.render_text()
+
+
+def test_api003_lockfile_missing_roundtrip_and_drift(tmp_path):
+    files = {
+        "__init__.py": (
+            '__all__ = ["simulate"]\nfrom pkg.api import simulate\n'
+        ),
+        "api.py": (
+            '__all__ = ["simulate"]\n\n\n'
+            'def simulate(*, steps=1):\n'
+            '    """Run."""\n'
+            '    return steps\n'
+        ),
+    }
+    pyproject = '[tool.reprolint]\nselect = ["API003"]\n'
+    pkg = make_project(tmp_path, files, pyproject)
+    config = load_config(tmp_path)
+
+    missing = LintEngine(config).lint_project(pkg)
+    assert missing.exit_code() == EXIT_FINDINGS
+    assert "lockfile api_surface.json is missing" in missing.findings[0].message
+
+    surface, _ = extract_api_surface(pkg)
+    lock_path = tmp_path / "api_surface.json"
+    assert write_lockfile(lock_path, surface) is True
+    assert write_lockfile(lock_path, surface) is False  # idempotent
+
+    clean = LintEngine(config).lint_project(pkg)
+    assert clean.exit_code() == EXIT_CLEAN, clean.render_text()
+
+    (pkg / "api.py").write_text(
+        (pkg / "api.py").read_text().replace("steps=1", "steps=2")
+    )
+    drifted = LintEngine(config).lint_project(pkg)
+    assert drifted.exit_code() == EXIT_FINDINGS
+    assert "api.simulate drifted" in drifted.findings[0].message
+
+
+def test_rng002_catches_aliased_numpy_random(tmp_path):
+    files = {
+        "__init__.py": "",
+        "mod.py": (
+            "from numpy import random\n"
+            "from numpy.random import default_rng\n"
+            "x = random.rand(3)\n"
+            "r = default_rng(0)\n"
+        ),
+    }
+    pyproject = '[tool.reprolint]\nselect = ["RNG002"]\n'
+    report = project_report(tmp_path, files, pyproject)
+    assert report.exit_code() == EXIT_FINDINGS
+    resolved = [f.message for f in report.sorted_findings()]
+    assert len(resolved) == 2
+    assert "numpy.random.rand" in resolved[0]
+    assert "numpy.random.default_rng" in resolved[1]
+
+    # Textual np.random.* is RNG001 territory — no double report.
+    textual = {
+        "__init__.py": "",
+        "mod.py": "import numpy as np\nx = np.random.rand(3)\n",
+    }
+    clean = project_report(tmp_path, textual, pyproject)
+    assert clean.exit_code() == EXIT_CLEAN, clean.render_text()
+
+
+def test_rng003_flags_reused_stream_literals(tmp_path):
+    files = {
+        "__init__.py": "",
+        "rngmod.py": "def derive_rng(seed, stream):\n    return (seed, stream)\n",
+        "one.py": (
+            "from pkg.rngmod import derive_rng\n"
+            'r = derive_rng(0, "imu")\n'
+        ),
+        "two.py": (
+            "from pkg.rngmod import derive_rng\n"
+            'r = derive_rng(0, stream="imu")\n'
+        ),
+    }
+    pyproject = '[tool.reprolint]\nselect = ["RNG003"]\n'
+    report = project_report(tmp_path, files, pyproject)
+    assert report.exit_code() == EXIT_FINDINGS
+    (finding,) = report.findings
+    assert finding.rule_id == "RNG003"
+    assert "'imu' is already derived at" in finding.message
+
+    # Dynamic stream names are the sanctioned fan-out.
+    files["two.py"] = (
+        "from pkg.rngmod import derive_rng\n"
+        "I = 1\n"
+        'r = derive_rng(0, f"imu-{I}")\n'
+    )
+    clean = project_report(tmp_path, files, pyproject)
+    assert clean.exit_code() == EXIT_CLEAN, clean.render_text()
+
+
+def test_project_findings_honour_suppressions(tmp_path):
+    files = {
+        "__init__.py": "",
+        "mod.py": "def _orphan():  # reprolint: disable=DED001\n    return 1\n",
+    }
+    pyproject = '[tool.reprolint]\nselect = ["DED001"]\n'
+    report = project_report(tmp_path, files, pyproject)
+    assert report.exit_code() == EXIT_CLEAN, report.render_text()
+    assert report.suppressed == 1
 
 
 # ---------------------------------------------------------------------------
@@ -590,8 +897,12 @@ def test_cli_lint_exit_codes_and_json(tmp_path, capsys):
 
     assert main(["lint", "--list-rules"]) == EXIT_CLEAN
     listing = capsys.readouterr().out
-    for rule_id in rules_by_id():
+    for rule_id, cls in all_rules_by_id().items():
         assert rule_id in listing
+        assert cls.severity in listing
+    # Each entry carries its scope and a one-line doc excerpt.
+    assert "(project)" in listing and "(file)" in listing
+    assert "architecture contract" in listing
 
 
 # ---------------------------------------------------------------------------
@@ -599,12 +910,14 @@ def test_cli_lint_exit_codes_and_json(tmp_path, capsys):
 
 
 def test_codebase_is_clean():
-    """`python -m repro lint src/repro` stays at zero unsuppressed findings.
+    """`python -m repro lint --project` stays at zero unsuppressed findings.
 
     This is the static-analysis analogue of the HiL regression
-    benchmarks: any PR that introduces a violation fails tier-1 here.
+    benchmarks: any PR that introduces a violation — per-file rule or
+    whole-program rule (architecture contract, import cycle, dead code,
+    API lockfile drift, RNG-stream reuse) — fails tier-1 here.
     """
     config = load_config(REPO_ROOT)
-    report = LintEngine(config).lint_paths([str(SRC_TREE)])
+    report = LintEngine(config).lint_project(SRC_TREE)
     assert report.files_checked > 80
     assert report.exit_code() == EXIT_CLEAN, "\n" + report.render_text()

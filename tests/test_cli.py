@@ -1,18 +1,22 @@
 """CLI smoke tests: argument parsing, exit codes, and output shape for
-``python -m repro run / profile / inject``.
+``python -m repro run / profile / inject / lint --project / graph``.
 
 Each executing test uses the small test frame (192x96) and a short
-track so the whole module stays tier-1 fast; the lint subcommand has
-its own coverage in tests/test_analysis.py.
+track so the whole module stays tier-1 fast; the per-rule lint
+behaviour has its own coverage in tests/test_analysis.py.
 """
 
 from __future__ import annotations
+
+import json
+from pathlib import Path
 
 import pytest
 
 from repro.__main__ import _parse_frame, build_parser, main
 
 FRAME_ARGS = ["--frame", "192x96"]
+REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
 # ---------------------------------------------------------------------------
@@ -131,3 +135,95 @@ class TestInjectCommand:
         captured = capsys.readouterr()
         assert code == 2
         assert "unknown fault plan preset" in captured.err
+
+
+# ---------------------------------------------------------------------------
+# project lint and graph
+
+
+class TestProjectLintCommand:
+    def test_lint_project_is_clean_on_shipped_tree(self, capsys):
+        # The lint-project tier-1 session: the whole-program pass over
+        # src/repro must exit clean (architecture contract, import
+        # cycles, dead code, API lockfile, RNG streams all green).
+        code = main(
+            ["lint", "--project", str(REPO_ROOT / "src" / "repro"),
+             "--format", "json"]
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert code == 0, document
+        assert document["summary"]["exit_code"] == 0
+        assert document["summary"]["files_checked"] > 80
+
+    def test_lint_project_flags_a_violating_tree(self, tmp_path, capsys):
+        pkg = tmp_path / "src" / "pkg"
+        pkg.mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "a.py").write_text("import pkg.b\n")
+        (pkg / "b.py").write_text("import pkg.a\n")
+        (tmp_path / "pyproject.toml").write_text(
+            '[tool.reprolint]\nselect = ["ARC002"]\n'
+        )
+        code = main(["lint", "--project", str(pkg)])
+        assert code == 2  # import cycles are fatal
+        assert "ARC002" in capsys.readouterr().out
+
+
+class TestGraphCommand:
+    def _project(self, tmp_path):
+        pkg = tmp_path / "src" / "pkg"
+        pkg.mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "api.py").write_text(
+            '__all__ = ["run"]\n\n\n'
+            'def run(*, steps=1):\n'
+            '    """Run."""\n'
+            "    return steps\n"
+        )
+        (tmp_path / "pyproject.toml").write_text("[tool.reprolint]\n")
+        return pkg
+
+    def test_update_lockfile_is_idempotent(self, tmp_path, capsys):
+        self._project(tmp_path)
+        root = ["--root", str(tmp_path)]
+        assert main(["graph", *root, "--update-lockfile"]) == 0
+        assert "updated" in capsys.readouterr().out
+        lockfile = tmp_path / "api_surface.json"
+        first = lockfile.read_text()
+        assert main(["graph", *root, "--update-lockfile"]) == 0
+        assert "up to date" in capsys.readouterr().out
+        assert lockfile.read_text() == first
+        assert "run" in json.loads(first)["api"]
+
+    def test_graph_text_dot_and_json_modes(self, capsys):
+        root = ["--root", str(REPO_ROOT)]
+        assert main(["graph", *root]) == 0
+        text = capsys.readouterr().out
+        assert "repro:" in text and "modules" in text
+
+        assert main(["graph", *root, "--dot"]) == 0
+        dot = capsys.readouterr().out
+        assert dot.startswith('digraph "repro"')
+        assert '"hil" -> "perception";' in dot
+
+        assert main(["graph", *root, "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["package"] == "repro"
+        assert "repro.hil.engine" in document["modules"]
+        assert "utils" in document["layers"]["metrics"]
+
+    def test_graph_modes_are_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["graph", "--dot", "--json"])
+        assert excinfo.value.code == 2
+        capsys.readouterr()
+
+    def test_shipped_lockfile_is_current(self, capsys):
+        # `graph --update-lockfile` on the repo itself is a no-op: the
+        # committed api_surface.json matches the extracted surface.
+        before = (REPO_ROOT / "api_surface.json").read_text()
+        assert main(
+            ["graph", "--root", str(REPO_ROOT), "--update-lockfile"]
+        ) == 0
+        assert "up to date" in capsys.readouterr().out
+        assert (REPO_ROOT / "api_surface.json").read_text() == before
