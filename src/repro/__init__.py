@@ -15,16 +15,25 @@ Subpackages
 - :mod:`repro.metrics` — QoC (MAE) and detection-accuracy metrics
 - :mod:`repro.experiments` — regeneration of every paper table/figure
 - :mod:`repro.faults` — deterministic fault injection + mitigation
+- :mod:`repro.telemetry` — structured run events, manifests, metrics
 - :mod:`repro.api` — the stable keyword-only facade re-exported here
 
-The four facade functions (:func:`simulate`, :func:`characterize`,
-:func:`profile`, :func:`inject`) are the supported programmatic entry
-points; see :mod:`repro.api` for the stability contract.
+The facade functions (:func:`simulate`, :func:`characterize`,
+:func:`profile`, :func:`inject`, :func:`load_trace`,
+:func:`diff_traces`) are the supported programmatic entry points; see
+:mod:`repro.api` for the stability contract.
 """
 
-from repro.api import ProfileReport, characterize, inject, profile, simulate
-
-__version__ = "1.1.0"
+from repro.api import (
+    ProfileReport,
+    characterize,
+    diff_traces,
+    inject,
+    load_trace,
+    profile,
+    simulate,
+)
+from repro.utils.version import __version__
 
 __all__ = [
     "__version__",
@@ -32,5 +41,7 @@ __all__ = [
     "characterize",
     "profile",
     "inject",
+    "load_trace",
+    "diff_traces",
     "ProfileReport",
 ]

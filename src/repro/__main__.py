@@ -10,6 +10,7 @@ characterize   design-time knob sweep for a situation (Table III row)
 train          train / load the three situation classifiers (Table IV)
 sensitivity    Monte-Carlo knob-sensitivity study (Sec. III-B)
 report         regenerate every paper artifact into a markdown report
+trace          inspect / diff telemetry event streams (JSONL)
 lint           project static analysis (reprolint) over a file set
 
 The simulation commands are thin wrappers over :mod:`repro.api` — the
@@ -51,11 +52,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         frame=args.frame,
         profile=args.profile,
+        telemetry=args.telemetry,
     )
     status = "CRASHED" if result.crashed else "completed"
     print(f"{args.case} on '{_describe_situation(args.situation)}': {status}")
     print(f"MAE = {result.mae(skip_time_s=2.0) * 100:.2f} cm over "
           f"{result.duration_s():.1f} s")
+    if args.telemetry:
+        print(f"telemetry trace written to {args.telemetry}")
     if result.profile:
         print()
         print(result.profile_table())
@@ -189,6 +193,55 @@ def _cmd_report(args: argparse.Namespace) -> int:
         include_characterization=not args.skip_characterization,
         include_classifiers=not args.skip_classifiers,
     )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.api import diff_traces, load_trace
+
+    if args.diff:
+        differences = diff_traces(a=args.diff[0], b=args.diff[1])
+        if not differences:
+            print(f"{args.diff[0]} and {args.diff[1]}: identical")
+            return 0
+        for line in differences:
+            print(line)
+        return 2
+    if not args.path:
+        print(
+            "repro trace: give a trace path (optionally --json) "
+            "or --diff A B",
+            file=sys.stderr,
+        )
+        return 2
+    trace = load_trace(path=args.path)
+    if args.json:
+        print(
+            json_module.dumps(
+                {"manifest": trace.manifest, "events": trace.events},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    manifest = trace.manifest
+    print(f"{args.path}:")
+    print(f"  schema          {manifest.get('schema')}")
+    print(f"  package version {manifest.get('package_version')}")
+    print(f"  config hash     {manifest.get('config_hash')}")
+    streams = manifest.get("rng_streams") or []
+    print(f"  rng streams     {len(streams)}: {', '.join(streams)}")
+    env = manifest.get("env") or {}
+    set_knobs = {k: v for k, v in env.items() if v is not None}
+    print(f"  env knobs       {set_knobs if set_knobs else '(none set)'}")
+    counts: dict = {}
+    for event in trace.events:
+        counts[event["event"]] = counts.get(event["event"], 0) + 1
+    print(f"  events          {len(trace.events)}")
+    for name in sorted(counts):
+        print(f"    {name:20s} {counts[name]}")
     return 0
 
 
@@ -340,6 +393,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print measured per-stage wall clock after the run")
     p_run.add_argument("--frame", type=_parse_frame, default=None,
                        help="camera frame as WxH (default 384x192)")
+    p_run.add_argument("--telemetry", metavar="PATH", default=None,
+                       help="record the run's telemetry event stream "
+                            "to this JSONL file")
     p_run.set_defaults(func=_cmd_run)
 
     p_prof = sub.add_parser(
@@ -405,6 +461,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--skip-characterization", action="store_true")
     p_report.add_argument("--skip-classifiers", action="store_true")
     p_report.set_defaults(func=_cmd_report)
+
+    p_trace = sub.add_parser(
+        "trace", help="inspect / diff telemetry event streams"
+    )
+    p_trace.add_argument(
+        "path", nargs="?", default=None,
+        help="a trace written by 'run --telemetry' (JSONL)",
+    )
+    p_trace.add_argument("--show", action="store_true",
+                         help="print the summary (the default display)")
+    p_trace.add_argument("--json", action="store_true",
+                         help="dump manifest and events as JSON")
+    p_trace.add_argument(
+        "--diff", nargs=2, metavar=("A", "B"), default=None,
+        help="compare two traces; exit 0 when equivalent, 2 when they "
+             "diverge (volatile manifest fields ignored)",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_lint = sub.add_parser("lint", help="project static analysis (reprolint)")
     p_lint.add_argument("paths", nargs="*", help="files/directories (default src/repro)")

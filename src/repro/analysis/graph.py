@@ -29,6 +29,10 @@ once into a :class:`ProjectGraph` and runs the *project rules* over it:
   to ``derive_rng`` / ``stream_seed`` at more than one call site
   collapses two components onto one random stream; the static
   complement of the runtime ``task_seed`` discipline.
+- ``OBS001`` telemetry-literal-event — telemetry ``emit()`` call sites
+  must name their event through the registered schema constants of
+  :mod:`repro.telemetry.events`, never a string literal: literals
+  bypass the schema registry, so typos become silently-unknown events.
 
 Run via ``python -m repro lint --project`` or ``python -m repro graph``.
 """
@@ -71,6 +75,10 @@ _STREAM_FUNCTIONS = frozenset({"derive_rng", "stream_seed"})
 #: Files exempt from the RNG rules: the sanctioned derivation module.
 _RNG_EXEMPT_SUFFIX = "utils/rng.py"
 
+#: Files exempt from OBS001: the schema registry itself (its constants
+#: ARE the literals) and the recorder that validates against it.
+_TELEMETRY_EXEMPT_SUFFIXES = ("telemetry/events.py", "telemetry/recorder.py")
+
 
 @dataclass(frozen=True)
 class ImportRecord:
@@ -91,6 +99,7 @@ class CallRecord:
     line: int
     col: int
     stream_literal: Optional[str]  # literal 2nd arg / stream= kw, if any
+    arg0_literal: Optional[str] = None  # literal first positional arg
 
 
 @dataclass(frozen=True)
@@ -141,6 +150,14 @@ def _stream_literal(node: ast.Call) -> Optional[str]:
             candidate = keyword.value
     if isinstance(candidate, ast.Constant) and isinstance(candidate.value, str):
         return candidate.value
+    return None
+
+
+def _first_arg_literal(node: ast.Call) -> Optional[str]:
+    """The literal string first positional argument, if statically known."""
+    if node.args and isinstance(node.args[0], ast.Constant):
+        if isinstance(node.args[0].value, str):
+            return node.args[0].value
     return None
 
 
@@ -214,6 +231,7 @@ def scan_module(
                         node.lineno,
                         node.col_offset,
                         _stream_literal(node),
+                        _first_arg_literal(node),
                     )
                 )
         elif isinstance(node, ast.Assign):
@@ -766,12 +784,59 @@ class StreamCollisionRule(ProjectRule):
         return findings
 
 
+class TelemetryEventRule(ProjectRule):
+    """OBS001: telemetry event emitted under a string literal name.
+
+    ``TelemetryRecorder.emit`` validates event names against
+    ``repro.telemetry.events.EVENT_SCHEMA`` at runtime, but a literal
+    at the emit site still dodges static tracking: renaming an event in
+    the registry would leave the stale literal behind as a run-time
+    crash (or, worse, a silently different stream shape).  Emit sites
+    must therefore pass the registered constants — ``rec.emit(
+    CYCLE_START, ...)`` — never ``rec.emit("cycle.start", ...)``.  The
+    schema module itself (where the literals are *defined*) and the
+    recorder are exempt.
+    """
+
+    id = "OBS001"
+    name = "telemetry-literal-event"
+    severity = SEVERITY_ERROR
+    description = (
+        "telemetry event emitted as a string literal; use the "
+        "registered constants from repro.telemetry.events"
+    )
+
+    def check(self, project: ProjectGraph, config) -> List[Finding]:
+        findings: List[Finding] = []
+        for name in sorted(project.modules):
+            info = project.modules[name]
+            if info.path.endswith(_TELEMETRY_EXEMPT_SUFFIXES):
+                continue
+            for call in info.calls:
+                if call.dotted.rpartition(".")[2] != "emit":
+                    continue
+                if call.arg0_literal is None:
+                    continue
+                findings.append(
+                    self.finding(
+                        info.path,
+                        call.line,
+                        call.col,
+                        f"{call.dotted}({call.arg0_literal!r}, ...) names "
+                        "the event with a string literal; import the "
+                        "constant from repro.telemetry.events instead",
+                    )
+                )
+        return findings
+
+
 #: All project rule classes in id order; instantiated per run.
 PROJECT_RULES: Tuple[type, ...] = (
     ApiLockfileRule,
     ArchitectureContractRule,
     ImportCycleRule,
     DeadFunctionRule,
+    TelemetryEventRule,
     AliasedRandomRule,
     StreamCollisionRule,
 )

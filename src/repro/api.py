@@ -9,7 +9,10 @@ engine plumbing —
 - :func:`profile` — a run with per-stage wall-clock measurement plus
   the Table II modeled latencies for comparison;
 - :func:`inject` — a run under a fault campaign with graceful
-  degradation enabled (see :mod:`repro.faults`).
+  degradation enabled (see :mod:`repro.faults`);
+- :func:`load_trace` / :func:`diff_traces` — read and compare the
+  JSONL telemetry traces ``simulate(telemetry=...)`` writes (see
+  :mod:`repro.telemetry`).
 
 Stability contract (see also ``docs/DESIGN.md``): every public function
 here takes keyword-only arguments, new parameters are only ever added
@@ -29,6 +32,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple, Union
 
 if TYPE_CHECKING:
+    from pathlib import Path
+
     from repro.core.cases import CaseConfig
     from repro.core.characterization import CharacterizationConfig, KnobEvaluation
     from repro.core.knobs import KnobSetting
@@ -38,12 +43,15 @@ if TYPE_CHECKING:
     from repro.hil.engine import HilConfig
     from repro.hil.record import HilResult
     from repro.sim.track import Track
+    from repro.telemetry.trace import RunTrace
 
 __all__ = [
     "simulate",
     "characterize",
     "profile",
     "inject",
+    "load_trace",
+    "diff_traces",
     "ProfileReport",
 ]
 
@@ -125,6 +133,7 @@ def simulate(
     seed: Optional[int] = None,
     frame: Optional[Tuple[int, int]] = None,
     profile: bool = False,
+    telemetry: Union[str, Path, None] = None,
     config: Optional[HilConfig] = None,
 ) -> HilResult:
     """Run one closed-loop HiL simulation and return its trace.
@@ -165,6 +174,12 @@ def simulate(
         ``(width, height)`` of the simulated camera frame.
     profile:
         Measure per-stage wall clock (attached to ``result.profile``).
+    telemetry:
+        Path of a JSONL telemetry trace to write: the run executes with
+        a scoped :class:`~repro.telemetry.TelemetryRecorder` and its
+        manifest + event stream are persisted atomically (see
+        :mod:`repro.telemetry`).  ``None`` (the default) records
+        nothing extra; the simulated trace is bit-identical either way.
     config:
         Base :class:`HilConfig`; the keywords above override it field
         by field.
@@ -176,7 +191,14 @@ def simulate(
     engine = HilEngine(
         resolved_track, case, table=table, identifier=identifier, config=cfg
     )
-    return engine.run()
+    if telemetry is None:
+        return engine.run()
+    from repro.telemetry import TelemetryRecorder, activated, write_trace
+
+    with activated(TelemetryRecorder()) as recorder:
+        result = engine.run()
+    write_trace(telemetry, result.manifest, recorder.events)
+    return result
 
 
 def characterize(
@@ -338,3 +360,32 @@ def inject(
         frame=frame,
         config=config,
     )
+
+
+def load_trace(*, path: Union[str, Path]) -> RunTrace:
+    """Load a JSONL telemetry trace written by ``simulate(telemetry=...)``.
+
+    Returns a :class:`~repro.telemetry.RunTrace` carrying the run
+    manifest (config hash, package version, RNG streams, env knobs)
+    and the schema-versioned event stream in emit order.
+    """
+    from repro.telemetry import load_trace as _load_trace
+
+    return _load_trace(path)
+
+
+def diff_traces(
+    *, a: Union[str, Path], b: Union[str, Path]
+) -> list[str]:
+    """Compare two telemetry trace files; an empty list means equivalent.
+
+    Stable manifest fields and the full event streams are compared;
+    the volatile wall-clock bounds are ignored, so two runs of the same
+    seeded experiment diff empty.  Each returned string describes one
+    difference (``python -m repro trace --diff`` prints them and exits
+    2 when any exist).
+    """
+    from repro.telemetry import diff_traces as _diff_traces
+    from repro.telemetry import load_trace as _load_trace
+
+    return _diff_traces(_load_trace(a), _load_trace(b))

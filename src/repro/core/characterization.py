@@ -27,6 +27,7 @@ the sweep configuration; only the parent process writes the cache.
 
 from __future__ import annotations
 
+import json
 import logging
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -40,6 +41,7 @@ from repro.isp.configs import ISP_CONFIGS
 from repro.perception.evaluation import evaluate_sequence
 from repro.platform.profiles import isp_runtime_ms
 from repro.sim.camera import CameraModel
+from repro.telemetry import build_manifest
 from repro.utils.cache import ArtifactCache
 from repro.utils.parallel import TaskFailure, parallel_map, resolve_jobs
 
@@ -397,6 +399,11 @@ def characterize(
                 "speed": np.array(best.knobs.speed_kmph),
                 "mae": np.array(best.mae),
                 "crashed": np.array(best.crashed),
+                # Provenance manifest: the same shape HilResult.save
+                # persists, keyed on this artifact's cache identity.
+                "manifest_json": np.array(
+                    json.dumps(build_manifest(config=keys[situation]))
+                ),
             },
         )
     return table

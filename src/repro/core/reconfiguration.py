@@ -44,6 +44,12 @@ from repro.core.situation import (
     Situation,
 )
 from repro.platform.schedule import PipelineTiming, pipeline_timing
+from repro.telemetry import recorder as telemetry
+from repro.telemetry.events import (
+    DEGRADED_ENTER,
+    DEGRADED_EXIT,
+    KNOBS_RECONFIGURED,
+)
 from repro.utils.rng import derive_rng
 
 __all__ = [
@@ -231,6 +237,8 @@ class ReconfigurationManager:
         self._identification_failed = False
         self._retry_queue: List[str] = []
         self._retry_counts: Dict[str, int] = {}
+        self._last_knobs: Optional[Tuple[str, str, float]] = None
+        self._degraded = False
 
     # -- lifecycle -------------------------------------------------------
 
@@ -246,6 +254,8 @@ class ReconfigurationManager:
         self._identification_failed = False
         self._retry_queue = []
         self._retry_counts = {}
+        self._last_knobs = None
+        self._degraded = False
 
     @property
     def believed(self) -> Situation:
@@ -364,18 +374,52 @@ class ReconfigurationManager:
         if self.is_stale(time_ms):
             # Degraded: no ISP switch is enqueued either — switching the
             # pipeline on a stale belief risks making sensing worse.
-            return self._fallback_decision(invoked)
-        isp = self._select_isp(self.believed)
-        # ISP knob switches take effect ``isp_apply_lag`` cycles later
-        # (Sec. III-D: one cycle in the paper's scheme).
-        if self.isp_apply_lag == 0:
-            self._active_isp = isp
-            self._isp_queue = []
+            decision = self._fallback_decision(invoked)
         else:
-            self._isp_queue.append(isp)
-            while len(self._isp_queue) > self.isp_apply_lag:
-                self._isp_queue.pop(0)
-        return self._decision(invoked)
+            isp = self._select_isp(self.believed)
+            # ISP knob switches take effect ``isp_apply_lag`` cycles
+            # later (Sec. III-D: one cycle in the paper's scheme).
+            if self.isp_apply_lag == 0:
+                self._active_isp = isp
+                self._isp_queue = []
+            else:
+                self._isp_queue.append(isp)
+                while len(self._isp_queue) > self.isp_apply_lag:
+                    self._isp_queue.pop(0)
+            decision = self._decision(invoked)
+        self._observe_decision(time_ms, decision)
+        return decision
+
+    def _observe_decision(self, time_ms: float, decision: CycleDecision) -> None:
+        """Telemetry hook for :meth:`decide` (never :meth:`preview`).
+
+        Knob/degraded transition tracking always runs so the emitted
+        stream does not depend on *when* telemetry was enabled relative
+        to the run; the emits themselves cost one ``is not None`` check
+        per decide when telemetry is off.
+        """
+        knobs = (decision.active_isp, decision.roi, decision.speed_kmph)
+        knobs_changed = knobs != self._last_knobs
+        self._last_knobs = knobs
+        degraded_changed = decision.degraded != self._degraded
+        self._degraded = decision.degraded
+        rec = telemetry.get_active()
+        if rec is None:
+            return
+        if knobs_changed:
+            rec.emit(
+                KNOBS_RECONFIGURED,
+                time_ms=time_ms,
+                isp=decision.active_isp,
+                roi=decision.roi,
+                speed_kmph=decision.speed_kmph,
+                degraded=decision.degraded,
+            )
+        if degraded_changed:
+            rec.emit(
+                DEGRADED_ENTER if decision.degraded else DEGRADED_EXIT,
+                time_ms=time_ms,
+            )
 
     def _timing(self) -> PipelineTiming:
         """Timing for the currently active ISP and the case's budget."""

@@ -88,9 +88,12 @@ def generate_report(
 
         sections.append(_section("Fig. 8 — dynamic switching", format_fig8(run_fig8())))
 
+    from repro.utils.version import __version__
+
     header = (
         "# repro experiment report\n\n"
-        f"_{scale_note()}; wall time {time.time() - started:.0f}s_\n\n"
+        f"_repro {__version__}; {scale_note()}; "
+        f"wall time {time.time() - started:.0f}s_\n\n"
         "Regenerated artifacts of De et al., DATE 2021 "
         "(see EXPERIMENTS.md for the discussion).\n"
     )

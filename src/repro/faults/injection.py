@@ -33,6 +33,8 @@ from repro.faults.plan import (
     SensorBlackout,
 )
 from repro.sim.sensor import band_frame, blackout_frame
+from repro.telemetry import recorder as telemetry
+from repro.telemetry.events import FAULT_ACTIVATED, FAULT_CLEARED
 from repro.utils.rng import derive_rng
 
 __all__ = [
@@ -152,12 +154,38 @@ class FaultInjector(NullInjector):
         # wrong-label generator per classifier name, stashed between
         # classifier_outcomes() and corrupt_features() of one cycle.
         self._wrong_rng: Dict[str, np.random.Generator] = {}
+        # Per-spec liveness as of the last telemetry-observed cycle
+        # (edge detection for fault.activated / fault.cleared).
+        self._live_specs = [False] * len(entries)
 
     # -- bookkeeping -----------------------------------------------------
 
     def active_kinds(self, time_ms: float) -> Tuple[str, ...]:
-        """Kind strings of the specs live at *time_ms* (plan order)."""
-        return tuple(s.kind for s, _ in self._entries if s.active(time_ms))
+        """Kind strings of the specs live at *time_ms* (plan order).
+
+        The engine calls this once per cycle, so it doubles as the
+        telemetry edge detector: a spec whose window opened or closed
+        since the last call emits ``fault.activated`` /
+        ``fault.cleared``.  With telemetry off the method is exactly
+        the pre-telemetry tuple expression.
+        """
+        rec = telemetry.get_active()
+        if rec is None:
+            return tuple(s.kind for s, _ in self._entries if s.active(time_ms))
+        kinds: List[str] = []
+        for index, (spec, _) in enumerate(self._entries):
+            live = spec.active(time_ms)
+            if live:
+                kinds.append(spec.kind)
+            if live != self._live_specs[index]:
+                self._live_specs[index] = live
+                rec.emit(
+                    FAULT_ACTIVATED if live else FAULT_CLEARED,
+                    time_ms=time_ms,
+                    kind=spec.kind,
+                    spec=index,
+                )
+        return tuple(kinds)
 
     # -- sensor seam -----------------------------------------------------
 

@@ -18,6 +18,7 @@ crash offset (lane departure), or the time budget runs out.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Union
 
@@ -50,8 +51,12 @@ from repro.sim.geometry import Pose2D
 from repro.sim.renderer import RenderOptions, RoadSceneRenderer
 from repro.sim.track import Track
 from repro.sim.vehicle import Vehicle, VehicleParams, VehicleState
+from repro.telemetry import build_manifest
+from repro.telemetry import recorder as telemetry
+from repro.telemetry.events import CYCLE_END, CYCLE_START, IDENTIFIER_INVOKED
 from repro.utils import profiling
 from repro.utils.profiling import profile
+from repro.utils.rng import collect_streams
 
 __all__ = ["HilConfig", "HilEngine"]
 
@@ -116,47 +121,55 @@ class HilEngine:
         self.config = config
         self.vehicle_params = vehicle_params
 
-        self.camera = CameraModel(
-            width=config.frame_width, height=config.frame_height
-        )
-        self.renderer = RoadSceneRenderer(
-            self.camera,
-            track,
-            options=RenderOptions(noise=config.sensor_noise),
-            seed=config.seed,
-        )
-        self.perception = PerceptionPipeline(self.camera)
-        if isinstance(identifier, str):
-            # Registry spec, e.g. "oracle:0.99" or "cnn" — mirrors
-            # case_config(name) for the case argument.
-            from repro.core.identifiers import resolve_identifier
+        # The manifest records which RNG streams a run consumes; the
+        # collection listener only observes derive_rng *names*, so the
+        # generators constructed inside are untouched.
+        with collect_streams() as streams:
+            self.camera = CameraModel(
+                width=config.frame_width, height=config.frame_height
+            )
+            self.renderer = RoadSceneRenderer(
+                self.camera,
+                track,
+                options=RenderOptions(noise=config.sensor_noise),
+                seed=config.seed,
+            )
+            self.perception = PerceptionPipeline(self.camera)
+            if isinstance(identifier, str):
+                # Registry spec, e.g. "oracle:0.99" or "cnn" — mirrors
+                # case_config(name) for the case argument.
+                from repro.core.identifiers import resolve_identifier
 
-            identifier = resolve_identifier(identifier, seed=config.seed)
-        self.identifier = identifier or OracleIdentifier(seed=config.seed)
-        self.injector = build_injector(config.fault_plan, config.seed)
-        self.manager = ReconfigurationManager(
-            self.case,
-            table,
-            invocation_window_ms=config.invocation_window_ms,
-            isp_apply_lag=config.isp_apply_lag,
-            power_mode=config.power_mode,
-            mitigation=config.mitigation,
-        )
-        self.gain_scheduler = GainScheduler(vehicle_params, weights)
-        self._isp_cache: Dict[str, IspPipeline] = {}
-        self._lqg_estimator = None
-        self._kalman_cache: Dict[int, "np.ndarray"] = {}
-        if config.imu_noise:
-            from repro.sim.imu import ImuModel
+                identifier = resolve_identifier(identifier, seed=config.seed)
+            self.identifier = identifier or OracleIdentifier(seed=config.seed)
+            self.injector = build_injector(config.fault_plan, config.seed)
+            self.manager = ReconfigurationManager(
+                self.case,
+                table,
+                invocation_window_ms=config.invocation_window_ms,
+                isp_apply_lag=config.isp_apply_lag,
+                power_mode=config.power_mode,
+                mitigation=config.mitigation,
+            )
+            self.gain_scheduler = GainScheduler(vehicle_params, weights)
+            self._isp_cache: Dict[str, IspPipeline] = {}
+            self._lqg_estimator = None
+            self._kalman_cache: Dict[int, "np.ndarray"] = {}
+            if config.imu_noise:
+                from repro.sim.imu import ImuModel
 
-            self._imu = ImuModel(seed=config.seed)
-        else:
-            self._imu = None
-        if not 0.0 <= config.frame_drop_rate < 1.0:
-            raise ValueError("frame_drop_rate must be in [0, 1)")
-        from repro.utils.rng import derive_rng
+                self._imu = ImuModel(seed=config.seed)
+            else:
+                self._imu = None
+            if not 0.0 <= config.frame_drop_rate < 1.0:
+                raise ValueError("frame_drop_rate must be in [0, 1)")
+            from repro.utils.rng import derive_rng
 
-        self._drop_rng = derive_rng(config.seed, "frame-drop")
+            self._drop_rng = derive_rng(config.seed, "frame-drop")
+        #: RNG stream names derived while the engine assembled itself
+        #: (externally constructed identifier instances derive theirs
+        #: before this scope and are not captured).
+        self.rng_streams = tuple(sorted(set(streams)))
 
     def _isp(self, name: str) -> IspPipeline:
         pipeline = self._isp_cache.get(name)
@@ -223,6 +236,7 @@ class HilEngine:
             profiler = local_profiler = profiling.Profiler()
             profiling.activate(local_profiler)
 
+        wall_started = time.time()
         try:
             for step in range(n_steps):
                 t_ms = step * cfg.sim_step_ms
@@ -279,6 +293,19 @@ class HilEngine:
             if local_profiler is not None:
                 profiling.deactivate()
 
+        # The manifest is pure provenance (config hash, versions, RNG
+        # stream names, wall-clock bounds): always attached, never read
+        # back by the loop, so the simulated arrays stay bit-identical.
+        manifest = build_manifest(
+            config=cfg,
+            rng_streams=self.rng_streams,
+            started_at=wall_started,
+            finished_at=time.time(),
+        )
+        rec = telemetry.get_active()
+        if rec is not None and profiler is not None:
+            rec.metrics.absorb_profiler(profiler.stats())
+
         return HilResult(
             time_s=times[:recorded],
             s=s_arr[:recorded],
@@ -291,6 +318,7 @@ class HilEngine:
             crash_s=crash_s,
             completed=completed,
             profile=profiler.stats() if profiler is not None else None,
+            manifest=manifest,
         )
 
     # ------------------------------------------------------------------
@@ -325,6 +353,17 @@ class HilEngine:
         true_situation = track.situation_at(s_now)
 
         active_isp, invoked = self.manager.begin_cycle(t_ms)
+        # One lookup per cycle: with telemetry disabled every hook below
+        # is a single `is not None` check on the shared no-op slot.
+        rec = telemetry.get_active()
+        if rec is not None:
+            rec.emit(
+                CYCLE_START,
+                time_ms=t_ms,
+                s=s_now,
+                active_isp=active_isp,
+                invoked=list(invoked),
+            )
         dropped = (
             self.config.frame_drop_rate > 0.0
             and self._drop_rng.random() < self.config.frame_drop_rate
@@ -349,6 +388,12 @@ class HilEngine:
             outcomes = self.injector.classifier_outcomes(t_ms, invoked)
             if outcomes is None:
                 if invoked:
+                    if rec is not None:
+                        rec.emit(
+                            IDENTIFIER_INVOKED,
+                            time_ms=t_ms,
+                            classifiers=list(invoked),
+                        )
                     with profile("hil.classifier"):
                         features = self.identifier.identify(
                             rgb, invoked, true_situation
@@ -364,6 +409,12 @@ class HilEngine:
                 )
                 wrong = tuple(n for n in ok if outcomes[n] == CLASSIFIER_WRONG)
                 if ok:
+                    if rec is not None:
+                        rec.emit(
+                            IDENTIFIER_INVOKED,
+                            time_ms=t_ms,
+                            classifiers=list(ok),
+                        )
                     with profile("hil.classifier"):
                         features = self.identifier.identify(
                             rgb, ok, true_situation
@@ -441,4 +492,18 @@ class HilEngine:
             degraded=decision.degraded,
             faults=self.injector.active_kinds(t_ms),
         )
+        if rec is not None:
+            rec.emit(
+                CYCLE_END,
+                time_ms=t_ms,
+                s=s_now,
+                active_isp=record.active_isp,
+                roi=record.roi,
+                speed_kmph=record.speed_kmph,
+                period_ms=record.period_ms,
+                delay_ms=record.delay_ms,
+                measurement_valid=record.measurement_valid,
+                degraded=record.degraded,
+                steering=u,
+            )
         return u, decision, record, controller

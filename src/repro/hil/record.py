@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -75,6 +77,11 @@ class HilResult:
     #: is ephemeral observability data: :meth:`save` does not persist
     #: it, and it never influences the simulated trace.
     profile: Optional[Dict[str, StageStats]] = None
+    #: The run manifest (config hash, package version, RNG streams —
+    #: see :func:`repro.telemetry.build_manifest`).  Attached by the
+    #: engine, persisted by :meth:`save`, and ``None`` for results
+    #: constructed by hand or loaded from pre-telemetry traces.
+    manifest: Optional[Dict[str, object]] = None
 
     def profile_table(self) -> str:
         """The stage-timing table as text ('' when profiling was off)."""
@@ -126,25 +133,48 @@ class HilResult:
         """Persist the trace to ``.npz`` (cycle records as JSON inside).
 
         Useful for offline analysis of long runs without re-simulating.
+        The write is atomic (temp file + :func:`os.replace`, the
+        ``ArtifactCache.store`` pattern), so a crash mid-write never
+        leaves a corrupt file at the returned path — which is always
+        exactly the file written, with the ``.npz`` suffix applied up
+        front rather than appended behind our back by ``np.savez``.
         """
         target = Path(path)
-        cycles_json = json.dumps([asdict(c) for c in self.cycles])
-        np.savez(
-            target,
-            time_s=self.time_s,
-            s=self.s,
-            lateral_offset=self.lateral_offset,
-            y_l_true=self.y_l_true,
-            steering=self.steering,
-            speed=self.speed,
-            crashed=np.array(self.crashed),
-            crash_s=np.array(np.nan if self.crash_s is None else self.crash_s),
-            completed=np.array(self.completed),
-            cycles_json=np.array(cycles_json),
+        if target.suffix != ".npz":
+            target = target.with_suffix(target.suffix + ".npz")
+        payload = {
+            "time_s": self.time_s,
+            "s": self.s,
+            "lateral_offset": self.lateral_offset,
+            "y_l_true": self.y_l_true,
+            "steering": self.steering,
+            "speed": self.speed,
+            "crashed": np.array(self.crashed),
+            "crash_s": np.array(
+                np.nan if self.crash_s is None else self.crash_s
+            ),
+            "completed": np.array(self.completed),
+            "cycles_json": np.array(
+                json.dumps([asdict(c) for c in self.cycles])
+            ),
+        }
+        if self.manifest is not None:
+            payload["manifest_json"] = np.array(json.dumps(self.manifest))
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(target.parent), suffix=".npz.tmp"
         )
-        return target if target.suffix == ".npz" else target.with_suffix(
-            target.suffix + ".npz"
-        )
+        try:
+            # Writing to the open handle (not a path) keeps np.savez
+            # from appending its own suffix, so `target` provably names
+            # the bytes on disk.
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, **payload)
+            os.replace(tmp_name, target)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+        return target
 
     @classmethod
     def load(cls, path: str) -> "HilResult":
@@ -164,6 +194,12 @@ class HilResult:
                 for c in json.loads(str(data["cycles_json"]))
             ]
             crash_s = float(data["crash_s"])
+            manifest = (
+                json.loads(str(data["manifest_json"]))
+                # Absent in traces saved before the telemetry subsystem.
+                if "manifest_json" in data.files
+                else None
+            )
             return cls(
                 time_s=data["time_s"],
                 s=data["s"],
@@ -175,6 +211,7 @@ class HilResult:
                 crashed=bool(data["crashed"]),
                 crash_s=None if np.isnan(crash_s) else crash_s,
                 completed=bool(data["completed"]),
+                manifest=manifest,
             )
 
     def sector_qoc(self, track: Track, skip_distance_m: float = 0.0) -> List[SectorQoC]:

@@ -1,0 +1,68 @@
+"""Run manifests: the provenance record attached to every run artifact.
+
+A manifest answers "what produced this trace?" without re-running
+anything: the configuration hash (same digest the artifact cache keys
+on), the package version, the RNG streams the run consumed, the active
+environment knobs, and the wall-clock bounds.  Two runs with the same
+manifest hash are the same experiment — their telemetry event streams
+are byte-identical — while the wall-clock fields are explicitly
+volatile and excluded from trace comparison.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.telemetry.events import SCHEMA_VERSION
+from repro.utils.cache import config_hash
+from repro.utils.version import __version__
+
+__all__ = ["ENV_KNOBS", "build_manifest"]
+
+#: Environment knobs recorded in every manifest: they change runtime
+#: behaviour (contract checks, profiling, sweep parallelism) without
+#: appearing in any config object.
+ENV_KNOBS = ("REPRO_CONTRACTS", "REPRO_PROFILE", "REPRO_JOBS")
+
+
+def build_manifest(
+    *,
+    config: object = None,
+    rng_streams: Iterable[str] = (),
+    started_at: Optional[float] = None,
+    finished_at: Optional[float] = None,
+) -> Dict[str, object]:
+    """Assemble a run manifest dict.
+
+    Parameters
+    ----------
+    config:
+        The run configuration: a dataclass (e.g. ``HilConfig``), a
+        mapping, or ``None``.  Hashed with the artifact-cache digest
+        (:func:`repro.utils.cache.config_hash`), so cache keys and
+        manifests agree on identity.
+    rng_streams:
+        Stream names the run derived (see
+        :func:`repro.utils.rng.collect_streams`); stored sorted and
+        deduplicated.
+    started_at / finished_at:
+        Wall-clock bounds (``time.time()`` seconds).  These are the
+        only non-deterministic manifest fields; trace diffing ignores
+        them.
+    """
+    if config is None:
+        config_dict: Mapping[str, object] = {}
+    elif dataclasses.is_dataclass(config) and not isinstance(config, type):
+        config_dict = dataclasses.asdict(config)
+    else:
+        config_dict = dict(config)
+    return {
+        "schema": SCHEMA_VERSION,
+        "package_version": __version__,
+        "config_hash": config_hash(config_dict),
+        "rng_streams": sorted(set(rng_streams)),
+        "env": {name: os.environ.get(name) for name in ENV_KNOBS},
+        "wall_clock": {"started_at": started_at, "finished_at": finished_at},
+    }

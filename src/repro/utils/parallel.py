@@ -22,6 +22,11 @@ is wall-clock time.  :func:`parallel_map` encodes that contract:
   can both continue and see exactly which knob setting failed.  If the
   pool itself dies (a worker segfault kills the executor), the
   remaining items are re-run serially in-process.
+- **Stats funneling** — process-global collectors (the profiling
+  singleton, the telemetry metrics registry) do not silently lose what
+  workers record: registered :class:`StatsFunnel` instances scope a
+  fresh collector around every task and merge its snapshot back into
+  the parent, identically for serial and pooled execution.
 
 Worker-count resolution (:func:`resolve_jobs`): an explicit integer
 wins, then the ``REPRO_JOBS`` environment variable, then 1 (serial).
@@ -35,11 +40,19 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, TypeVar, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar, Union
 
+from repro.utils import profiling
 from repro.utils.rng import stream_seed
 
-__all__ = ["TaskFailure", "parallel_map", "resolve_jobs", "task_seed"]
+__all__ = [
+    "StatsFunnel",
+    "TaskFailure",
+    "parallel_map",
+    "register_stats_funnel",
+    "resolve_jobs",
+    "task_seed",
+]
 
 _log = logging.getLogger(__name__)
 
@@ -117,6 +130,80 @@ def _run_one(fn: Callable[[T], R], item: T, index: int) -> Union[R, TaskFailure]
         return TaskFailure(index=index, item=item, error=f"{type(exc).__name__}: {exc}")
 
 
+# ---------------------------------------------------------------------------
+# worker-stats funnel
+#
+# Process-global collectors (the profiling singleton, the telemetry
+# recorder) are inherited by forked workers, but whatever a worker
+# records there dies with the pool.  A registered StatsFunnel closes
+# that gap: when its collector is active in the parent, every task —
+# serial or pooled — runs against a fresh per-task collector whose
+# picklable snapshot rides back alongside the result and is merged into
+# the parent's collector in submission order.  Because jobs=1 takes the
+# exact same scope/snapshot/merge path, parent-side stats are identical
+# for any worker count.
+
+
+@dataclass(frozen=True)
+class StatsFunnel:
+    """How one process-global collector crosses the pool boundary.
+
+    ``parent_active`` says whether the collector is live in the parent
+    (inactive funnels add zero overhead); ``begin_task`` scopes a fresh
+    collector in the executing process and returns an opaque handle;
+    ``end_task`` restores the previous collector and returns a
+    picklable snapshot; ``merge`` folds a snapshot into the parent's
+    collector.  Workers resolve funnels by *name* from their own
+    registry (names pickle, callables need not), which fork-based pools
+    satisfy by inheriting the registration.
+    """
+
+    name: str
+    parent_active: Callable[[], bool]
+    begin_task: Callable[[], object]
+    end_task: Callable[[object], object]
+    merge: Callable[[object], None]
+
+
+_FUNNELS: Dict[str, StatsFunnel] = {}
+
+
+def register_stats_funnel(funnel: StatsFunnel) -> None:
+    """Register *funnel* (replacing any previous one with its name)."""
+    _FUNNELS[funnel.name] = funnel
+
+
+def _active_funnel_names() -> Tuple[str, ...]:
+    """Names of the funnels whose parent collector is live, sorted."""
+    return tuple(
+        sorted(name for name, f in _FUNNELS.items() if f.parent_active())
+    )
+
+
+def _run_one_with_stats(
+    fn: Callable[[T], R], item: T, index: int, funnel_names: Tuple[str, ...]
+) -> Tuple[Union[R, TaskFailure], Dict[str, object]]:
+    """:func:`_run_one` plus per-task collector snapshots for the parent."""
+    scoped = [
+        (funnel, funnel.begin_task())
+        for funnel in (_FUNNELS.get(name) for name in funnel_names)
+        if funnel is not None
+    ]
+    result = _run_one(fn, item, index)
+    payloads: Dict[str, object] = {}
+    for funnel, handle in reversed(scoped):
+        payloads[funnel.name] = funnel.end_task(handle)
+    return result, payloads
+
+
+def _merge_stats(payloads: Dict[str, object]) -> None:
+    """Fold one task's collector snapshots into the parent collectors."""
+    for name, snapshot in payloads.items():
+        funnel = _FUNNELS.get(name)
+        if funnel is not None:
+            funnel.merge(snapshot)
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Sequence[T],
@@ -149,18 +236,45 @@ def parallel_map(
     items = list(items)
     if not items:
         return []
+    # Resolved once up front so serial, pooled and broken-pool paths
+    # agree on which collectors are scoped per task.
+    funnel_names = _active_funnel_names()
     if n_jobs == 1:
-        return [_seen(_run_one(fn, item, i), label) for i, item in enumerate(items)]
+        if not funnel_names:
+            return [
+                _seen(_run_one(fn, item, i), label)
+                for i, item in enumerate(items)
+            ]
+        out: List[Union[R, TaskFailure]] = []
+        for i, item in enumerate(items):
+            result, payloads = _run_one_with_stats(fn, item, i, funnel_names)
+            _merge_stats(payloads)
+            out.append(_seen(result, label))
+        return out
 
     results: List[Optional[Union[R, TaskFailure]]] = [None] * len(items)
     workers = min(n_jobs, len(items))
     _log.info("%s: %d tasks across %d workers", label, len(items), workers)
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(_run_one, fn, item, i) for i, item in enumerate(items)]
+        if funnel_names:
+            futures = [
+                pool.submit(_run_one_with_stats, fn, item, i, funnel_names)
+                for i, item in enumerate(items)
+            ]
+        else:
+            futures = [
+                pool.submit(_run_one, fn, item, i)
+                for i, item in enumerate(items)
+            ]
         broken_from: Optional[int] = None
         for i, future in enumerate(futures):
             try:
-                results[i] = _seen(future.result(), label)
+                if funnel_names:
+                    result, payloads = future.result()
+                    _merge_stats(payloads)
+                else:
+                    result = future.result()
+                results[i] = _seen(result, label)
             except BrokenProcessPool:
                 # A worker died hard (e.g. OOM-kill): every unfinished
                 # future raises.  Fall back to in-process execution for
@@ -187,7 +301,14 @@ def parallel_map(
         )
         for i in range(broken_from, len(items)):
             if results[i] is None:
-                results[i] = _seen(_run_one(fn, items[i], i), label)
+                if funnel_names:
+                    result, payloads = _run_one_with_stats(
+                        fn, items[i], i, funnel_names
+                    )
+                    _merge_stats(payloads)
+                    results[i] = _seen(result, label)
+                else:
+                    results[i] = _seen(_run_one(fn, items[i], i), label)
     return results  # type: ignore[return-value]
 
 
@@ -202,3 +323,49 @@ def _seen(result: Union[R, TaskFailure], label: str) -> Union[R, TaskFailure]:
             result.error,
         )
     return result
+
+
+# -- profiling funnel --------------------------------------------------------
+#
+# The profiling singleton is the original victim of the dropped-stats
+# gap: sweep workers timed their stages into a forked copy of the
+# parent's profiler and the numbers vanished with the pool.  The funnel
+# below fixes that; repro.telemetry registers an equivalent funnel for
+# its metrics registry at import.
+
+
+def _profiling_parent_active() -> bool:
+    return profiling.get_active() is not None
+
+
+def _profiling_begin_task():
+    previous = profiling.get_active()
+    fresh = profiling.Profiler()
+    profiling.activate(fresh)
+    return previous, fresh
+
+
+def _profiling_end_task(handle):
+    previous, fresh = handle
+    if previous is not None:
+        profiling.activate(previous)
+    else:
+        profiling.deactivate()
+    return fresh.snapshot()
+
+
+def _profiling_merge(snapshot) -> None:
+    active = profiling.get_active()
+    if active is not None:
+        active.merge(snapshot)
+
+
+register_stats_funnel(
+    StatsFunnel(
+        name="profiling",
+        parent_active=_profiling_parent_active,
+        begin_task=_profiling_begin_task,
+        end_task=_profiling_end_task,
+        merge=_profiling_merge,
+    )
+)

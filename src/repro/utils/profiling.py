@@ -162,6 +162,34 @@ class Profiler:
         self._count.clear()
         self._total.clear()
 
+    def snapshot(self) -> Dict[str, object]:
+        """A picklable plain-dict copy of the recorded measurements.
+
+        This is the shape :func:`repro.utils.parallel.parallel_map`
+        ships from worker processes back to the parent; fold it into
+        another profiler with :meth:`merge`.
+        """
+        return {
+            label: (list(samples), self._count[label], self._total[label])
+            for label, samples in self._samples.items()
+        }
+
+    def merge(self, snapshot: Mapping[str, object]) -> None:
+        """Fold a :meth:`snapshot` in: samples extend (bounded), counts
+        and totals accumulate.  Labels keep first-appearance order."""
+        for label, (samples, count, total) in snapshot.items():
+            mine = self._samples.get(label)
+            if mine is None:
+                mine = []
+                self._samples[label] = mine
+                self._count[label] = 0
+                self._total[label] = 0.0
+            room = self.MAX_SAMPLES - len(mine)
+            if room > 0:
+                mine.extend(samples[:room])
+            self._count[label] += count
+            self._total[label] += total
+
 
 _ACTIVE: Optional[Profiler] = None
 

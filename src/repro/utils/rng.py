@@ -11,10 +11,39 @@ adding noise to the camera does not perturb the dataset generator.
 from __future__ import annotations
 
 import hashlib
+from contextlib import contextmanager
+from typing import Callable, List
 
 import numpy as np
 
-__all__ = ["derive_rng", "seed_everything", "seed_legacy_global", "stream_seed"]
+__all__ = [
+    "collect_streams",
+    "derive_rng",
+    "seed_everything",
+    "seed_legacy_global",
+    "stream_seed",
+]
+
+#: Listeners notified with each stream name passed to :func:`derive_rng`.
+#: Empty in normal operation, so the hot path pays one falsy check.
+_STREAM_LISTENERS: List[Callable[[str], None]] = []
+
+
+@contextmanager
+def collect_streams():
+    """Record the stream names derived while the block runs.
+
+    Yields a list that accumulates every ``stream`` argument passed to
+    :func:`derive_rng` (in call order, duplicates kept).  Telemetry
+    manifests use this to attach the set of RNG streams a run actually
+    consumed, without the components having to report them.
+    """
+    seen: List[str] = []
+    _STREAM_LISTENERS.append(seen.append)
+    try:
+        yield seen
+    finally:
+        _STREAM_LISTENERS.remove(seen.append)
 
 
 def stream_seed(seed: int, stream: str) -> int:
@@ -38,6 +67,9 @@ def derive_rng(seed: int, stream: str) -> np.random.Generator:
     stream:
         Component name, e.g. ``"camera-noise"`` or ``"dataset/road"``.
     """
+    if _STREAM_LISTENERS:
+        for listener in _STREAM_LISTENERS:
+            listener(stream)
     return np.random.default_rng(stream_seed(seed, stream))
 
 

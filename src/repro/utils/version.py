@@ -1,0 +1,13 @@
+"""The package version, importable from the lowest layer.
+
+The canonical ``repro.__version__`` re-exports this value.  It lives in
+``utils`` so that low-layer subsystems (telemetry manifests stamp every
+run artifact with the producing version) can read it without importing
+the package root, which would invert the layering.
+"""
+
+from __future__ import annotations
+
+__all__ = ["__version__"]
+
+__version__ = "1.2.0"

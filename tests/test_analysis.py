@@ -517,7 +517,7 @@ def test_every_project_rule_is_registered_and_covered_here():
     # all_rules_by_id merges both registries without id collisions.
     merged = all_rules_by_id()
     assert set(project_rules_by_id()) == {
-        "API003", "ARC001", "ARC002", "DED001", "RNG002", "RNG003",
+        "API003", "ARC001", "ARC002", "DED001", "OBS001", "RNG002", "RNG003",
     }
     assert set(rules_by_id()) | set(project_rules_by_id()) == set(merged)
     assert len(merged) == len(rules_by_id()) + len(project_rules_by_id())
@@ -720,6 +720,46 @@ def test_rng003_flags_reused_stream_literals(tmp_path):
     )
     clean = project_report(tmp_path, files, pyproject)
     assert clean.exit_code() == EXIT_CLEAN, clean.render_text()
+
+
+def test_obs001_flags_literal_event_names(tmp_path):
+    files = {
+        "__init__.py": "",
+        "mod.py": (
+            "def emit_all(rec):\n"
+            '    rec.emit("cycle.start", time_ms=0.0)\n'
+        ),
+    }
+    pyproject = '[tool.reprolint]\nselect = ["OBS001"]\n'
+    report = project_report(tmp_path, files, pyproject)
+    assert report.exit_code() == EXIT_FINDINGS
+    (finding,) = report.findings
+    assert finding.rule_id == "OBS001"
+    assert "'cycle.start'" in finding.message
+    assert "repro.telemetry.events" in finding.message
+
+    # Emitting through the registered constant is the sanctioned form.
+    files["mod.py"] = (
+        "CYCLE_START = 'cycle.start'\n"
+        "def emit_all(rec):\n"
+        "    rec.emit(CYCLE_START, time_ms=0.0)\n"
+    )
+    clean = project_report(tmp_path, files, pyproject)
+    assert clean.exit_code() == EXIT_CLEAN, clean.render_text()
+
+
+def test_obs001_exempts_the_schema_and_recorder_modules(tmp_path):
+    # The registry module defines the literals and the recorder
+    # validates against them — neither is an emit *site*.
+    files = {
+        "__init__.py": "",
+        "telemetry/__init__.py": "",
+        "telemetry/events.py": 'x = object().emit("run.manifest")\n',
+        "telemetry/recorder.py": 'y = object().emit("cycle.end")\n',
+    }
+    pyproject = '[tool.reprolint]\nselect = ["OBS001"]\n'
+    report = project_report(tmp_path, files, pyproject)
+    assert report.exit_code() == EXIT_CLEAN, report.render_text()
 
 
 def test_project_findings_honour_suppressions(tmp_path):

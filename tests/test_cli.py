@@ -90,6 +90,66 @@ class TestRunCommand:
         assert "hil.control" in out
 
 
+class TestTraceCommand:
+    def _record(self, path, tmp_path, seed="7"):
+        return main(
+            ["run", "--length", "40", "--seed", seed, *FRAME_ARGS,
+             "--telemetry", str(tmp_path / path)]
+        )
+
+    def test_run_telemetry_writes_a_trace(self, tmp_path, capsys):
+        code = self._record("run.jsonl", tmp_path)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "telemetry trace written to" in out
+        assert (tmp_path / "run.jsonl").exists()
+
+    def test_trace_show_summarizes(self, tmp_path, capsys):
+        self._record("run.jsonl", tmp_path)
+        capsys.readouterr()
+        code = main(["trace", str(tmp_path / "run.jsonl"), "--show"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "config hash" in out
+        assert "cycle.end" in out and "rng streams" in out
+
+    def test_trace_json_dumps_manifest_and_events(self, tmp_path, capsys):
+        self._record("run.jsonl", tmp_path)
+        capsys.readouterr()
+        code = main(["trace", str(tmp_path / "run.jsonl"), "--json"])
+        document = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert "config_hash" in document["manifest"]
+        assert document["events"][0]["event"] == "cycle.start"
+
+    def test_trace_diff_identical_exits_zero(self, tmp_path, capsys):
+        self._record("a.jsonl", tmp_path)
+        self._record("b.jsonl", tmp_path)
+        capsys.readouterr()
+        code = main(
+            ["trace", "--diff", str(tmp_path / "a.jsonl"),
+             str(tmp_path / "b.jsonl")]
+        )
+        assert code == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_trace_diff_divergent_exits_two(self, tmp_path, capsys):
+        self._record("a.jsonl", tmp_path)
+        self._record("c.jsonl", tmp_path, seed="8")
+        capsys.readouterr()
+        code = main(
+            ["trace", "--diff", str(tmp_path / "a.jsonl"),
+             str(tmp_path / "c.jsonl")]
+        )
+        assert code == 2
+        assert "event" in capsys.readouterr().out
+
+    def test_trace_without_path_or_diff_is_an_error(self, capsys):
+        code = main(["trace"])
+        assert code == 2
+        assert "give a trace path" in capsys.readouterr().err
+
+
 class TestProfileCommand:
     def test_profile_prints_measured_vs_modeled(self, capsys):
         code = main(["profile", "--length", "40", "--seed", "7", *FRAME_ARGS])

@@ -265,3 +265,62 @@ class TestTraceSerialization:
         assert not (tmp_path / "trace").exists()
         loaded = HilResult.load(str(returned))
         np.testing.assert_array_equal(loaded.s, result.s)
+
+    def test_save_is_atomic_under_a_mid_write_crash(self, tmp_path, monkeypatch):
+        """A crash during serialization must leave no file at the
+        target path and no temp debris — and must not clobber a
+        previous good save."""
+        import repro.hil.record as record_module
+
+        result, _ = _run("case2", length=60.0)
+        target = tmp_path / "trace.npz"
+        result.save(str(target))
+        good_bytes = target.read_bytes()
+
+        def exploding_savez(handle, **payload):
+            handle.write(b"partial garbage")
+            raise RuntimeError("disk full")
+
+        monkeypatch.setattr(record_module.np, "savez", exploding_savez)
+        with pytest.raises(RuntimeError, match="disk full"):
+            result.save(str(target))
+        assert target.read_bytes() == good_bytes
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_round_trip_pins_every_field(self, tmp_path):
+        """Exact round-trip of crash_s=None, per-cycle faults, and
+        degraded=True — the fields a crashy mitigated run exercises."""
+        from repro.faults import resolve_fault_plan
+        from repro.core.reconfiguration import MitigationConfig
+
+        result, _ = _run(
+            "case3",
+            length=60.0,
+            fault_plan=resolve_fault_plan("classifier-outage"),
+            mitigation=MitigationConfig(),
+        )
+        assert result.crash_s is None
+        assert any(c.faults for c in result.cycles)
+        assert any(c.degraded for c in result.cycles)
+        loaded = HilResult.load(str(result.save(str(tmp_path / "t.npz"))))
+
+        for name in ("time_s", "s", "lateral_offset", "y_l_true",
+                     "steering", "speed"):
+            np.testing.assert_array_equal(
+                getattr(loaded, name), getattr(result, name)
+            )
+        assert loaded.crashed == result.crashed
+        assert loaded.crash_s is None
+        assert loaded.completed == result.completed
+        assert loaded.cycles == result.cycles
+        assert loaded.manifest == result.manifest
+        # profile is ephemeral observability data, never persisted.
+        assert loaded.profile is None
+
+    def test_save_persists_the_run_manifest(self, tmp_path):
+        result, _ = _run("case2", length=60.0)
+        assert result.manifest is not None
+        assert result.manifest["package_version"]
+        assert "camera-noise" in result.manifest["rng_streams"]
+        loaded = HilResult.load(str(result.save(str(tmp_path / "m.npz"))))
+        assert loaded.manifest == result.manifest

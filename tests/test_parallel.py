@@ -6,12 +6,29 @@ import time
 
 import pytest
 
+from repro.utils import profiling
 from repro.utils.parallel import TaskFailure, parallel_map, resolve_jobs, task_seed
 from repro.utils.rng import stream_seed
 
 
 # Workers must live at module level so a process pool can pickle them.
 def _square(x: int) -> int:
+    return x * x
+
+
+def _profiled_square(x: int) -> int:
+    # Binary-exact values: any grouping of their sums is bit-identical,
+    # so the jobs=1 / jobs=2 equivalence below can assert ==.
+    profiling.get_active().record("work.item", float(x))
+    return x * x
+
+
+def _telemetered_square(x: int) -> int:
+    from repro.telemetry import recorder as telemetry
+
+    rec = telemetry.get_active()
+    rec.metrics.count("tasks")
+    rec.metrics.observe("task.value", float(x))
     return x * x
 
 
@@ -116,6 +133,48 @@ class TestParallelMapPool:
         results = parallel_map(_square, [2, lambda: None, 4], jobs=2)
         assert results[0] == 4 and results[2] == 16
         assert isinstance(results[1], TaskFailure)
+
+
+class TestStatsFunnel:
+    """Worker collector stats must funnel back to the parent —
+    identically for any worker count (the original bug: pooled sweeps
+    silently dropped everything workers profiled)."""
+
+    VALUES = [1.0, 2.0, 0.5, 4.0]
+
+    def _profiled_sweep(self, jobs: int):
+        profiler = profiling.Profiler()
+        with profiling.activated(profiler):
+            results = parallel_map(_profiled_square, self.VALUES, jobs=jobs)
+        assert results == [v * v for v in self.VALUES]
+        return profiler.stats()
+
+    def test_pool_profiler_stats_match_serial(self):
+        serial = self._profiled_sweep(jobs=1)
+        pooled = self._profiled_sweep(jobs=2)
+        assert serial == pooled
+        assert serial["work.item"].count == len(self.VALUES)
+        assert serial["work.item"].total_ms == pytest.approx(7.5e3)
+
+    def test_telemetry_metrics_funnel_back(self):
+        from repro.telemetry import TelemetryRecorder, activated
+
+        snapshots = {}
+        for jobs in (1, 2):
+            with activated(TelemetryRecorder()) as rec:
+                parallel_map(_telemetered_square, self.VALUES, jobs=jobs)
+            snapshots[jobs] = rec.metrics.snapshot()
+        assert snapshots[1] == snapshots[2]
+        assert snapshots[1]["counters"]["tasks"] == len(self.VALUES)
+        assert snapshots[1]["histograms"]["task.value"] == self.VALUES
+
+    def test_inactive_collectors_funnel_nothing(self):
+        # No profiler active in the parent: the plain path runs and the
+        # worker-side get_active() would be None — the funnel must not
+        # scope collectors nobody asked for.
+        assert profiling.get_active() is None
+        assert parallel_map(_square, [1, 2], jobs=1) == [1, 4]
+        assert profiling.get_active() is None
 
 
 class TestTaskSeed:
