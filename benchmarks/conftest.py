@@ -5,11 +5,47 @@ prints the paper-vs-measured rows.  Heavy closed-loop experiments run
 once per benchmark (``pedantic(rounds=1)``); the timing numbers report
 the experiment's wall cost, and the printed tables are the scientific
 output.  Set ``REPRO_FULL=1`` for full-scale sweeps.
+
+Every benchmark's ``extra_info`` additionally records run provenance —
+git SHA, package version, CPU count, and the sweep-shaping environment
+knobs (``REPRO_JOBS``, ``REPRO_BATCH``) — so saved benchmark JSON can
+be compared across machines and revisions without guessing what
+produced it.
 """
 
 from __future__ import annotations
 
+import os
+import subprocess
+
 import pytest
+
+
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        return out.stdout.strip() if out.returncode == 0 else "unknown"
+    except OSError:
+        return "unknown"
+
+
+@pytest.fixture(autouse=True)
+def provenance(benchmark):
+    """Stamp every benchmark's ``extra_info`` with run provenance."""
+    from repro.utils.version import __version__
+
+    benchmark.extra_info["git_sha"] = _git_sha()
+    benchmark.extra_info["version"] = __version__
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+    benchmark.extra_info["repro_jobs"] = os.environ.get("REPRO_JOBS", "")
+    benchmark.extra_info["repro_batch"] = os.environ.get("REPRO_BATCH", "")
+    return benchmark
 
 
 @pytest.fixture()

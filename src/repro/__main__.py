@@ -145,7 +145,9 @@ def _cmd_track(args: argparse.Namespace) -> int:
 def _cmd_characterize(args: argparse.Namespace) -> int:
     from repro.api import characterize
 
-    evaluations = characterize(situation=args.situation, jobs=args.jobs)
+    evaluations = characterize(
+        situation=args.situation, jobs=args.jobs, batch=args.batch
+    )
     print(f"{_describe_situation(args.situation)}:")
     for ev in evaluations:
         status = "CRASH" if ev.crashed else f"MAE {ev.mae * 100:6.2f} cm"
@@ -443,6 +445,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for the sweep (0 or 'auto' = all cores; "
         "default: $REPRO_JOBS or 1, i.e. serial)",
+    )
+    p_char.add_argument(
+        "--batch",
+        default=None,
+        help="lock-step rollout lanes per worker (0 or 'auto' sizes the "
+        "chunk from the grid; default: $REPRO_BATCH or auto)",
     )
     p_char.set_defaults(func=_cmd_characterize)
 

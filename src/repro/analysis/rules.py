@@ -575,6 +575,9 @@ class HotPathFloat64Rule(Rule):
         "sim/renderer.py",
         "classifiers/models.py",
         "classifiers/runtime.py",
+        "hil/batch.py",
+        "perception/bev.py",
+        "perception/threshold.py",
     )
     _DTYPE_KEYWORDS = ("dtype", "output")
 

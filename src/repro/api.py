@@ -130,12 +130,13 @@ def simulate(
     table: Optional[Dict[Situation, KnobSetting]] = None,
     faults: Union[FaultPlan, str, None] = None,
     mitigate: Union[bool, MitigationConfig] = False,
-    seed: Optional[int] = None,
+    seed: Union[int, Sequence[int], None] = None,
     frame: Optional[Tuple[int, int]] = None,
     profile: bool = False,
     telemetry: Union[str, Path, None] = None,
+    batch: Union[int, str, None] = None,
     config: Optional[HilConfig] = None,
-) -> HilResult:
+) -> Union[HilResult, list[HilResult]]:
     """Run one closed-loop HiL simulation and return its trace.
 
     Parameters
@@ -169,7 +170,13 @@ def simulate(
         :class:`MitigationConfig` customizes it; ``False`` leaves the
         base config's setting.
     seed:
-        Run seed; ``None`` keeps the base config's seed.
+        Run seed; ``None`` keeps the base config's seed.  A *sequence*
+        of seeds runs one lock-step Monte-Carlo batch — every seed is
+        simulated as its own lane through
+        :class:`repro.hil.batch.BatchedHilEngine` (vectorized
+        render/ISP/perception kernels, each lane bit-identical to a
+        serial run with that seed) and a ``list[HilResult]`` in seed
+        order is returned.
     frame:
         ``(width, height)`` of the simulated camera frame.
     profile:
@@ -180,6 +187,13 @@ def simulate(
         manifest + event stream are persisted atomically (see
         :mod:`repro.telemetry`).  ``None`` (the default) records
         nothing extra; the simulated trace is bit-identical either way.
+        Incompatible with a seed sequence (the per-cycle event streams
+        of lock-step lanes would interleave in one trace).
+    batch:
+        Lane count per lock-step group for a seed sequence: explicit
+        int > ``$REPRO_BATCH`` > ``"auto"``/``None`` (see
+        :func:`repro.utils.parallel.resolve_batch`).  Ignored for a
+        single seed.
     config:
         Base :class:`HilConfig`; the keywords above override it field
         by field.
@@ -187,6 +201,35 @@ def simulate(
     from repro.hil.engine import HilEngine
 
     resolved_track, _ = _coerce_track(track, situation, length_m)
+    if seed is not None and not isinstance(seed, int):
+        if telemetry is not None:
+            raise ValueError(
+                "telemetry= records one run's event stream; it cannot be "
+                "combined with a seed sequence (run the seeds one at a time)"
+            )
+        from repro.hil.batch import BatchedHilEngine
+        from repro.utils.parallel import resolve_batch
+
+        seeds = list(seed)
+        configs = [
+            _build_config(config, s, frame, profile, faults, mitigate)
+            for s in seeds
+        ]
+        lanes = resolve_batch(batch, len(seeds))
+        results: list[HilResult] = []
+        for start in range(0, len(seeds), lanes):
+            engines = [
+                HilEngine(
+                    resolved_track,
+                    case,
+                    table=table,
+                    identifier=identifier,
+                    config=cfg,
+                )
+                for cfg in configs[start : start + lanes]
+            ]
+            results.extend(BatchedHilEngine(engines).run())
+        return results
     cfg = _build_config(config, seed, frame, profile, faults, mitigate)
     engine = HilEngine(
         resolved_track, case, table=table, identifier=identifier, config=cfg
@@ -209,6 +252,7 @@ def characterize(
     use_cache: bool = True,
     verbose: bool = False,
     jobs: Optional[int] = None,
+    batch: Union[int, str, None] = None,
 ) -> Union[Dict[Situation, KnobSetting], list[KnobEvaluation]]:
     """Design-time knob characterization (the Table III sweep).
 
@@ -217,8 +261,10 @@ def characterize(
     the per-row view the CLI prints.  Otherwise the situation -> best
     knob table is built for ``situations`` (default: all of Table III),
     using the on-disk artifact cache unless ``use_cache=False``.
-    ``jobs`` fans independent evaluations across a process pool with
-    bit-identical results for any worker count.
+    ``jobs`` fans independent evaluations across a process pool;
+    ``batch`` sizes the lock-step lane chunk each worker advances
+    through the batched rollout engine (explicit int > ``$REPRO_BATCH``
+    > ``"auto"``).  Results are bit-identical for any ``(jobs, batch)``.
     """
     from repro.core.characterization import (
         CharacterizationConfig,
@@ -232,7 +278,7 @@ def characterize(
     cfg = config if config is not None else CharacterizationConfig()
     if situation is not None:
         return characterize_situation(
-            _coerce_situation(situation), cfg, jobs=jobs
+            _coerce_situation(situation), cfg, jobs=jobs, batch=batch
         )
     resolved = (
         tuple(_coerce_situation(s) for s in situations)
@@ -240,7 +286,8 @@ def characterize(
         else TABLE3_SITUATIONS
     )
     return characterize_table(
-        resolved, cfg, use_cache=use_cache, verbose=verbose, jobs=jobs
+        resolved, cfg, use_cache=use_cache, verbose=verbose, jobs=jobs,
+        batch=batch,
     )
 
 

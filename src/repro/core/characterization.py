@@ -21,6 +21,19 @@ list — situation x ISP candidate x ROI x speed — is mapped across
 bit-identical to the serial path for any worker count.  ``jobs=1``
 (the default) never spawns a process.
 
+On top of the process fan-out, ``batch`` composes: each work item
+shipped to a worker is a *lane chunk* of up to ``batch`` same-situation
+evaluations, advanced lock-step through the batched rollout engine
+(:class:`repro.hil.batch.BatchedHilEngine`) or the batched prescreen
+(:func:`repro.perception.evaluation.evaluate_sequence_batch`), so the
+vectorized render/ISP/perception kernels amortize numpy dispatch across
+the whole chunk.  Lane order inside a chunk and chunk order across the
+sweep both follow submission order, and every lane is bit-identical to
+its serial evaluation — the resulting table does not depend on
+``(jobs, batch)``.  ``batch`` resolves explicit > ``$REPRO_BATCH`` >
+auto (:func:`repro.utils.parallel.resolve_batch`); ``batch=1`` takes
+the original per-task code path.
+
 Results are cached on disk (`~/.cache/repro/characterization`) keyed by
 the sweep configuration; only the parent process writes the cache.
 """
@@ -38,12 +51,17 @@ from repro.core.cases import case_config
 from repro.core.knobs import KnobSetting
 from repro.core.situation import RoadLayout, Situation, TABLE3_SITUATIONS
 from repro.isp.configs import ISP_CONFIGS
-from repro.perception.evaluation import evaluate_sequence
+from repro.perception.evaluation import evaluate_sequence, evaluate_sequence_batch
 from repro.platform.profiles import isp_runtime_ms
 from repro.sim.camera import CameraModel
 from repro.telemetry import build_manifest
 from repro.utils.cache import ArtifactCache
-from repro.utils.parallel import TaskFailure, parallel_map, resolve_jobs
+from repro.utils.parallel import (
+    TaskFailure,
+    parallel_map,
+    resolve_batch,
+    resolve_jobs,
+)
 
 __all__ = [
     "CharacterizationConfig",
@@ -192,6 +210,93 @@ def _knob_worker(task: _KnobTask) -> KnobEvaluation:
     )
 
 
+@dataclass(frozen=True)
+class _PrescreenChunk:
+    """A lane chunk of same-situation prescreens (shared render)."""
+
+    situation: Situation
+    isps: Tuple[str, ...]
+    config: CharacterizationConfig
+
+
+@dataclass(frozen=True)
+class _KnobChunk:
+    """A lane chunk of same-situation closed-loop evaluations."""
+
+    tasks: Tuple[_KnobTask, ...]
+
+
+def _prescreen_chunk_worker(chunk: _PrescreenChunk) -> Tuple[float, ...]:
+    """Bad-frame rates of a lane chunk of ISP configs, lock-step."""
+    config = chunk.config
+    roi = roi_candidates(chunk.situation)[-1]  # widest layout-consistent preset
+    stats = evaluate_sequence_batch(
+        chunk.situation,
+        list(chunk.isps),
+        roi,
+        n_frames=config.prescreen_frames,
+        seed=config.seed,
+        camera=CameraModel(width=config.frame_width, height=config.frame_height),
+    )
+    return tuple(s.bad_frame_rate() for s in stats)
+
+
+def _knob_chunk_worker(chunk: _KnobChunk) -> Tuple[KnobEvaluation, ...]:
+    """Closed-loop QoC of a lane chunk of knob settings, lock-step.
+
+    All tasks in a chunk share one situation, so the lanes share one
+    track object (the construction is deterministic — a shared instance
+    is bit-identical to per-lane copies) and the batched engine can
+    group their render calls.
+    """
+    from repro.hil.batch import BatchedHilEngine
+    from repro.hil.engine import HilConfig, HilEngine
+    from repro.sim.world import static_situation_track
+
+    if len(chunk.tasks) == 1:
+        return (_knob_worker(chunk.tasks[0]),)
+    config = chunk.tasks[0].config
+    situation = chunk.tasks[0].situation
+    case = case_config("case4")
+    track = static_situation_track(situation, length=config.track_length)
+    knob_settings = [
+        KnobSetting(isp=task.isp, roi=task.roi, speed_kmph=task.speed_kmph)
+        for task in chunk.tasks
+    ]
+    engines = [
+        HilEngine(
+            track,
+            case,
+            table={situation: knobs},
+            config=HilConfig(
+                seed=config.seed,
+                frame_width=config.frame_width,
+                frame_height=config.frame_height,
+            ),
+        )
+        for knobs in knob_settings
+    ]
+    results = BatchedHilEngine(engines).run()
+    evaluations = []
+    for knobs, result in zip(knob_settings, results):
+        timing = knobs.timing(case.classifier_budget(), dynamic_isp=True)
+        evaluations.append(
+            KnobEvaluation(
+                knobs=knobs,
+                mae=result.mae(skip_time_s=2.0),
+                crashed=result.crashed,
+                period_ms=timing.period_ms,
+                delay_ms=timing.delay_ms,
+            )
+        )
+    return tuple(evaluations)
+
+
+def _chunked(items: Sequence, size: int) -> List[tuple]:
+    """Split *items* into consecutive tuples of at most *size*."""
+    return [tuple(items[i : i + size]) for i in range(0, len(items), size)]
+
+
 def _knob_tasks(
     situation: Situation,
     isp_candidates: Sequence[str],
@@ -228,14 +333,35 @@ def prescreen_isp(
     situation: Situation,
     config: CharacterizationConfig,
     jobs: Optional[int] = None,
+    batch: Union[int, str, None] = None,
 ) -> List[Tuple[str, float]]:
     """Frame-level detectability of each ISP config: (name, bad_rate).
 
     A prescreen evaluation that crashes counts as fully undetectable
-    (bad rate 1.0) so the sweep continues on the survivors.
+    (bad rate 1.0) so the sweep continues on the survivors.  ``batch``
+    groups up to that many ISP configs per worker into one lock-step
+    evaluation sharing the rendered sequence (bit-identical per lane;
+    a failed chunk marks all its lanes undetectable).
     """
-    tasks = [_PrescreenTask(situation, isp, config) for isp in config.isp_names]
-    rates = parallel_map(_prescreen_worker, tasks, jobs=jobs, label="prescreen")
+    n_jobs = resolve_jobs(jobs)
+    lanes = resolve_batch(batch, len(config.isp_names), n_jobs)
+    if lanes <= 1:
+        tasks = [_PrescreenTask(situation, isp, config) for isp in config.isp_names]
+        rates = parallel_map(_prescreen_worker, tasks, jobs=n_jobs, label="prescreen")
+    else:
+        chunks = [
+            _PrescreenChunk(situation, isps, config)
+            for isps in _chunked(config.isp_names, lanes)
+        ]
+        chunk_rates = parallel_map(
+            _prescreen_chunk_worker, chunks, jobs=n_jobs, label="prescreen"
+        )
+        rates = []
+        for chunk, result in zip(chunks, chunk_rates):
+            if isinstance(result, TaskFailure):
+                rates.extend([result] * len(chunk.isps))
+            else:
+                rates.extend(result)
     return [
         (isp, 1.0 if isinstance(rate, TaskFailure) else rate)
         for isp, rate in zip(config.isp_names, rates)
@@ -262,21 +388,63 @@ def _select_isp_candidates(
     return candidates[: config.max_isp_candidates]
 
 
+def _run_knob_tasks(
+    tasks: Sequence[_KnobTask],
+    n_jobs: int,
+    batch: Union[int, str, None],
+) -> List[Union[KnobEvaluation, TaskFailure]]:
+    """Evaluate a flat knob-task list, chunked into lock-step lanes.
+
+    Chunks never span situations (their lanes share one track), and the
+    flattened results keep submission order, so the output is the same
+    list ``parallel_map(_knob_worker, tasks, ...)`` would produce — for
+    any ``(jobs, batch)`` composition.
+    """
+    lanes = resolve_batch(batch, len(tasks), n_jobs)
+    if lanes <= 1:
+        return parallel_map(_knob_worker, tasks, jobs=n_jobs, label="characterize")
+    by_situation: Dict[Situation, List[int]] = {}
+    for i, task in enumerate(tasks):
+        by_situation.setdefault(task.situation, []).append(i)
+    index_chunks: List[Tuple[int, ...]] = [
+        group
+        for indices in by_situation.values()
+        for group in _chunked(indices, lanes)
+    ]
+    chunks = [
+        _KnobChunk(tuple(tasks[i] for i in group)) for group in index_chunks
+    ]
+    chunk_results = parallel_map(
+        _knob_chunk_worker, chunks, jobs=n_jobs, label="characterize"
+    )
+    flat: List[Union[KnobEvaluation, TaskFailure]] = [None] * len(tasks)  # type: ignore[list-item]
+    for group, result in zip(index_chunks, chunk_results):
+        for lane, i in enumerate(group):
+            if isinstance(result, TaskFailure):
+                flat[i] = TaskFailure(index=i, item=tasks[i], error=result.error)
+            else:
+                flat[i] = result[lane]
+    return flat
+
+
 def characterize_situation(
     situation: Situation,
     config: CharacterizationConfig = CharacterizationConfig(),
     jobs: Optional[int] = None,
+    batch: Union[int, str, None] = None,
 ) -> List[KnobEvaluation]:
     """Run the sweep for one situation; results sorted best first.
 
     ``jobs`` fans the independent evaluations out across a process pool
-    (see :mod:`repro.utils.parallel`); the returned ranking is
-    bit-identical for any worker count.
+    (see :mod:`repro.utils.parallel`), ``batch`` sizes the lock-step
+    lane chunks each worker advances through the batched rollout
+    engine; the returned ranking is bit-identical for any combination.
     """
-    prescreen = prescreen_isp(situation, config, jobs=jobs)
+    n_jobs = resolve_jobs(jobs)
+    prescreen = prescreen_isp(situation, config, jobs=n_jobs, batch=batch)
     isp_candidates = _select_isp_candidates(prescreen, config)
     tasks = _knob_tasks(situation, isp_candidates, config)
-    results = parallel_map(_knob_worker, tasks, jobs=jobs, label="characterize")
+    results = _run_knob_tasks(tasks, n_jobs, batch)
     evaluations = _collect_evaluations(results, situation)
     evaluations.sort(key=KnobEvaluation.sort_key)
     return _tie_break_by_speed(evaluations, config.tie_tolerance)
@@ -313,6 +481,7 @@ def characterize(
     use_cache: bool = True,
     verbose: bool = False,
     jobs: Optional[int] = None,
+    batch: Union[int, str, None] = None,
 ) -> Dict[Situation, KnobSetting]:
     """Build the situation -> best-knob table (the Table III artifact).
 
@@ -321,8 +490,10 @@ def characterize(
     (situation x ISP candidate x ROI x speed) — and fanned out with
     :func:`repro.utils.parallel.parallel_map`, so a multi-situation
     table saturates ``jobs`` workers even when single situations have
-    few knob settings.  The result is bit-identical to the serial path
-    (``jobs=1``) for any worker count.
+    few knob settings.  ``batch`` additionally sizes the lock-step lane
+    chunk each worker advances in one batched rollout.  The result is
+    bit-identical to the serial path (``jobs=1``, ``batch=1``) for any
+    ``(jobs, batch)`` composition.
     """
     n_jobs = resolve_jobs(jobs)
     cache = ArtifactCache("characterization", enabled=use_cache)
@@ -345,16 +516,33 @@ def characterize(
         return table
 
     # Phase 1: flat prescreen grid over every uncached situation.
-    prescreen_tasks = [
-        _PrescreenTask(situation, isp, config)
-        for situation in misses
-        for isp in config.isp_names
-    ]
-    rates = parallel_map(
-        _prescreen_worker, prescreen_tasks, jobs=n_jobs, label="prescreen"
-    )
-    candidates: Dict[Situation, List[str]] = {}
     n_isp = len(config.isp_names)
+    lanes = resolve_batch(batch, n_isp * len(misses), n_jobs)
+    if lanes <= 1:
+        prescreen_tasks = [
+            _PrescreenTask(situation, isp, config)
+            for situation in misses
+            for isp in config.isp_names
+        ]
+        rates = parallel_map(
+            _prescreen_worker, prescreen_tasks, jobs=n_jobs, label="prescreen"
+        )
+    else:
+        prescreen_chunks = [
+            _PrescreenChunk(situation, isps, config)
+            for situation in misses
+            for isps in _chunked(config.isp_names, lanes)
+        ]
+        chunk_rates = parallel_map(
+            _prescreen_chunk_worker, prescreen_chunks, jobs=n_jobs, label="prescreen"
+        )
+        rates = []
+        for chunk, result in zip(prescreen_chunks, chunk_rates):
+            if isinstance(result, TaskFailure):
+                rates.extend([result] * len(chunk.isps))
+            else:
+                rates.extend(result)
+    candidates: Dict[Situation, List[str]] = {}
     for i, situation in enumerate(misses):
         chunk = rates[i * n_isp : (i + 1) * n_isp]
         prescreen = [
@@ -370,9 +558,7 @@ def characterize(
         tasks = _knob_tasks(situation, candidates[situation], config)
         spans[situation] = (len(flat_tasks), len(flat_tasks) + len(tasks))
         flat_tasks.extend(tasks)
-    results = parallel_map(
-        _knob_worker, flat_tasks, jobs=n_jobs, label="characterize"
-    )
+    results = _run_knob_tasks(flat_tasks, n_jobs, batch)
 
     for situation in misses:
         start, end = spans[situation]

@@ -7,13 +7,16 @@ period ``h`` with actuation applied after the sensor-to-actuation delay
 ``tau`` (both ceiled to the simulation step, footnote 5).
 """
 
+from repro.hil.batch import BatchedHilEngine, run_batch
 from repro.hil.engine import HilConfig, HilEngine
 from repro.hil.record import CycleRecord, HilResult, SectorQoC
 
 __all__ = [
+    "BatchedHilEngine",
     "HilConfig",
     "HilEngine",
     "CycleRecord",
     "HilResult",
     "SectorQoC",
+    "run_batch",
 ]

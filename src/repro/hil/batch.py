@@ -1,0 +1,668 @@
+"""Batched lock-step rollout engine.
+
+Sweeps (Table III characterization, Monte-Carlo studies) evaluate many
+*independent* closed-loop rollouts whose per-cycle cost is dominated by
+numpy dispatch overhead, not arithmetic.  :class:`BatchedHilEngine`
+advances B rollouts ("lanes") in lock step — lanes advance their own
+5 ms plant steps and rendezvous at control cycles — and funnels the
+three hot sensing stages through single batched kernel calls per
+cycle:
+
+- **render** — lanes sharing (track, camera, options) stack their poses
+  over the shared per-situation photometry constants
+  (:func:`repro.sim.renderer.render_raw_batch`);
+- **ISP** — lanes running the same configuration stack their RAW planes
+  through :meth:`repro.isp.pipeline.IspPipeline.process_batch`;
+- **classifier** — lanes sharing a :class:`CnnIdentifier` run one
+  stacked network forward (:meth:`CnnIdentifier.identify_batch`);
+- **perception** — lanes sharing (camera, ROI, threshold params) share
+  one BEV warp + dynamic threshold
+  (:func:`repro.perception.pipeline.process_batch`).
+
+Between cycles, lanes sharing a plant configuration advance their
+5 ms steps as one stacked cohort (:meth:`Vehicle.step_batch` +
+:meth:`Track.frenet_batch`).  Everything else — controller,
+reconfiguration manager, fault injection, RNG draws — is each lane's
+own serial Python, executed through the exact seam methods of
+:class:`repro.hil.engine.HilEngine`.  Batching happens over the leading
+axis only and per-lane reduction orders are unchanged, so every lane's
+:class:`HilResult` trace is bit-identical to running that lane alone
+through ``HilEngine.run`` (see DESIGN.md for the invariance argument).
+
+Lanes leave the active set as soon as they crash, finish the track, or
+exhaust their step budget; the survivors keep batching until the last
+lane retires.  A lane whose cycle takes a fault path that has no
+batched equivalent (an ISP tap, non-null classifier outcomes) simply
+drops to the serial kernels for that cycle — correctness never depends
+on batch composition.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.control.controller import LaneKeepingController
+from repro.core.cases import CaseConfig
+from repro.core.knobs import KnobSetting
+from repro.core.reconfiguration import SituationIdentifier
+from repro.core.situation import Situation
+from repro.faults.injection import NullInjector
+from repro.hil.engine import HilConfig, HilEngine
+from repro.hil.record import HilResult
+from repro.perception.pipeline import PerceptionResult
+from repro.perception.pipeline import process_batch as perception_process_batch
+from repro.sim.geometry import Pose2D
+from repro.sim.renderer import render_raw_batch
+from repro.sim.track import Track
+from repro.sim.vehicle import Vehicle, VehicleState
+from repro.telemetry import recorder as telemetry
+from repro.utils import profiling
+from repro.utils.profiling import profile
+
+__all__ = ["BatchedHilEngine", "run_batch"]
+
+
+@dataclass
+class _Lane:
+    """Mutable per-lane rollout state (one serial run's loop variables)."""
+
+    engine: HilEngine
+    vehicle: object
+    n_steps: int
+    controller: Optional[LaneKeepingController] = None
+    step: int = 0
+    control_due: int = 0
+    pending: list = field(default_factory=list)
+    current_u: float = 0.0
+    s_hint: float = 0.0
+    crashed: bool = False
+    crash_s: Optional[float] = None
+    completed: bool = False
+    recorded: int = 0
+    cycles: list = field(default_factory=list)
+    times: np.ndarray = None  # type: ignore[assignment]
+    s_arr: np.ndarray = None  # type: ignore[assignment]
+    d_arr: np.ndarray = None  # type: ignore[assignment]
+    y_arr: np.ndarray = None  # type: ignore[assignment]
+    steer_arr: np.ndarray = None  # type: ignore[assignment]
+    speed_arr: np.ndarray = None  # type: ignore[assignment]
+    active: bool = True
+
+
+class BatchedHilEngine:
+    """Advance several independent :class:`HilEngine` rollouts lock-step.
+
+    Lanes rendezvous at control cycles, not at raw simulation steps:
+    each lane advances its own 5 ms plant steps (vectorized across the
+    cohort sharing its plant configuration) until its next control
+    cycle is due, then *all* active lanes run that cycle together
+    through the batched sensing kernels.  Lanes
+    with different sampling periods — a knob sweep evaluates exactly
+    that — would almost never share a wall-clock step, but they always
+    share cycle rendezvous, so every cycle batches the full surviving
+    lane set.  Each lane's cycle carries its own simulated time; lanes
+    are independent rollouts, so nothing couples their clocks.
+
+    Sharing track objects, camera sizes, ISP names, or identifier
+    instances across lanes is what unlocks the batched kernels, but
+    none of it is required — unshared lanes fall back to their serial
+    kernels and stay bit-identical either way.
+    """
+
+    def __init__(self, engines: Sequence[HilEngine]):
+        if not engines:
+            raise ValueError("BatchedHilEngine needs at least one engine")
+        self.engines = list(engines)
+
+    @staticmethod
+    def _t_ms(lane: _Lane) -> float:
+        """The lane's current simulated time (its own clock)."""
+        return lane.step * lane.engine.config.sim_step_ms
+
+    def run(self, start_s: float = 0.0) -> List[HilResult]:
+        """Simulate every lane from ``start_s``; results in lane order."""
+        # Reuse an already-active profiler (REPRO_PROFILE=1); otherwise
+        # any lane asking for profiling scopes one shared collector over
+        # the whole batch (batched spans are whole-batch by nature).
+        profiler = profiling.get_active()
+        local_profiler = None
+        if profiler is None and any(e.config.profile for e in self.engines):
+            profiler = local_profiler = profiling.Profiler()
+            profiling.activate(local_profiler)
+
+        lanes: List[_Lane] = []
+        for engine in self.engines:
+            vehicle, n_steps = engine._start_run(start_s)
+            lane = _Lane(engine=engine, vehicle=vehicle, n_steps=n_steps)
+            lane.s_hint = start_s
+            lane.times = np.zeros(n_steps)
+            lane.s_arr = np.zeros(n_steps)
+            lane.d_arr = np.zeros(n_steps)
+            lane.y_arr = np.zeros(n_steps)
+            lane.steer_arr = np.zeros(n_steps)
+            lane.speed_arr = np.zeros(n_steps)
+            lanes.append(lane)
+
+        wall_started = time.time()
+        try:
+            active = [lane for lane in lanes if lane.n_steps > 0]
+            while active:
+                self._advance_all(active)
+                due = [lane for lane in active if lane.active]
+                if due:
+                    self._control_cycles(due)
+                    self._cycle_steps(due)
+                active = [lane for lane in active if lane.active]
+        finally:
+            if local_profiler is not None:
+                profiling.deactivate()
+
+        rec = telemetry.get_active()
+        if rec is not None and profiler is not None:
+            rec.metrics.absorb_profiler(profiler.stats())
+
+        wall_finished = time.time()
+        return [
+            lane.engine._build_result(
+                lane.times,
+                lane.s_arr,
+                lane.d_arr,
+                lane.y_arr,
+                lane.steer_arr,
+                lane.speed_arr,
+                lane.recorded,
+                lane.cycles,
+                lane.crashed,
+                lane.crash_s,
+                lane.completed,
+                profiler,
+                wall_started,
+                wall_finished,
+            )
+            for lane in lanes
+        ]
+
+    # ------------------------------------------------------------------
+
+    def _advance_to_cycle(self, lane: _Lane) -> None:
+        """Advance a lane's plant steps until its next control cycle.
+
+        Replays the serial loop exactly: actuate pending commands at the
+        top of every step, stop *before* the cycle when the step hits
+        ``control_due``, otherwise run the step's plant update.  The
+        lane deactivates here when its step budget runs out.
+        """
+        while lane.active:
+            step = lane.step
+            if step >= lane.n_steps:
+                lane.active = False
+                return
+            # Actuate commands whose sensor-to-actuation delay elapsed
+            # (before the new sample, exactly as the serial loop does).
+            while lane.pending and lane.pending[0][0] <= step:
+                lane.current_u = lane.pending.pop(0)[1]
+            if step == lane.control_due:
+                return
+            self._post_step(lane)
+
+    def _post_step(self, lane: _Lane) -> None:
+        """The plant half of one simulation step: move, record, check."""
+        step = lane.step
+        step_s = lane.engine.config.sim_step_ms / 1000.0
+        lane.vehicle.step(step_s, lane.current_u)
+        state = lane.vehicle.state
+        track = lane.engine.track
+        s_now, d_now = track.frenet(state.pose.x, state.pose.y, s_hint=lane.s_hint)
+        lane.s_hint = s_now
+        look = (
+            state.pose.position()
+            + lane.engine.perception.lookahead * state.pose.forward()
+        )
+        _, y_true = track.frenet(look[0], look[1], s_hint=s_now)
+
+        lane.times[lane.recorded] = (step + 1) * step_s
+        lane.s_arr[lane.recorded] = s_now
+        lane.d_arr[lane.recorded] = d_now
+        lane.y_arr[lane.recorded] = y_true
+        lane.steer_arr[lane.recorded] = state.steer
+        lane.speed_arr[lane.recorded] = state.speed
+        lane.recorded += 1
+        lane.step += 1
+
+        cfg = lane.engine.config
+        if abs(d_now) > cfg.crash_offset_m:
+            lane.crashed = True
+            lane.crash_s = s_now
+            lane.active = False
+        elif s_now >= track.length - cfg.end_margin_m:
+            lane.completed = True
+            lane.active = False
+
+    @staticmethod
+    def _plant_groups(lanes: List[_Lane]) -> Dict[tuple, List[_Lane]]:
+        """Group lanes whose plant steps can run as one stacked update."""
+        groups: Dict[tuple, List[_Lane]] = {}
+        for lane in lanes:
+            if not lane.active:
+                continue
+            key = (
+                lane.engine.config.sim_step_ms,
+                lane.vehicle.params,
+                id(lane.engine.track),
+            )
+            groups.setdefault(key, []).append(lane)
+        return groups
+
+    def _advance_all(self, lanes: List[_Lane]) -> None:
+        """Advance every lane to its next control cycle, plant vectorized.
+
+        Lanes sharing ``(sim_step_ms, vehicle params, track)`` step as a
+        stacked cohort through :meth:`Vehicle.step_batch` and
+        :meth:`Track.frenet_batch`; a lane with no cohort partner takes
+        the scalar :meth:`_advance_to_cycle` path.  Either way each
+        lane replays the serial per-step logic in the serial order.
+        """
+        for (step_ms, params, _), members in self._plant_groups(lanes).items():
+            if len(members) == 1:
+                self._advance_to_cycle(members[0])
+            else:
+                self._advance_group(members, params, step_ms / 1000.0)
+
+    def _advance_group(self, members: List[_Lane], params, dt: float) -> None:
+        """Lock-step plant ticks for one homogeneous lane cohort.
+
+        The cohort's plant state lives in stacked arrays across ticks;
+        each tick applies the serial per-step logic to every lane not
+        yet at its cycle — budget check, pending actuation, then one
+        vectorized plant step.  Lanes drop out of the tick as they hit
+        their ``control_due`` (or crash / finish / exhaust the budget);
+        survivors' :class:`VehicleState` objects are materialized once,
+        at the rendezvous.
+        """
+        track = members[0].engine.track
+        state = np.array(
+            [
+                [
+                    lane.vehicle.state.pose.x,
+                    lane.vehicle.state.pose.y,
+                    lane.vehicle.state.pose.heading,
+                    lane.vehicle.state.lateral_velocity,
+                    lane.vehicle.state.yaw_rate,
+                ]
+                for lane in members
+            ]
+        )
+        speed = np.array([lane.vehicle.state.speed for lane in members])
+        steer = np.array([lane.vehicle.state.steer for lane in members])
+        target = np.array([lane.vehicle.target_speed for lane in members])
+        u = np.array([lane.current_u for lane in members])
+        hints = np.array([lane.s_hint for lane in members])
+        look = np.array([lane.engine.perception.lookahead for lane in members])
+
+        while True:
+            idxs = []
+            for j, lane in enumerate(members):
+                if not lane.active:
+                    continue
+                if lane.step >= lane.n_steps:
+                    lane.active = False
+                    continue
+                if lane.pending and lane.pending[0][0] <= lane.step:
+                    while lane.pending and lane.pending[0][0] <= lane.step:
+                        lane.current_u = lane.pending.pop(0)[1]
+                    u[j] = lane.current_u
+                if lane.step != lane.control_due:
+                    idxs.append(j)
+            if not idxs:
+                break
+            sel = np.array(idxs)
+            new_state, new_speed, new_steer = Vehicle.step_batch(
+                params, dt, state[sel], speed[sel], steer[sel], target[sel], u[sel]
+            )
+            s_now, d_now, y_true = self._project_batch(
+                track, new_state, look[sel], hints[sel]
+            )
+            state[sel] = new_state
+            speed[sel] = new_speed
+            steer[sel] = new_steer
+            hints[sel] = s_now
+            for row, j in enumerate(idxs):
+                self._record_step(
+                    members[j],
+                    track,
+                    dt,
+                    s_now[row],
+                    d_now[row],
+                    y_true[row],
+                    new_steer[row],
+                    new_speed[row],
+                )
+        for j, lane in enumerate(members):
+            if lane.active:
+                self._write_state(lane, state[j], speed[j], steer[j])
+
+    def _cycle_steps(self, due: List[_Lane]) -> None:
+        """The plant step every lane runs right after its control cycle.
+
+        Same stacked update as :meth:`_advance_group` but for exactly
+        one step, with state re-gathered because the cycle just changed
+        each lane's speed target.  No pending actuation here: the serial
+        loop pops commands before the cycle, not after.
+        """
+        for (step_ms, params, _), members in self._plant_groups(due).items():
+            if len(members) == 1:
+                self._post_step(members[0])
+                continue
+            dt = step_ms / 1000.0
+            track = members[0].engine.track
+            state = np.array(
+                [
+                    [
+                        lane.vehicle.state.pose.x,
+                        lane.vehicle.state.pose.y,
+                        lane.vehicle.state.pose.heading,
+                        lane.vehicle.state.lateral_velocity,
+                        lane.vehicle.state.yaw_rate,
+                    ]
+                    for lane in members
+                ]
+            )
+            speed = np.array([lane.vehicle.state.speed for lane in members])
+            steer = np.array([lane.vehicle.state.steer for lane in members])
+            target = np.array([lane.vehicle.target_speed for lane in members])
+            u = np.array([lane.current_u for lane in members])
+            hints = np.array([lane.s_hint for lane in members])
+            look = np.array(
+                [lane.engine.perception.lookahead for lane in members]
+            )
+            new_state, new_speed, new_steer = Vehicle.step_batch(
+                params, dt, state, speed, steer, target, u
+            )
+            s_now, d_now, y_true = self._project_batch(
+                track, new_state, look, hints
+            )
+            for j, lane in enumerate(members):
+                self._record_step(
+                    lane,
+                    track,
+                    dt,
+                    s_now[j],
+                    d_now[j],
+                    y_true[j],
+                    new_steer[j],
+                    new_speed[j],
+                )
+                if lane.active:
+                    self._write_state(lane, new_state[j], new_speed[j], new_steer[j])
+
+    @staticmethod
+    def _project_batch(
+        track: Track, state: np.ndarray, look: np.ndarray, hints: np.ndarray
+    ):
+        """Stacked pose + look-ahead Frenet projections for one tick."""
+        s_now, d_now = track.frenet_batch(state[:, 0], state[:, 1], hints)
+        look_x = state[:, 0] + look * np.cos(state[:, 2])
+        look_y = state[:, 1] + look * np.sin(state[:, 2])
+        _, y_true = track.frenet_batch(look_x, look_y, s_now)
+        return s_now, d_now, y_true
+
+    @staticmethod
+    def _record_step(
+        lane: _Lane,
+        track: Track,
+        dt: float,
+        s_now,
+        d_now,
+        y_true,
+        steer,
+        speed,
+    ) -> None:
+        """Per-lane trace write + crash/finish checks of one plant step."""
+        rec = lane.recorded
+        lane.times[rec] = (lane.step + 1) * dt
+        lane.s_arr[rec] = s_now
+        lane.d_arr[rec] = d_now
+        lane.y_arr[rec] = y_true
+        lane.steer_arr[rec] = steer
+        lane.speed_arr[rec] = speed
+        lane.recorded += 1
+        lane.step += 1
+        lane.s_hint = float(s_now)
+        cfg = lane.engine.config
+        if abs(d_now) > cfg.crash_offset_m:
+            lane.crashed = True
+            lane.crash_s = float(s_now)
+            lane.active = False
+        elif s_now >= track.length - cfg.end_margin_m:
+            lane.completed = True
+            lane.active = False
+
+    @staticmethod
+    def _write_state(lane: _Lane, row: np.ndarray, speed, steer) -> None:
+        """Materialize a lane's stacked plant state back onto its vehicle."""
+        lane.vehicle.state = VehicleState(
+            pose=Pose2D(float(row[0]), float(row[1]), float(row[2])),
+            lateral_velocity=float(row[3]),
+            yaw_rate=float(row[4]),
+            steer=float(steer),
+            speed=float(speed),
+        )
+
+    def _control_cycles(self, due: List[_Lane]) -> None:
+        """Run one sensing+control cycle for every due lane, batched."""
+        pres = [
+            lane.engine._cycle_begin(
+                self._t_ms(lane), lane.vehicle.state, lane.s_hint
+            )
+            for lane in due
+        ]
+
+        sensing = [i for i, pre in enumerate(pres) if not pre.dropped]
+        rgbs: Dict[int, np.ndarray] = {}
+        if sensing:
+            raws = self._render(due, pres, sensing)
+            rgbs = self._isp(due, pres, sensing, raws)
+            self._classify(due, pres, sensing, rgbs)
+
+        decisions = []
+        for i, (lane, pre) in enumerate(zip(due, pres)):
+            decision = lane.engine.manager.decide(self._t_ms(lane), pre.invoked)
+            decisions.append(decision)
+            if i in rgbs:
+                lane.engine.perception.set_roi(decision.roi)
+
+        measurements = self._perceive(due, rgbs)
+
+        for i, (lane, pre, decision) in enumerate(zip(due, pres, decisions)):
+            measurement = measurements.get(i)
+            if measurement is None:
+                measurement = PerceptionResult.invalid()
+            u, decision, record, controller = lane.engine._cycle_finish(
+                self._t_ms(lane), pre, decision, measurement, lane.controller
+            )
+            lane.controller = controller
+            lane.cycles.append(record)
+            lane.vehicle.set_target_speed(decision.speed_kmph / 3.6)
+            tau_steps, h_steps = lane.engine._timing_steps(record)
+            lane.pending.append((lane.step + tau_steps, u))
+            lane.control_due = lane.step + h_steps
+
+    def _render(
+        self,
+        due: List[_Lane],
+        pres: list,
+        sensing: List[int],
+    ) -> Dict[int, np.ndarray]:
+        """Batched render + per-lane RAW corruption; RAW plane per lane."""
+        groups: Dict[tuple, List[int]] = {}
+        for i in sensing:
+            renderer = due[i].engine.renderer
+            key = (id(renderer.track), renderer.camera, renderer.options)
+            groups.setdefault(key, []).append(i)
+
+        raws: Dict[int, np.ndarray] = {}
+        for members in groups.values():
+            if len(members) == 1:
+                i = members[0]
+                with profile("hil.render"):
+                    raws[i] = due[i].engine.renderer.render_raw(pres[i].state.pose)
+            else:
+                renderers = [due[i].engine.renderer for i in members]
+                poses = [pres[i].state.pose for i in members]
+                with profile("hil.render", count=len(members)):
+                    stacked = render_raw_batch(renderers, poses)
+                for j, i in enumerate(members):
+                    raws[i] = stacked[j]
+        for i in sensing:
+            raws[i] = due[i].engine.injector.corrupt_raw(
+                self._t_ms(due[i]), raws[i]
+            )
+        return raws
+
+    def _isp(
+        self,
+        due: List[_Lane],
+        pres: list,
+        sensing: List[int],
+        raws: Dict[int, np.ndarray],
+    ) -> Dict[int, np.ndarray]:
+        """Batched ISP per active configuration; RGB frame per lane."""
+        rgbs: Dict[int, np.ndarray] = {}
+        groups: Dict[tuple, List[int]] = {}
+        for i in sensing:
+            tap = due[i].engine.injector.isp_tap(self._t_ms(due[i]))
+            if tap is not None:
+                # An active ISP tap fault has per-stage hooks the
+                # batched kernels cannot honour: serial path this cycle.
+                with profile("hil.isp"):
+                    rgbs[i] = due[i].engine._isp(pres[i].active_isp).process(
+                        raws[i], tap=tap
+                    )
+                continue
+            groups.setdefault((pres[i].active_isp, raws[i].shape), []).append(i)
+        for (isp_name, _), members in groups.items():
+            pipeline = due[members[0]].engine._isp(isp_name)
+            if len(members) == 1:
+                i = members[0]
+                with profile("hil.isp"):
+                    rgbs[i] = pipeline.process(raws[i])
+            else:
+                stacked = np.stack([raws[i] for i in members])
+                batch_rgb = pipeline.process_batch(stacked)
+                for j, i in enumerate(members):
+                    rgbs[i] = batch_rgb[j]
+        return rgbs
+
+    def _classify(
+        self,
+        due: List[_Lane],
+        pres: list,
+        sensing: List[int],
+        rgbs: Dict[int, np.ndarray],
+    ) -> None:
+        """Stacked classifier forward where possible, then per-lane seams.
+
+        Only lanes whose injector is the stateless :class:`NullInjector`
+        may precompute features: their ``classifier_outcomes`` is
+        guaranteed ``None`` (the clean path), so handing the features to
+        :meth:`HilEngine._cycle_classify` skips exactly the serial
+        ``identify`` call and nothing else.  Any identifier exposing
+        ``identify_batch`` (e.g. ``CnnIdentifier``) qualifies; grouping
+        is by identifier *instance* — shared weights by construction.
+        """
+        features: Dict[int, dict] = {}
+        groups: Dict[int, List[int]] = {}
+        for i in sensing:
+            engine = due[i].engine
+            if (
+                pres[i].invoked
+                and type(engine.injector) is NullInjector
+                and getattr(engine.identifier, "identify_batch", None) is not None
+            ):
+                groups.setdefault(id(engine.identifier), []).append(i)
+        for members in groups.values():
+            if len(members) < 2:
+                continue  # serial call inside _cycle_classify is as fast
+            identifier = due[members[0]].engine.identifier
+            with profile("hil.classifier", count=len(members)):
+                batched = identifier.identify_batch(
+                    [rgbs[i] for i in members],
+                    [pres[i].invoked for i in members],
+                    [pres[i].true_situation for i in members],
+                )
+            for j, i in enumerate(members):
+                features[i] = batched[j]
+        for i in sensing:
+            due[i].engine._cycle_classify(
+                self._t_ms(due[i]), pres[i], rgbs[i], features=features.get(i)
+            )
+
+    def _perceive(
+        self,
+        due: List[_Lane],
+        rgbs: Dict[int, np.ndarray],
+    ) -> Dict[int, PerceptionResult]:
+        """Batched warp+threshold, per-lane windows/fit, dropout faults."""
+        measurements: Dict[int, PerceptionResult] = {}
+        members = sorted(rgbs)
+        if members:
+            pipelines = [due[i].engine.perception for i in members]
+            frames = [rgbs[i] for i in members]
+            with profile("hil.pr", count=len(members)):
+                results = perception_process_batch(pipelines, frames)
+            for i, measurement in zip(members, results):
+                if due[i].engine.injector.perception_dropout(self._t_ms(due[i])):
+                    measurement = PerceptionResult.invalid()
+                measurements[i] = measurement
+        return measurements
+
+
+def run_batch(
+    configs: Sequence[HilConfig],
+    *,
+    track: Union[Track, Sequence[Track]],
+    case: Union[CaseConfig, str],
+    table: Union[
+        Mapping[Situation, KnobSetting],
+        Sequence[Optional[Mapping[Situation, KnobSetting]]],
+        None,
+    ] = None,
+    identifier: Union[SituationIdentifier, str, None] = None,
+    start_s: float = 0.0,
+) -> List[HilResult]:
+    """Build one engine per config and run them lock-step.
+
+    ``track`` and ``table`` may be single values (shared by every lane)
+    or per-lane sequences.  ``identifier`` accepts a registry spec
+    string (resolved per lane, so each lane derives its own identifier
+    RNG streams exactly as a serial run would) or a stateless
+    identifier instance such as :class:`CnnIdentifier` (shared across
+    lanes, which is what enables the stacked classifier forward).
+    Results come back in config order, each bit-identical to
+    ``HilEngine(...).run(start_s)`` for that lane.
+    """
+    n_lanes = len(configs)
+    tracks = list(track) if isinstance(track, (list, tuple)) else [track] * n_lanes
+    if len(tracks) != n_lanes:
+        raise ValueError(f"expected {n_lanes} tracks, got {len(tracks)}")
+    if table is None or isinstance(table, Mapping):
+        tables: Sequence = [table] * n_lanes
+    else:
+        tables = list(table)
+        if len(tables) != n_lanes:
+            raise ValueError(f"expected {n_lanes} tables, got {len(tables)}")
+    engines = [
+        HilEngine(
+            tracks[i],
+            case,
+            table=tables[i],
+            identifier=identifier,
+            config=configs[i],
+        )
+        for i in range(n_lanes)
+    ]
+    return BatchedHilEngine(engines).run(start_s=start_s)

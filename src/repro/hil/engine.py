@@ -61,6 +61,25 @@ from repro.utils.rng import collect_streams
 __all__ = ["HilConfig", "HilEngine"]
 
 
+@dataclass
+class _CyclePre:
+    """Per-lane cycle context produced by :meth:`HilEngine._cycle_begin`.
+
+    Carries everything the later cycle phases need, so the batched
+    driver (:mod:`repro.hil.batch`) can interleave phases across lanes
+    without re-deriving state.  ``invoked`` is already ``()`` when the
+    frame was dropped (matching the serial drop branch).
+    """
+
+    state: object
+    s_now: float
+    true_situation: Situation
+    active_isp: str
+    invoked: tuple
+    rec: object
+    dropped: bool
+
+
 @dataclass(frozen=True)
 class HilConfig:
     """Engine parameters (paper Sec. IV-A defaults).
@@ -178,12 +197,15 @@ class HilEngine:
             self._isp_cache[name] = pipeline
         return pipeline
 
-    def run(self, start_s: float = 0.0) -> HilResult:
-        """Simulate from ``start_s`` to the end of the track."""
+    def _start_run(self, start_s: float):
+        """Reset the manager and build the initial vehicle + step budget.
+
+        Shared between the serial loop below and the batched lock-step
+        driver (:mod:`repro.hil.batch`), so both start from bitwise the
+        same state.
+        """
         cfg = self.config
         track = self.track
-        step_s = cfg.sim_step_ms / 1000.0
-
         initial_situation = track.situation_at(start_s)
         self.manager.reset(initial_situation)
 
@@ -200,13 +222,30 @@ class HilEngine:
             self.vehicle_params,
             VehicleState(pose=pose, speed=initial_decision.speed_kmph / 3.6),
         )
-        controller: Optional[LaneKeepingController] = None
-
         max_time_s = cfg.max_sim_time_s
         if max_time_s is None:
             # Generous budget: slowest knob speed plus transients.
             max_time_s = (track.length - start_s) / (30.0 / 3.6) * 1.5 + 10.0
-        n_steps = int(np.ceil(max_time_s / step_s))
+        n_steps = int(np.ceil(max_time_s / (cfg.sim_step_ms / 1000.0)))
+        return vehicle, n_steps
+
+    def _timing_steps(self, record: CycleRecord):
+        """Actuation delay / control period of a cycle in whole steps."""
+        cfg = self.config
+        tau_steps = max(
+            1, int(np.ceil(record.delay_ms / cfg.sim_step_ms - 1e-9))
+        )
+        h_steps = max(1, int(round(record.period_ms / cfg.sim_step_ms)))
+        return tau_steps, h_steps
+
+    def run(self, start_s: float = 0.0) -> HilResult:
+        """Simulate from ``start_s`` to the end of the track."""
+        cfg = self.config
+        track = self.track
+        step_s = cfg.sim_step_ms / 1000.0
+
+        vehicle, n_steps = self._start_run(start_s)
+        controller: Optional[LaneKeepingController] = None
 
         times = np.zeros(n_steps)
         s_arr = np.zeros(n_steps)
@@ -258,12 +297,7 @@ class HilEngine:
                     # latency-spike fault adds to both delay and period
                     # (the cycle blocks); without faults the values are
                     # bit-identical to decision.timing.
-                    tau_steps = max(
-                        1, int(np.ceil(record.delay_ms / cfg.sim_step_ms - 1e-9))
-                    )
-                    h_steps = max(
-                        1, int(round(record.period_ms / cfg.sim_step_ms))
-                    )
+                    tau_steps, h_steps = self._timing_steps(record)
                     pending.append((step + tau_steps, u))
                     control_due = step + h_steps
 
@@ -293,19 +327,56 @@ class HilEngine:
             if local_profiler is not None:
                 profiling.deactivate()
 
-        # The manifest is pure provenance (config hash, versions, RNG
-        # stream names, wall-clock bounds): always attached, never read
-        # back by the loop, so the simulated arrays stay bit-identical.
-        manifest = build_manifest(
-            config=cfg,
-            rng_streams=self.rng_streams,
-            started_at=wall_started,
-            finished_at=time.time(),
-        )
         rec = telemetry.get_active()
         if rec is not None and profiler is not None:
             rec.metrics.absorb_profiler(profiler.stats())
 
+        return self._build_result(
+            times,
+            s_arr,
+            d_arr,
+            y_arr,
+            steer_arr,
+            speed_arr,
+            recorded,
+            cycles,
+            crashed,
+            crash_s,
+            completed,
+            profiler,
+            wall_started,
+            time.time(),
+        )
+
+    def _build_result(
+        self,
+        times,
+        s_arr,
+        d_arr,
+        y_arr,
+        steer_arr,
+        speed_arr,
+        recorded,
+        cycles,
+        crashed,
+        crash_s,
+        completed,
+        profiler,
+        wall_started,
+        wall_finished,
+    ) -> HilResult:
+        """Assemble the :class:`HilResult` of one finished rollout.
+
+        The manifest is pure provenance (config hash, versions, RNG
+        stream names, wall-clock bounds): always attached, never read
+        back by the loop, so the simulated arrays stay bit-identical.
+        """
+        manifest = build_manifest(
+            config=self.config,
+            rng_streams=self.rng_streams,
+            started_at=wall_started,
+            finished_at=wall_finished,
+        )
         return HilResult(
             time_s=times[:recorded],
             s=s_arr[:recorded],
@@ -346,8 +417,14 @@ class HilEngine:
         estimator.update(measurement)
         return estimator.filtered_measurement(curvature=measurement.curvature)
 
-    def _control_cycle(self, t_ms, state, s_hint, controller):
-        """One sensing+control cycle; returns (u, decision, record, controller)."""
+    def _cycle_begin(self, t_ms, state, s_hint) -> _CyclePre:
+        """Phase 1 of a cycle: situate, open the cycle, roll frame drop.
+
+        The batched driver runs this per lane before grouping lanes for
+        the batched kernels; the serial path calls it from
+        :meth:`_control_cycle`.  Both execute identical operations in
+        identical order, so traces stay bit-identical.
+        """
         track = self.track
         s_now, _ = track.frenet(state.pose.x, state.pose.y, s_hint=s_hint)
         true_situation = track.situation_at(s_now)
@@ -372,59 +449,79 @@ class HilEngine:
             # Camera glitch: no frame this cycle — no identification,
             # no measurement; the controller holds (fault injection).
             invoked = ()
-            decision = self.manager.decide(t_ms, invoked)
+        return _CyclePre(
+            state, s_now, true_situation, active_isp, invoked, rec, dropped
+        )
+
+    def _cycle_classify(self, t_ms, pre: _CyclePre, rgb, features=None) -> None:
+        """Phase 2b: classifier invocation + identification bookkeeping.
+
+        *features* short-circuits the identifier call with a
+        pre-computed result (the batched driver's stacked classifier
+        forward); it is honoured only on the clean-outcome path, which
+        is the only path lanes eligible for batching can take.
+        """
+        invoked = pre.invoked
+        rec = pre.rec
+        # None means every invocation is clean (the only path the
+        # null injector takes, so fault-free runs stay identical).
+        outcomes = self.injector.classifier_outcomes(t_ms, invoked)
+        if outcomes is None:
+            if invoked:
+                if rec is not None:
+                    rec.emit(
+                        IDENTIFIER_INVOKED,
+                        time_ms=t_ms,
+                        classifiers=list(invoked),
+                    )
+                if features is None:
+                    with profile("hil.classifier"):
+                        features = self.identifier.identify(
+                            rgb, invoked, pre.true_situation
+                        )
+                self.manager.integrate_identification(features)
+            self.manager.note_identification(t_ms, invoked)
+        else:
+            ok = tuple(
+                n for n in invoked if outcomes[n] != CLASSIFIER_FAILED
+            )
+            failed = tuple(
+                n for n in invoked if outcomes[n] == CLASSIFIER_FAILED
+            )
+            wrong = tuple(n for n in ok if outcomes[n] == CLASSIFIER_WRONG)
+            if ok:
+                if rec is not None:
+                    rec.emit(
+                        IDENTIFIER_INVOKED,
+                        time_ms=t_ms,
+                        classifiers=list(ok),
+                    )
+                with profile("hil.classifier"):
+                    features = self.identifier.identify(
+                        rgb, ok, pre.true_situation
+                    )
+                features = self.injector.corrupt_features(
+                    t_ms, features, wrong
+                )
+                self.manager.integrate_identification(features)
+            self.manager.note_identification(t_ms, ok, failed)
+
+    def _control_cycle(self, t_ms, state, s_hint, controller):
+        """One sensing+control cycle; returns (u, decision, record, controller)."""
+        pre = self._cycle_begin(t_ms, state, s_hint)
+        if pre.dropped:
+            decision = self.manager.decide(t_ms, pre.invoked)
             measurement = PerceptionResult.invalid()
         else:
             with profile("hil.render"):
-                raw = self.renderer.render_raw(state.pose)
+                raw = self.renderer.render_raw(pre.state.pose)
             raw = self.injector.corrupt_raw(t_ms, raw)
             with profile("hil.isp"):
-                rgb = self._isp(active_isp).process(
+                rgb = self._isp(pre.active_isp).process(
                     raw, tap=self.injector.isp_tap(t_ms)
                 )
-
-            # None means every invocation is clean (the only path the
-            # null injector takes, so fault-free runs stay identical).
-            outcomes = self.injector.classifier_outcomes(t_ms, invoked)
-            if outcomes is None:
-                if invoked:
-                    if rec is not None:
-                        rec.emit(
-                            IDENTIFIER_INVOKED,
-                            time_ms=t_ms,
-                            classifiers=list(invoked),
-                        )
-                    with profile("hil.classifier"):
-                        features = self.identifier.identify(
-                            rgb, invoked, true_situation
-                        )
-                    self.manager.integrate_identification(features)
-                self.manager.note_identification(t_ms, invoked)
-            else:
-                ok = tuple(
-                    n for n in invoked if outcomes[n] != CLASSIFIER_FAILED
-                )
-                failed = tuple(
-                    n for n in invoked if outcomes[n] == CLASSIFIER_FAILED
-                )
-                wrong = tuple(n for n in ok if outcomes[n] == CLASSIFIER_WRONG)
-                if ok:
-                    if rec is not None:
-                        rec.emit(
-                            IDENTIFIER_INVOKED,
-                            time_ms=t_ms,
-                            classifiers=list(ok),
-                        )
-                    with profile("hil.classifier"):
-                        features = self.identifier.identify(
-                            rgb, ok, true_situation
-                        )
-                    features = self.injector.corrupt_features(
-                        t_ms, features, wrong
-                    )
-                    self.manager.integrate_identification(features)
-                self.manager.note_identification(t_ms, ok, failed)
-            decision = self.manager.decide(t_ms, invoked)
+            self._cycle_classify(t_ms, pre, rgb)
+            decision = self.manager.decide(t_ms, pre.invoked)
 
             self.perception.set_roi(decision.roi)
             with profile("hil.pr"):
@@ -433,6 +530,14 @@ class HilEngine:
                 # The PR stage produced nothing usable this cycle; the
                 # controller holds exactly as on a missed detection.
                 measurement = PerceptionResult.invalid()
+        return self._cycle_finish(t_ms, pre, decision, measurement, controller)
+
+    def _cycle_finish(self, t_ms, pre: _CyclePre, decision, measurement, controller):
+        """Phase 3: contracts, control law, cycle record + telemetry."""
+        state = pre.state
+        s_now = pre.s_now
+        rec = pre.rec
+        invoked = pre.invoked
         if contracts_enabled():
             # NaN here would silently corrupt the control loop; fail at
             # the sensing/control boundary instead.

@@ -26,10 +26,15 @@ from repro.utils.scratch import ScratchCache
 __all__ = [
     "IspStage",
     "demosaic",
+    "demosaic_batch",
     "denoise",
+    "denoise_batch",
     "color_map",
+    "color_map_batch",
     "gamut_map",
+    "gamut_map_batch",
     "tone_map",
+    "tone_map_batch",
 ]
 
 #: Reusable per-shape temporaries for the stage hot paths (masked
@@ -110,6 +115,30 @@ def demosaic(raw: np.ndarray) -> np.ndarray:
     return rgb
 
 
+def demosaic_batch(raw: np.ndarray) -> np.ndarray:
+    """Bilinear demosaic of stacked Bayer planes ``(B, H, W)``.
+
+    One convolution call per channel for the whole batch; the kernel
+    gains a length-1 batch axis, so no filter tap ever crosses lanes
+    and each lane matches :func:`demosaic` bit for bit.
+    """
+    if raw.ndim != 3:
+        raise ValueError(f"expected (B, H, W) Bayer planes, got shape {raw.shape}")
+    raw32 = np.ascontiguousarray(raw, dtype=np.float32)
+    batch, height, width = raw32.shape
+    masks, inv_norms = _demosaic_tables(height, width)
+
+    masked = _SCRATCH.get("demosaic-masked", raw32.shape)
+    num = _SCRATCH.get("demosaic-num", raw32.shape)
+    rgb = np.empty((batch, height, width, 3), dtype=np.float32)
+    for channel, (mask, inv_norm) in enumerate(zip(masks, inv_norms)):
+        kernel = _KERNEL_G if channel == 1 else _KERNEL_RB
+        np.multiply(raw32, mask, out=masked)
+        ndimage.convolve(masked, kernel[None], mode="mirror", output=num)
+        np.multiply(num, inv_norm, out=rgb[..., channel])
+    return rgb
+
+
 def denoise(rgb: np.ndarray, sigma: float = 0.8) -> np.ndarray:
     """Gaussian denoise with a small spatial kernel (per channel)."""
     if sigma <= 0:
@@ -118,6 +147,25 @@ def denoise(rgb: np.ndarray, sigma: float = 0.8) -> np.ndarray:
     for channel in range(rgb.shape[2]):
         ndimage.gaussian_filter(
             rgb[..., channel], sigma=sigma, output=out[..., channel], mode="nearest"
+        )
+    return out
+
+
+def denoise_batch(rgb: np.ndarray, sigma: float = 0.8) -> np.ndarray:
+    """Gaussian denoise of a ``(B, H, W, 3)`` batch (per channel).
+
+    ``sigma=(0, s, s)`` skips the batch axis entirely, so each lane's
+    smoothing equals the 2-D :func:`denoise` of that lane.
+    """
+    if sigma <= 0:
+        raise ValueError(f"sigma must be > 0, got {sigma}")
+    out = np.empty_like(rgb)
+    for channel in range(rgb.shape[3]):
+        ndimage.gaussian_filter(
+            rgb[..., channel],
+            sigma=(0.0, sigma, sigma),
+            output=out[..., channel],
+            mode="nearest",
         )
     return out
 
@@ -157,6 +205,44 @@ def color_map(rgb: np.ndarray, confidence_knee: float = 0.08) -> np.ndarray:
     return balanced @ ccm.T
 
 
+def color_map_batch(rgb: np.ndarray, confidence_knee: float = 0.08) -> np.ndarray:
+    """White balance + CCM of a ``(B, H, W, 3)`` batch, per-lane stats.
+
+    The per-lane gray-world statistics replicate the serial scalar
+    promotion exactly: :func:`color_map` computes confidence from the
+    Python float ``overall`` (double precision), while its gains stay in
+    float32 because NEP 50 demotes the Python scalar against the float32
+    means.  Widening only the confidence term reproduces both.
+    """
+    batch = rgb.shape[0]
+    means = rgb.reshape(batch, -1, 3).mean(axis=1)
+    overall = means.mean(axis=1)
+    confidence = np.clip(
+        # The serial stage divides a Python float: double precision by
+        # NEP 50, so the batch must widen before dividing.
+        overall.astype(np.float64) / confidence_knee,  # reprolint: disable=PRF001
+        0.0,
+        1.0,
+    ).astype(np.float32)
+    gains = overall[:, None] / np.maximum(means, np.float32(1e-6))
+    gains = np.clip(gains, 0.5, 2.0).astype(np.float32)
+    eye = np.eye(3, dtype=np.float32)
+    ccm = (
+        confidence[:, None, None] * _CCM
+        + (np.float32(1.0) - confidence)[:, None, None] * eye
+    )
+    scale = confidence[:, None] * gains + (np.float32(1.0) - confidence)[:, None]
+    balanced = _SCRATCH.get("colormap-balanced", rgb.shape, rgb.dtype)
+    np.multiply(rgb, scale[:, None, None, :], out=balanced)
+    out = np.empty_like(rgb)
+    for lane in range(batch):
+        # (H*W, 3) @ (3, 3) per lane: the batched-matmul kernel choice
+        # differs from the serial one, so lanes multiply one at a time
+        # into views of the output (bit-identical, still one big op).
+        np.matmul(balanced[lane], ccm[lane].T, out=out[lane])
+    return out
+
+
 def gamut_map(rgb: np.ndarray, knee: float = 0.85) -> np.ndarray:
     """Soft-compress out-of-gamut values, then clip into [0, 1].
 
@@ -175,6 +261,15 @@ def gamut_map(rgb: np.ndarray, knee: float = 0.85) -> np.ndarray:
     compressed *= span
     compressed += knee
     return np.where(x > knee, compressed, x).astype(np.float32)
+
+
+def gamut_map_batch(rgb: np.ndarray, knee: float = 0.85) -> np.ndarray:
+    """Gamut compression of a ``(B, H, W, 3)`` batch.
+
+    :func:`gamut_map` is purely elementwise, so the batch simply flows
+    through it; this alias only documents the batched entry point.
+    """
+    return gamut_map(rgb, knee=knee)
 
 
 def tone_map(
@@ -198,5 +293,38 @@ def tone_map(
     gain = np.float32(np.clip(target_mean / max(mean, 1e-6), 1.0, max_gain))
     exposed = _SCRATCH.get("tonemap-exposed", rgb.shape, rgb.dtype)
     np.multiply(rgb, gain, out=exposed)
+    np.clip(exposed, 0.0, 1.0, out=exposed)
+    return np.power(exposed, np.float32(1.0 / gamma))
+
+
+def tone_map_batch(
+    rgb: np.ndarray,
+    target_mean: float = 0.40,
+    max_gain: float = 8.0,
+    gamma: float = 2.2,
+) -> np.ndarray:
+    """Auto-exposure + gamma of a ``(B, H, W, 3)`` batch, per-lane gain.
+
+    The luma projection runs per lane (gemv and gemm accumulate
+    differently); the gain is computed in double precision because the
+    serial stage derives it from the Python float ``mean``.
+    """
+    if target_mean <= 0 or max_gain < 1 or gamma <= 0:
+        raise ValueError("invalid tone-map parameters")
+    batch = rgb.shape[0]
+    weights = np.array([0.299, 0.587, 0.114], dtype=np.float32)
+    luma = np.empty(rgb.shape[:3], dtype=np.float32)
+    for lane in range(batch):
+        np.matmul(rgb[lane], weights, out=luma[lane])
+    means = (
+        # Serial derives the gain from a Python float (double); widen
+        # the per-lane means the same way before the clip.
+        luma.reshape(batch, -1).mean(axis=1).astype(np.float64)  # reprolint: disable=PRF001
+    )
+    gain = np.clip(target_mean / np.maximum(means, 1e-6), 1.0, max_gain).astype(
+        np.float32
+    )
+    exposed = _SCRATCH.get("tonemap-exposed", rgb.shape, rgb.dtype)
+    np.multiply(rgb, gain[:, None, None, None], out=exposed)
     np.clip(exposed, 0.0, 1.0, out=exposed)
     return np.power(exposed, np.float32(1.0 / gamma))

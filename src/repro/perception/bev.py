@@ -86,6 +86,7 @@ class BevGrid:
         self._w01 = (fu * (1 - fv)).astype(np.float32)
         self._w10 = ((1 - fu) * fv).astype(np.float32)
         self._w11 = (fu * fv).astype(np.float32)
+        self._sparse = None  # csr gather operator, built on first warp_batch
 
     @property
     def inside(self) -> np.ndarray:
@@ -133,6 +134,64 @@ class BevGrid:
         out = out.reshape(self.n_rows, self.n_cols, channels)
         out[~self._inside] = 0.0
         if frame.ndim == 2:
+            return out[..., 0]
+        return out
+
+    def _sparse_operator(self):
+        # One csr row per BEV cell holding its four bilinear taps in
+        # (00, 01, 10, 11) column order; the taps of a cell are strictly
+        # increasing flat indices, so csr's sequential accumulation
+        # reproduces the exact left-associated sum of :meth:`warp`.
+        if self._sparse is None:
+            from scipy import sparse
+
+            n_cells = self.n_rows * self.n_cols
+            indptr = np.arange(0, 4 * n_cells + 1, 4, dtype=np.int32)
+            cols = np.stack(
+                [self._flat00, self._flat01, self._flat10, self._flat11],
+                axis=1,
+            ).ravel()
+            data = np.stack(
+                [
+                    self._w00[:, 0],
+                    self._w01[:, 0],
+                    self._w10[:, 0],
+                    self._w11[:, 0],
+                ],
+                axis=1,
+            ).ravel()
+            hw = self.camera.height * self.camera.width
+            self._sparse = sparse.csr_matrix(
+                (data, cols, indptr), shape=(n_cells, hw)
+            )
+        return self._sparse
+
+    def warp_batch(self, frames: np.ndarray) -> np.ndarray:
+        """Resample stacked frames ``(B, H, W[, C])`` in one gather+blend.
+
+        The blend runs as a single sparse matmul whose per-cell
+        accumulation order matches :meth:`warp`, so every lane's BEV
+        equals :meth:`warp` of that lane bit for bit.
+        """
+        cam = self.camera
+        if frames.shape[1:3] != (cam.height, cam.width):
+            raise ValueError(
+                f"frame shape {frames.shape[1:3]} does not match camera "
+                f"({cam.height}, {cam.width})"
+            )
+        batch = frames.shape[0]
+        channels = 1 if frames.ndim == 3 else frames.shape[3]
+        hw = cam.height * cam.width
+        flat = frames.reshape(batch, hw, channels).astype(np.float32, copy=False)
+        stacked = flat.transpose(1, 0, 2).reshape(hw, batch * channels)
+        out = self._sparse_operator() @ stacked
+        out = (
+            out.reshape(self.n_rows, self.n_cols, batch, channels)
+            .transpose(2, 0, 1, 3)
+            .copy()
+        )
+        out[:, ~self._inside] = 0.0
+        if frames.ndim == 3:
             return out[..., 0]
         return out
 

@@ -18,7 +18,11 @@ import numpy as np
 from repro.core.situation import Situation
 from repro.isp.pipeline import IspPipeline
 from repro.metrics.accuracy import DetectionSample
-from repro.perception.pipeline import PerceptionPipeline, PerceptionResult
+from repro.perception.pipeline import (
+    PerceptionPipeline,
+    PerceptionResult,
+    process_batch,
+)
 from repro.sim.camera import CameraModel
 from repro.sim.geometry import Pose2D
 from repro.sim.renderer import RoadSceneRenderer
@@ -26,7 +30,12 @@ from repro.sim.track import Track
 from repro.sim.world import static_situation_track
 from repro.utils.rng import derive_rng
 
-__all__ = ["SequenceStats", "evaluate_sequence", "trajectory_poses"]
+__all__ = [
+    "SequenceStats",
+    "evaluate_sequence",
+    "evaluate_sequence_batch",
+    "trajectory_poses",
+]
 
 
 @dataclass
@@ -157,3 +166,71 @@ def evaluate_sequence(
     return SequenceStats(
         samples=samples, errors=np.asarray(errors), n_invalid=n_invalid
     )
+
+
+def evaluate_sequence_batch(
+    situation: Situation,
+    isps: List[str],
+    roi: str,
+    n_frames: int = 120,
+    seed: int = 0,
+    camera: Optional[CameraModel] = None,
+    temporal_tracking: bool = True,
+    lookahead: float = 5.5,
+    track_length: float = 250.0,
+) -> List[SequenceStats]:
+    """Evaluate several ISP configurations over one shared sequence.
+
+    Every lane of a serial prescreen sweep renders the *same* frames:
+    the renderer is seeded identically and walks the identical pose
+    trajectory, so the raw sensor planes match bit for bit across
+    lanes.  This batched variant therefore renders each frame once and
+    shares it, runs each lane's own ISP on it, and pushes all lanes'
+    frames through one batched BEV warp + threshold
+    (:func:`repro.perception.pipeline.process_batch`).  Lane *i* of the
+    result is bitwise equal to ``evaluate_sequence(situation, isps[i],
+    roi, ...)`` with the same arguments.
+    """
+    camera = camera or CameraModel(width=384, height=192)
+    track = static_situation_track(situation, length=track_length)
+    track_length = track.length  # curved tracks may be capped
+    renderer = RoadSceneRenderer(camera, track, seed=seed)
+    isp_pipelines = [IspPipeline(isp) for isp in isps]
+    pipelines = [
+        PerceptionPipeline(
+            camera, roi, lookahead=lookahead, temporal_tracking=temporal_tracking
+        )
+        for _ in isps
+    ]
+
+    spacing = (track_length - 40.0) / n_frames
+    poses = trajectory_poses(track, n_frames, seed, spacing_m=spacing)
+    samples: List[List[DetectionSample]] = [[] for _ in isps]
+    errors: List[List[float]] = [[] for _ in isps]
+    n_invalid = [0] * len(isps)
+    for pose in poses:
+        raw = renderer.render_raw(pose, situation.scene)
+        rgbs = [pipeline.process(raw) for pipeline in isp_pipelines]
+        results = process_batch(pipelines, rgbs)
+        look = pose.position() + lookahead * pose.forward()
+        _, y_true = track.frenet(look[0], look[1])
+        for lane, result in enumerate(results):
+            samples[lane].append(
+                DetectionSample(
+                    measured_y_l=result.y_l,
+                    true_y_l=float(y_true),
+                    valid=result.valid,
+                )
+            )
+            if result.valid:
+                errors[lane].append(abs(result.y_l - float(y_true)))
+            else:
+                n_invalid[lane] += 1
+    return [
+        SequenceStats(
+            samples=samples[lane],
+            errors=np.asarray(errors[lane]),
+            n_invalid=n_invalid[lane],
+        )
+        for lane in range(len(isps))
+    ]

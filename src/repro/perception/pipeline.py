@@ -18,7 +18,7 @@ center (so the controller steers right).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Union
+from typing import Dict, List, Sequence, Union
 
 import numpy as np
 
@@ -33,7 +33,12 @@ from repro.perception.sliding_window import (
 from repro.perception.threshold import ThresholdParams, dynamic_threshold
 from repro.sim.camera import CameraModel
 
-__all__ = ["LOOKAHEAD_DISTANCE", "PerceptionResult", "PerceptionPipeline"]
+__all__ = [
+    "LOOKAHEAD_DISTANCE",
+    "PerceptionResult",
+    "PerceptionPipeline",
+    "process_batch",
+]
 
 #: Look-ahead distance LL of the paper (Sec. II, control design).
 LOOKAHEAD_DISTANCE = 5.5
@@ -138,6 +143,14 @@ class PerceptionPipeline:
         grid = self._grid()
         bev = grid.warp(frame_rgb)
         mask = dynamic_threshold(bev, self.threshold_params, valid=grid.inside)
+        return self._finish_mask(mask, grid)
+
+    def _finish_mask(self, mask: np.ndarray, grid: BevGrid) -> PerceptionResult:
+        """Sliding windows + fit + hint bookkeeping on a threshold mask.
+
+        The tail half of :meth:`process`; the batched path computes the
+        mask for many lanes in one call and finishes each lane here.
+        """
         hints = self._hints if self.temporal_tracking else None
         pixels = find_lane_pixels(
             mask, grid.lateral_resolution, self.window_params, base_hints=hints
@@ -192,3 +205,35 @@ class PerceptionPipeline:
             lines_used=fit.lines_used,
             n_pixels=fit.n_left + fit.n_right,
         )
+
+
+def process_batch(
+    pipelines: Sequence[PerceptionPipeline],
+    frames: Sequence[np.ndarray],
+) -> List[PerceptionResult]:
+    """Run one frame through each pipeline with batched warp+threshold.
+
+    Lanes are grouped by (camera, active ROI, BEV shape, threshold
+    params); each group's frames go through a single
+    :meth:`BevGrid.warp_batch` + batched :func:`dynamic_threshold`
+    call, then every lane finishes (sliding windows, fit, temporal
+    hints) on its own pipeline state.  Results are returned in lane
+    order and are bit-identical to calling ``pipelines[i].process``
+    per lane.
+    """
+    n_lanes = len(pipelines)
+    results: List[PerceptionResult] = [None] * n_lanes  # type: ignore[list-item]
+    groups: Dict[tuple, List[int]] = {}
+    for lane, pipe in enumerate(pipelines):
+        key = (pipe.camera, pipe.roi.name, pipe._bev_shape, pipe.threshold_params)
+        groups.setdefault(key, []).append(lane)
+    for lanes in groups.values():
+        lead = pipelines[lanes[0]]
+        grid = lead._grid()
+        stack = np.stack([frames[i] for i in lanes])
+        bev = grid.warp_batch(stack)
+        masks = dynamic_threshold(bev, lead.threshold_params, valid=grid.inside)
+        for j, i in enumerate(lanes):
+            pipe = pipelines[i]
+            results[i] = pipe._finish_mask(masks[j], pipe._grid())
+    return results

@@ -59,9 +59,13 @@ class ThresholdParams:
 
 
 def brightness_channels(bev_rgb: np.ndarray) -> tuple:
-    """Split a BEV RGB image into (whiteness, yellowness) channels."""
-    if bev_rgb.ndim != 3 or bev_rgb.shape[2] != 3:
-        raise ValueError(f"expected (H, W, 3) BEV image, got {bev_rgb.shape}")
+    """Split a BEV RGB image into (whiteness, yellowness) channels.
+
+    Accepts a single ``(H, W, 3)`` image or a stacked ``(B, H, W, 3)``
+    batch; the math is purely elementwise either way.
+    """
+    if bev_rgb.ndim not in (3, 4) or bev_rgb.shape[-1] != 3:
+        raise ValueError(f"expected (..., H, W, 3) BEV image, got {bev_rgb.shape}")
     r = bev_rgb[..., 0]
     g = bev_rgb[..., 1]
     b = bev_rgb[..., 2]
@@ -75,6 +79,34 @@ def brightness_channels(bev_rgb: np.ndarray) -> tuple:
     return white, yellow
 
 
+def _nanmedian_cols(stack: np.ndarray, n: "np.ndarray | None" = None) -> np.ndarray:
+    """NaN-aware median over the last axis, ``keepdims`` style.
+
+    Hand-vectorized replacement for ``np.nanmedian(stack, axis=-1,
+    keepdims=True)`` on stacked ``(B, H, W)`` batches: one ``np.sort``
+    (NaNs order last) plus two gathers, instead of numpy's masked-array
+    machinery whose per-element constants dominate batched-sweep
+    profiles.  Bit-identical because the median is either the middle
+    order statistic exactly (``(a + a) / 2 == a``) or the same
+    mean-of-two-middles numpy computes, in the input dtype.
+
+    *n* optionally supplies the per-row count of non-NaN entries
+    (``keepdims`` shaped) when the caller already knows it.
+    """
+    order = np.sort(stack, axis=-1)
+    if n is None:
+        n = stack.shape[-1] - np.count_nonzero(
+            np.isnan(stack), axis=-1, keepdims=True
+        )
+    lo = np.maximum((n - 1) // 2, 0)
+    hi = np.where(n > 0, n // 2, 0)
+    # All-NaN rows have n == 0 and gather a NaN, matching np.nanmedian.
+    return (
+        np.take_along_axis(order, lo, axis=-1)
+        + np.take_along_axis(order, hi, axis=-1)
+    ) / 2
+
+
 def _robust_mask(
     channel: np.ndarray,
     z_threshold: float,
@@ -84,17 +116,30 @@ def _robust_mask(
     # Per-row statistics: each BEV row is one ground distance, so this
     # adapts to radial illumination gradients (headlight falloff) that
     # would fool a single global threshold.  Cells outside the camera
-    # frame (warp zeros) are excluded from the statistics.
+    # frame (warp zeros) are excluded from the statistics.  The last
+    # axis is the column axis for both a single (H, W) channel and a
+    # stacked (B, H, W) batch, so one reduction spec serves both; the
+    # stacked branch swaps np.nanmedian for the vectorized kernel.
     if valid is not None:
         masked = np.where(valid, channel, np.nan)
-        with np.errstate(all="ignore"):
-            median = np.nanmedian(masked, axis=1, keepdims=True)
-            mad = np.nanmedian(np.abs(masked - median), axis=1, keepdims=True)
+        if channel.ndim == 3:
+            # |masked - median| keeps NaNs exactly where masked has
+            # them (an all-NaN row stays all-NaN), so one count serves
+            # both medians.
+            n = channel.shape[-1] - np.count_nonzero(
+                np.isnan(masked), axis=-1, keepdims=True
+            )
+            median = _nanmedian_cols(masked, n)
+            mad = _nanmedian_cols(np.abs(masked - median), n)
+        else:
+            with np.errstate(all="ignore"):
+                median = np.nanmedian(masked, axis=-1, keepdims=True)
+                mad = np.nanmedian(np.abs(masked - median), axis=-1, keepdims=True)
         median = np.nan_to_num(median)
         mad = np.nan_to_num(mad)
     else:
-        median = np.median(channel, axis=1, keepdims=True)
-        mad = np.median(np.abs(channel - median), axis=1, keepdims=True)
+        median = np.median(channel, axis=-1, keepdims=True)
+        mad = np.median(np.abs(channel - median), axis=-1, keepdims=True)
     scale = np.maximum(1.4826 * mad, params.min_scale)
     mask = (channel - median) / scale > z_threshold
     if valid is not None:
@@ -115,6 +160,14 @@ def dynamic_threshold(
     *valid* optionally marks BEV cells whose ground point projects
     inside the camera frame; cells outside are excluded from both the
     row statistics and the mask (wide windows clip at the image edges).
+
+    Accepts a stacked ``(B, H, W, 3)`` batch as well (shared *valid*
+    broadcasts over lanes); per-lane masks are bit-identical to calling
+    this per frame — the row statistics reduce over each lane's own
+    columns and the contiguity kernel never crosses the batch axis.  A
+    lane whose mask is empty is unaffected by the other lanes keeping
+    the contiguity convolution alive: zero neighbours never reach
+    ``min_neighbours``.
     """
     white, yellow = brightness_channels(bev_rgb)
     mask_white = _robust_mask(white, params.z_white, params, valid) & (
@@ -125,8 +178,9 @@ def dynamic_threshold(
     )
     mask = mask_white | mask_yellow
     if params.min_neighbours > 0 and mask.any():
+        kernel = _NEIGHBOUR_KERNEL if mask.ndim == 2 else _NEIGHBOUR_KERNEL[None]
         neighbours = ndimage.convolve(
-            mask.astype(np.uint8), _NEIGHBOUR_KERNEL, mode="constant"
+            mask.astype(np.uint8), kernel, mode="constant"
         )
         mask &= neighbours >= params.min_neighbours
     return mask

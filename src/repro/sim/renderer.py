@@ -22,7 +22,7 @@ skipping that stage hurts low-light situations in the reproduction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,12 +30,12 @@ from repro.core.situation import LaneColor, LaneForm, Scene
 from repro.sim.camera import CameraModel, GroundMap
 from repro.sim.geometry import Pose2D, rotation_matrix
 from repro.sim.photometry import ScenePhotometry, photometry_for
-from repro.sim.sensor import add_sensor_noise, mosaic
+from repro.sim.sensor import add_sensor_noise, mosaic, mosaic_batch
 from repro.sim.track import Track
 from repro.utils.rng import derive_rng
 from repro.utils.scratch import ScratchCache
 
-__all__ = ["RenderOptions", "RoadSceneRenderer"]
+__all__ = ["RenderOptions", "RoadSceneRenderer", "render_raw_batch"]
 
 # Lane-marking geometry (metres). Widths follow common road standards.
 MARK_HALF_WIDTH = 0.075
@@ -273,6 +273,110 @@ class RoadSceneRenderer:
         np.clip(frame, 0.0, 1.0, out=frame)
         return frame.reshape(height, width, 3)
 
+    def _render_batch(
+        self,
+        poses: Sequence[Pose2D],
+        photometry: ScenePhotometry,
+        s_vehicles: Sequence[float],
+    ) -> np.ndarray:
+        """Render B frames sharing one photometry as ``(B, H, W, 3)``.
+
+        Mirrors :meth:`_render` op by op with a leading batch axis.
+        Geometry transforms that are not batch-invariant (the pose
+        matmul, ``locate_points`` with its per-lane s-window) run
+        per-lane into views of the stacked buffers; everything after is
+        elementwise/broadcast math, which numpy evaluates identically
+        for ``(N,)`` and ``(B, N)`` operands — that is what keeps lanes
+        bit-identical to serial renders.
+        """
+        cam = self.camera
+        opts = self.options
+        height, width = cam.height, cam.width
+        batch = len(poses)
+        n_pts = self._local.shape[0]
+
+        # 1. ground pixels -> world -> road coordinates (per lane)
+        world = self._scratch.get("world-batch", (batch, n_pts, 2))
+        s_pt = np.empty((batch, n_pts), dtype=np.float32)
+        d_pt = np.empty((batch, n_pts), dtype=np.float32)
+        on_track = np.empty((batch, n_pts), dtype=bool)
+        for lane, (pose, s_vehicle) in enumerate(zip(poses, s_vehicles)):
+            rot = rotation_matrix(pose.heading).astype(np.float32)
+            np.matmul(self._local, rot.T, out=world[lane])
+            world[lane] += pose.position().astype(np.float32)
+            window = (s_vehicle - 25.0, s_vehicle + cam.max_distance + 30.0)
+            s_lane, d_lane, on_lane = self.track.locate_points(
+                world[lane], window
+            )
+            s_pt[lane] = s_lane
+            d_pt[lane] = d_lane
+            on_track[lane] = on_lane
+        s_pt = np.where(on_track, s_pt, np.float32(0.0))
+        d_pt = np.where(on_track, d_pt, np.float32(1e6))  # far off-road
+
+        # 2. base albedo: asphalt / shoulder, with position-stable texture
+        half = opts.lane_width / 2.0
+        on_road = (d_pt >= -(half + opts.right_shoulder)) & (
+            d_pt <= half + opts.adjacent_lane_width
+        )
+        albedo = np.where(
+            on_road[..., None],
+            ROAD_ALBEDO[None, :],
+            SHOULDER_ALBEDO[None, :],
+        )
+        texture = np.float32(opts.texture_amplitude) * _position_hash(s_pt, d_pt)
+        albedo *= np.float32(1.0) + texture[..., None]
+
+        # 3. lane markings
+        seg_idx = (
+            np.searchsorted(self._segment_tables[0], s_pt, side="right") - 1
+        ).clip(0, len(self.track.segments) - 1)
+        form_code = self._segment_tables[1][seg_idx]
+        color_code = self._segment_tables[2][seg_idx]
+
+        left_cov = self._marking_coverage(
+            d_pt - half, s_pt, form_code, self._lat_fp, self._fwd_fp
+        )
+        right_cov = self._marking_coverage(
+            d_pt + half,
+            s_pt,
+            np.full_like(form_code, _FORM_CODE[LaneForm.DOTTED]),
+            self._lat_fp,
+            self._fwd_fp,
+        )
+        left_color = np.where(
+            color_code[..., None] == _COLOR_CODE[LaneColor.YELLOW],
+            YELLOW_ALBEDO[None, :],
+            WHITE_ALBEDO[None, :],
+        )
+        albedo += left_cov[..., None] * (left_color - albedo)
+        albedo += right_cov[..., None] * (WHITE_ALBEDO[None, :] - albedo)
+
+        # 4. photometry — shared across the group, so the (N,) illum
+        # profile broadcasts over lanes exactly as in the serial path.
+        tint, sky = self._photometry_constants(photometry)
+        if np.isfinite(photometry.headlight_falloff):
+            illum = np.float32(photometry.exposure) * (
+                np.float32(0.25)
+                + np.float32(0.75)
+                * np.exp(-self._fwd / np.float32(photometry.headlight_falloff))
+            )
+            marking_cov = np.maximum(left_cov, right_cov)
+            retro = np.float32(1.0) + np.float32(RETROREFLECTIVE_GAIN) * marking_cov
+            albedo *= (illum * retro)[..., None]
+        else:
+            albedo *= np.float32(photometry.exposure)
+        albedo *= tint
+        albedo += np.float32(photometry.ambient)
+        radiance = albedo
+
+        # 5. scatter into the frames; sky everywhere else
+        frame = np.empty((batch, height * width, 3), dtype=np.float32)
+        frame[:] = sky
+        frame[:, self._vidx] = radiance
+        np.clip(frame, 0.0, 1.0, out=frame)
+        return frame.reshape(batch, height, width, 3)
+
     @staticmethod
     def _marking_coverage(
         delta: np.ndarray,
@@ -311,3 +415,66 @@ def _position_hash(s: np.ndarray, d: np.ndarray) -> np.ndarray:
     """Cheap position-stable pseudo-noise in [-1, 1] for asphalt texture."""
     q = np.sin(s * 12.9898 + d * 78.233) * 43758.5453
     return 2.0 * (q - np.floor(q)) - 1.0
+
+
+def render_raw_batch(
+    renderers: Sequence[RoadSceneRenderer],
+    poses: Sequence[Pose2D],
+    scenes: Optional[Sequence[Optional[Scene]]] = None,
+) -> np.ndarray:
+    """Render one RAW frame per lane in a single batched pass.
+
+    All *renderers* must share the same track object, camera, and
+    options (the batched driver groups lanes by exactly that key); the
+    leading renderer's precomputed geometry then serves every lane.
+    Lanes are sub-grouped by scene photometry so each group renders
+    through one :meth:`RoadSceneRenderer._render_batch` call.  Sensor
+    noise stays strictly per-lane: each lane draws from its own
+    ``camera-noise`` stream, one draw per frame, exactly as in
+    :meth:`RoadSceneRenderer.render_raw`.
+
+    Returns the stacked ``(B, H, W)`` Bayer planes in lane order.
+    """
+    lead = renderers[0]
+    n_lanes = len(renderers)
+    if scenes is None:
+        scenes = [None] * n_lanes
+    for r in renderers:
+        if r.track is not lead.track or r.camera != lead.camera or r.options != lead.options:
+            raise ValueError(
+                "render_raw_batch lanes must share track, camera and options"
+            )
+
+    # Per-lane situate: same frenet + situation lookup as render_raw.
+    s_vehicles: List[float] = []
+    photometries: List[ScenePhotometry] = []
+    for renderer, pose, scene in zip(renderers, poses, scenes):
+        s_vehicle, _ = renderer.track.frenet(pose.x, pose.y)
+        if scene is None:
+            scene = renderer.track.situation_at(s_vehicle).scene
+        s_vehicles.append(s_vehicle)
+        photometries.append(photometry_for(scene))
+
+    groups: dict = {}
+    for lane, photometry in enumerate(photometries):
+        groups.setdefault(photometry, []).append(lane)
+
+    cam = lead.camera
+    out = np.empty((n_lanes, cam.height, cam.width), dtype=np.float32)
+    for photometry, lanes in groups.items():
+        rgb = lead._render_batch(
+            [poses[i] for i in lanes], photometry, [s_vehicles[i] for i in lanes]
+        )
+        raw = mosaic_batch(rgb)
+        for j, i in enumerate(lanes):
+            renderer = renderers[i]
+            if renderer.options.noise:
+                out[i] = add_sensor_noise(
+                    raw[j],
+                    renderer._noise_rng,
+                    photometry.read_noise,
+                    photometry.shot_noise,
+                )
+            else:
+                out[i] = raw[j]
+    return out

@@ -16,6 +16,7 @@ __all__ = [
     "BAYER_PATTERN",
     "bayer_channel_masks",
     "mosaic",
+    "mosaic_batch",
     "add_sensor_noise",
     "blackout_frame",
     "band_frame",
@@ -47,6 +48,23 @@ def mosaic(rgb: np.ndarray) -> np.ndarray:
     raw[0::2, 1::2] = rgb[0::2, 1::2, 1]  # G
     raw[1::2, 0::2] = rgb[1::2, 0::2, 1]  # G
     raw[1::2, 1::2] = rgb[1::2, 1::2, 2]  # B
+    return raw
+
+
+def mosaic_batch(rgb: np.ndarray) -> np.ndarray:
+    """Subsample a stacked ``(B, H, W, 3)`` RGB batch to RGGB planes.
+
+    Pure strided assignment over the leading batch axis — each lane's
+    plane is bitwise identical to :func:`mosaic` of that lane alone.
+    """
+    if rgb.ndim != 4 or rgb.shape[3] != 3:
+        raise ValueError(f"expected (B, H, W, 3) RGB batch, got shape {rgb.shape}")
+    batch, height, width = rgb.shape[:3]
+    raw = np.empty((batch, height, width), dtype=rgb.dtype)
+    raw[:, 0::2, 0::2] = rgb[:, 0::2, 0::2, 0]  # R
+    raw[:, 0::2, 1::2] = rgb[:, 0::2, 1::2, 1]  # G
+    raw[:, 1::2, 0::2] = rgb[:, 1::2, 0::2, 1]  # G
+    raw[:, 1::2, 1::2] = rgb[:, 1::2, 1::2, 2]  # B
     return raw
 
 

@@ -128,8 +128,12 @@ class TrackSegment:
             rel = pts - self.start.position().astype(dtype)
             t = self.start.forward().astype(dtype)
             n = self.start.left().astype(dtype)
-            s_local = rel @ t
-            d = rel @ n
+            # Explicit mul/add instead of `rel @ t`: BLAS picks different
+            # accumulation kernels for (2,) and (M, 2) operands, so matmul
+            # is not shape-invariant at the last ulp — elementwise ufuncs
+            # are, which keeps scalar and stacked projections bit-identical.
+            s_local = rel[..., 0] * t[0] + rel[..., 1] * t[1]
+            d = rel[..., 0] * n[0] + rel[..., 1] * n[1]
             return s_local, d
         v = pts - self._center.astype(dtype)
         r = np.hypot(v[..., 0], v[..., 1])
@@ -231,6 +235,55 @@ class Track:
                 best = (seg.s_start + s_local, d)
         assert best is not None
         return best
+
+    def frenet_batch(
+        self, xs: np.ndarray, ys: np.ndarray, s_hints: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Project many world points to ``(s, d)``, one hint per point.
+
+        Vectorized :meth:`frenet`: candidate segments come from each
+        point's own hint window, per-segment projections run stacked,
+        and the cost scan keeps the first strict minimum in the same
+        ascending-segment order as the scalar loop — so every point's
+        result is bit-identical to ``frenet(x, y, s_hint)``.
+        """
+        xs = np.asarray(xs, dtype=float)
+        n_pts = xs.shape[0]
+        pts = np.empty((n_pts, 2))
+        pts[:, 0] = xs
+        pts[:, 1] = ys
+        # Inline segment_index_at without np.clip's dispatch overhead.
+        idx = self._s_bounds.searchsorted(np.asarray(s_hints, dtype=float), "right") - 1
+        idx = np.minimum(np.maximum(idx, 0), len(self.segments) - 1)
+        lo = np.maximum(idx - 1, 0)
+        hi = np.minimum(idx + 2, len(self.segments))
+        best_cost = np.full(n_pts, np.inf)
+        best_s = np.zeros(n_pts)
+        best_d = np.zeros(n_pts)
+        last = len(self.segments) - 1
+        for k in range(3):
+            ci = lo + k
+            in_window = ci < hi
+            if not in_window.any():
+                break
+            for seg_idx in np.unique(ci[in_window]):
+                seg = self.segments[seg_idx]
+                m = in_window & (ci == seg_idx)
+                s_local, d = seg.locate(pts[m])
+                overshoot = np.maximum(
+                    0.0, np.maximum(-s_local, s_local - seg.length)
+                )
+                if seg_idx == 0:
+                    overshoot = np.maximum(0.0, s_local - seg.length)
+                if seg_idx == last:
+                    overshoot = np.maximum(0.0, -s_local)
+                cost = overshoot + 1e-3 * np.abs(d)
+                better = cost < best_cost[m]
+                rows = np.flatnonzero(m)[better]
+                best_cost[rows] = cost[better]
+                best_s[rows] = seg.s_start + s_local[better]
+                best_d[rows] = d[better]
+        return best_s, best_d
 
     def _candidate_segments(self, s_hint: Optional[float]) -> List[TrackSegment]:
         if s_hint is None:

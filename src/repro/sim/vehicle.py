@@ -172,6 +172,83 @@ class Vehicle:
         dy = v * np.sin(heading) + v_y * np.cos(heading)
         return np.array([dx, dy, r, dv_y, dr])
 
+    @staticmethod
+    def step_batch(
+        params: VehicleParams,
+        dt: float,
+        state: np.ndarray,
+        speed: np.ndarray,
+        steer: np.ndarray,
+        target_speed: np.ndarray,
+        command: np.ndarray,
+    ):
+        """Vectorized :meth:`step` over stacked independent vehicles.
+
+        *state* is ``(K, 5)`` columns ``[x, y, heading, v_y, r]``;
+        *speed*, *steer*, *target_speed*, *command* are ``(K,)``.  All
+        vehicles share *params* and *dt*.  Returns the new
+        ``(state, speed, steer)`` without touching any ``Vehicle``
+        object.  Every operation of the scalar path is an elementwise
+        ufunc, so each lane's update is bit-identical to calling
+        :meth:`step` on that lane alone.
+        """
+        # np.minimum/np.maximum pairs instead of np.clip: same result
+        # element for element, without np.clip's per-call dispatch cost
+        # (which the serial reference path keeps).
+        p = params
+        a_lim = p.accel_limit * dt
+        dv = np.minimum(np.maximum(target_speed - speed, -a_lim), a_lim)
+        new_speed = np.maximum(Vehicle.MIN_SPEED, speed + dv)
+
+        cmd = np.minimum(np.maximum(command, -p.steer_limit), p.steer_limit)
+        alpha = 1.0 - np.exp(-dt / p.steer_lag)
+        desired_delta = alpha * (cmd - steer)
+        max_delta = p.steer_rate_limit * dt
+        new_steer = steer + np.minimum(
+            np.maximum(desired_delta, -max_delta), max_delta
+        )
+        new_steer = np.minimum(np.maximum(new_steer, -p.steer_limit), p.steer_limit)
+
+        y0 = state
+        k1 = Vehicle._derivatives_batch(p, y0, new_steer, new_speed)
+        k2 = Vehicle._derivatives_batch(p, y0 + 0.5 * dt * k1, new_steer, new_speed)
+        k3 = Vehicle._derivatives_batch(p, y0 + 0.5 * dt * k2, new_steer, new_speed)
+        k4 = Vehicle._derivatives_batch(p, y0 + dt * k3, new_steer, new_speed)
+        y1 = y0 + (dt / 6.0) * (k1 + 2 * k2 + 2 * k3 + k4)
+        y1[:, 2] = wrap_angle(y1[:, 2])
+        return y1, new_speed, new_steer
+
+    @staticmethod
+    def _derivatives_batch(
+        p: VehicleParams, y: np.ndarray, steer: np.ndarray, speed: np.ndarray
+    ) -> np.ndarray:
+        heading = y[:, 2]
+        v_y = y[:, 3]
+        r = y[:, 4]
+        v = np.maximum(speed, Vehicle.MIN_SPEED)
+        cf, cr = p.cornering_front, p.cornering_rear
+        lf, lr = p.dist_front, p.dist_rear
+
+        dv_y = (
+            -(cf + cr) / (p.mass * v) * v_y
+            + ((cr * lr - cf * lf) / (p.mass * v) - v) * r
+            + cf / p.mass * steer
+        )
+        dr = (
+            (cr * lr - cf * lf) / (p.inertia_z * v) * v_y
+            - (cf * lf**2 + cr * lr**2) / (p.inertia_z * v) * r
+            + cf * lf / p.inertia_z * steer
+        )
+        dx = v * np.cos(heading) - v_y * np.sin(heading)
+        dy = v * np.sin(heading) + v_y * np.cos(heading)
+        out = np.empty_like(y)
+        out[:, 0] = dx
+        out[:, 1] = dy
+        out[:, 2] = r
+        out[:, 3] = dv_y
+        out[:, 4] = dr
+        return out
+
     def clone(self) -> "Vehicle":
         """An independent copy (used by Monte-Carlo characterization)."""
         state = VehicleState(

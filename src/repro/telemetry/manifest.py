@@ -24,7 +24,7 @@ __all__ = ["ENV_KNOBS", "build_manifest"]
 #: Environment knobs recorded in every manifest: they change runtime
 #: behaviour (contract checks, profiling, sweep parallelism) without
 #: appearing in any config object.
-ENV_KNOBS = ("REPRO_CONTRACTS", "REPRO_PROFILE", "REPRO_JOBS")
+ENV_KNOBS = ("REPRO_CONTRACTS", "REPRO_PROFILE", "REPRO_JOBS", "REPRO_BATCH")
 
 
 def build_manifest(

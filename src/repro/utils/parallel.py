@@ -31,11 +31,27 @@ is wall-clock time.  :func:`parallel_map` encodes that contract:
 Worker-count resolution (:func:`resolve_jobs`): an explicit integer
 wins, then the ``REPRO_JOBS`` environment variable, then 1 (serial).
 ``0`` or ``"auto"`` selects ``os.cpu_count()``.
+
+Lane-count resolution (:func:`resolve_batch`) works the same way for
+the batched rollout engine: explicit value, then ``$REPRO_BATCH``,
+then ``"auto"`` (a deterministic function of the task and worker
+counts — never of timing).
+
+Consecutive :func:`parallel_map` calls reuse one persistent
+:class:`ProcessPoolExecutor` per worker count instead of spawning a
+fresh pool per sweep stage (characterize alone runs two stages per
+situation); :func:`shutdown_pool` tears it down explicitly and an
+``atexit`` hook covers interpreter exit.  Forked workers inherit the
+parent's state *as of pool creation* — callers that mutate process
+globals (environment variables, monkeypatched modules) between sweeps
+should call :func:`shutdown_pool` so the next sweep sees the change.
 """
 
 from __future__ import annotations
 
+import atexit
 import logging
+import math
 import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -50,7 +66,9 @@ __all__ = [
     "TaskFailure",
     "parallel_map",
     "register_stats_funnel",
+    "resolve_batch",
     "resolve_jobs",
+    "shutdown_pool",
     "task_seed",
 ]
 
@@ -118,6 +136,92 @@ def resolve_jobs(jobs: Union[int, str, None] = None) -> int:
     if jobs == 0:
         jobs = os.cpu_count() or 1
     return jobs
+
+
+#: Upper bound of the ``"auto"`` batch size: beyond ~16 lanes the
+#: kernels stop gaining arithmetic intensity and peak memory grows.
+_AUTO_BATCH_CAP = 16
+
+
+def resolve_batch(
+    batch: Union[int, str, None],
+    n_tasks: int,
+    jobs: int = 1,
+) -> int:
+    """Resolve the rollout lane count: explicit > ``$REPRO_BATCH`` > auto.
+
+    ``0`` or ``"auto"`` (argument or environment value) chooses
+    ``min(16, ceil(n_tasks / jobs))`` — every worker gets its whole
+    chunk as one batch, capped where the kernels stop gaining.  The
+    result depends only on ``(batch, n_tasks, jobs)``, never on timing,
+    so sweep composition is deterministic.
+    """
+    if batch is None:
+        env = os.environ.get("REPRO_BATCH", "").strip()
+        batch = env if env else "auto"
+    if isinstance(batch, str):
+        if batch.lower() == "auto":
+            batch = 0
+        else:
+            try:
+                batch = int(batch)
+            except ValueError:
+                raise ValueError(
+                    f"invalid batch value {batch!r}: expected an integer or 'auto'"
+                ) from None
+    if batch < 0:
+        raise ValueError(f"batch must be >= 0, got {batch}")
+    if batch == 0:
+        batch = min(_AUTO_BATCH_CAP, math.ceil(n_tasks / max(1, jobs)))
+    return max(1, batch)
+
+
+# ---------------------------------------------------------------------------
+# persistent pool
+#
+# Pool startup is pure overhead repeated per sweep stage; keeping one
+# executor alive across consecutive parallel_map calls amortizes it.
+# The pool is keyed by its worker count: asking for a different count
+# replaces it (workers are forked lazily, so an oversized max_workers
+# would still only fork what the first sweep touches — but replacing
+# keeps the observable process count exact).
+
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_WORKERS: int = 0
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None and _POOL_WORKERS != workers:
+        shutdown_pool()
+    if _POOL is None:
+        _POOL = ProcessPoolExecutor(max_workers=workers)
+        _POOL_WORKERS = workers
+    return _POOL
+
+
+def _discard_pool() -> None:
+    """Forget a broken pool without joining its corpse."""
+    global _POOL, _POOL_WORKERS
+    pool, _POOL, _POOL_WORKERS = _POOL, None, 0
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_pool() -> None:
+    """Shut down the persistent worker pool (no-op when none is live).
+
+    Call between sweeps after mutating process-global state that forked
+    workers must observe (environment knobs, monkeypatches); the next
+    :func:`parallel_map` transparently starts a fresh pool.
+    """
+    global _POOL, _POOL_WORKERS
+    pool, _POOL, _POOL_WORKERS = _POOL, None, 0
+    if pool is not None:
+        pool.shutdown(wait=True)
+
+
+atexit.register(shutdown_pool)
 
 
 def _run_one(fn: Callable[[T], R], item: T, index: int) -> Union[R, TaskFailure]:
@@ -255,43 +359,45 @@ def parallel_map(
     results: List[Optional[Union[R, TaskFailure]]] = [None] * len(items)
     workers = min(n_jobs, len(items))
     _log.info("%s: %d tasks across %d workers", label, len(items), workers)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        if funnel_names:
-            futures = [
-                pool.submit(_run_one_with_stats, fn, item, i, funnel_names)
-                for i, item in enumerate(items)
-            ]
-        else:
-            futures = [
-                pool.submit(_run_one, fn, item, i)
-                for i, item in enumerate(items)
-            ]
-        broken_from: Optional[int] = None
-        for i, future in enumerate(futures):
-            try:
-                if funnel_names:
-                    result, payloads = future.result()
-                    _merge_stats(payloads)
-                else:
-                    result = future.result()
-                results[i] = _seen(result, label)
-            except BrokenProcessPool:
-                # A worker died hard (e.g. OOM-kill): every unfinished
-                # future raises.  Fall back to in-process execution for
-                # the remaining items so the sweep still completes.
-                broken_from = i
-                break
-            # Same crash-isolation contract for errors raised on the
-            # submission side (e.g. an unpicklable work item).
-            except Exception as exc:  # reprolint: disable=EXC001
-                results[i] = _seen(
-                    TaskFailure(
-                        index=i, item=items[i], error=f"{type(exc).__name__}: {exc}"
-                    ),
-                    label,
-                )
-            if (i + 1) % _PROGRESS_EVERY == 0 or i + 1 == len(items):
-                _log.info("%s: %d/%d done", label, i + 1, len(items))
+    pool = _get_pool(workers)
+    if funnel_names:
+        futures = [
+            pool.submit(_run_one_with_stats, fn, item, i, funnel_names)
+            for i, item in enumerate(items)
+        ]
+    else:
+        futures = [
+            pool.submit(_run_one, fn, item, i)
+            for i, item in enumerate(items)
+        ]
+    broken_from: Optional[int] = None
+    for i, future in enumerate(futures):
+        try:
+            if funnel_names:
+                result, payloads = future.result()
+                _merge_stats(payloads)
+            else:
+                result = future.result()
+            results[i] = _seen(result, label)
+        except BrokenProcessPool:
+            # A worker died hard (e.g. OOM-kill): every unfinished
+            # future raises.  Discard the dead executor so the next
+            # sweep starts fresh, and fall back to in-process
+            # execution for the remaining items.
+            _discard_pool()
+            broken_from = i
+            break
+        # Same crash-isolation contract for errors raised on the
+        # submission side (e.g. an unpicklable work item).
+        except Exception as exc:  # reprolint: disable=EXC001
+            results[i] = _seen(
+                TaskFailure(
+                    index=i, item=items[i], error=f"{type(exc).__name__}: {exc}"
+                ),
+                label,
+            )
+        if (i + 1) % _PROGRESS_EVERY == 0 or i + 1 == len(items):
+            _log.info("%s: %d/%d done", label, i + 1, len(items))
     if broken_from is not None:
         _log.warning(
             "%s: process pool broke at task %d/%d; finishing serially",

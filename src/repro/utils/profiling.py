@@ -71,18 +71,21 @@ class StageStats:
 class _Span:
     """Context manager timing one scope into its profiler."""
 
-    __slots__ = ("_profiler", "_label", "_t0")
+    __slots__ = ("_profiler", "_label", "_count", "_t0")
 
-    def __init__(self, profiler: "Profiler", label: str):
+    def __init__(self, profiler: "Profiler", label: str, count: int = 1):
         self._profiler = profiler
         self._label = label
+        self._count = count
 
     def __enter__(self) -> "_Span":
         self._t0 = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        self._profiler.record(self._label, time.perf_counter() - self._t0)
+        self._profiler.record(
+            self._label, time.perf_counter() - self._t0, count=self._count
+        )
         return False
 
 
@@ -118,12 +121,17 @@ class Profiler:
         self._count: Dict[str, int] = {}
         self._total: Dict[str, float] = {}
 
-    def span(self, label: str) -> _Span:
-        """A context manager recording one timed scope under *label*."""
-        return _Span(self, label)
+    def span(self, label: str, count: int = 1) -> _Span:
+        """A context manager recording one timed scope under *label*.
 
-    def record(self, label: str, seconds: float) -> None:
-        """Add one measurement (seconds) under *label*."""
+        *count* weights the measurement: a batched kernel that processes
+        B lanes in one call records its wall time once with ``count=B``,
+        so per-item means stay comparable with the serial path.
+        """
+        return _Span(self, label, count)
+
+    def record(self, label: str, seconds: float, count: int = 1) -> None:
+        """Add one measurement (seconds) under *label*, worth *count* items."""
         samples = self._samples.get(label)
         if samples is None:
             samples = []
@@ -132,7 +140,7 @@ class Profiler:
             self._total[label] = 0.0
         if len(samples) < self.MAX_SAMPLES:
             samples.append(seconds)
-        self._count[label] += 1
+        self._count[label] += count
         self._total[label] += seconds
 
     @property
@@ -194,11 +202,15 @@ class Profiler:
 _ACTIVE: Optional[Profiler] = None
 
 
-def profile(label: str):
-    """A timed span when a profiler is active, else the shared no-op."""
+def profile(label: str, count: int = 1):
+    """A timed span when a profiler is active, else the shared no-op.
+
+    *count* weights the span for batched kernels (see
+    :meth:`Profiler.span`); the default 1 is the serial case.
+    """
     if _ACTIVE is None:
         return NULL_SPAN
-    return _ACTIVE.span(label)
+    return _ACTIVE.span(label, count)
 
 
 def activate(profiler: Optional[Profiler] = None) -> Profiler:

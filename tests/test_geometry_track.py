@@ -203,3 +203,59 @@ class TestWorld:
     def test_static_track_straight_keeps_length(self):
         track = static_situation_track(SIT, length=500.0)
         assert track.length == pytest.approx(500.0)
+
+
+class TestFrenetBatch:
+    def _mixed_track(self):
+        return Track.from_sections(
+            [
+                SectorSpec(30.0, 0.0, SIT),
+                SectorSpec(25.0, 0.02, SIT),
+                SectorSpec(20.0, -0.03, SIT),
+                SectorSpec(30.0, 0.0, SIT),
+                SectorSpec(15.0, 0.01, SIT),
+            ]
+        )
+
+    def test_bitwise_matches_scalar_frenet(self):
+        """Every stacked projection equals frenet() on that point alone."""
+        track = self._mixed_track()
+        rng = np.random.default_rng(9)
+        n = 400
+        ss = rng.uniform(0.0, track.length, n)
+        xs = np.empty(n)
+        ys = np.empty(n)
+        for i, s in enumerate(ss):
+            pose = track.pose_at(s, rng.normal() * 1.5)
+            xs[i], ys[i] = pose.x, pose.y
+        hints = np.clip(ss + rng.normal(0.0, 2.0, n), 0.0, track.length)
+        bs, bd = track.frenet_batch(xs, ys, hints)
+        for i in range(n):
+            s_ref, d_ref = track.frenet(xs[i], ys[i], s_hint=hints[i])
+            assert s_ref == bs[i]
+            assert d_ref == bd[i]
+
+    def test_single_segment_track(self):
+        track = Track.from_sections([SectorSpec(50.0, 0.0, SIT)])
+        xs = np.array([5.0, 20.0, 49.0])
+        ys = np.array([0.5, -1.0, 0.0])
+        hints = np.array([5.0, 20.0, 49.0])
+        bs, bd = track.frenet_batch(xs, ys, hints)
+        for i in range(3):
+            s_ref, d_ref = track.frenet(xs[i], ys[i], s_hint=hints[i])
+            assert s_ref == bs[i]
+            assert d_ref == bd[i]
+
+    def test_extrapolation_beyond_track_ends(self):
+        """Points off both track ends project like the scalar path."""
+        track = self._mixed_track()
+        xs = np.array([-3.0, 0.0])
+        ys = np.array([0.2, 0.0])
+        hints = np.array([0.0, track.length])
+        end = track.pose_at(track.length).position() + np.array([1.0, 0.0])
+        xs[1], ys[1] = end[0], end[1]
+        bs, bd = track.frenet_batch(xs, ys, hints)
+        for i in range(2):
+            s_ref, d_ref = track.frenet(xs[i], ys[i], s_hint=hints[i])
+            assert s_ref == bs[i]
+            assert d_ref == bd[i]

@@ -1,0 +1,150 @@
+"""Bit-identity tests for the batched lock-step rollout engine.
+
+Every test pits :class:`repro.hil.batch.BatchedHilEngine` (or one of
+its facades) against serial ``HilEngine.run`` on the same configs and
+asserts the full traces are *exactly* equal — the engine's contract is
+bitwise equivalence for any batch composition, including lanes that
+crash mid-batch, finish early, or carry fault plans the batched
+kernels must fall back from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.core.situation import situation_by_index
+from repro.faults.plan import FaultPlan
+from repro.hil.batch import BatchedHilEngine, run_batch
+from repro.hil.engine import HilConfig, HilEngine
+from repro.sim.world import static_situation_track
+
+#: Reduced fidelity keeps each rollout fast; the BEV grid stays at its
+#: native 96x128 so perception runs its full reductions.
+FAST = dict(frame_width=48, frame_height=24)
+
+
+def _track(sit_index: int = 1, length: float = 60.0):
+    return static_situation_track(situation_by_index(sit_index), length=length)
+
+
+def assert_results_equal(a, b):
+    """Exact (bitwise) equality of two HilResult traces."""
+    for name in ("time_s", "s", "lateral_offset", "y_l_true", "steering", "speed"):
+        lhs, rhs = getattr(a, name), getattr(b, name)
+        assert lhs.shape == rhs.shape, name
+        assert np.array_equal(lhs, rhs), name
+    assert a.cycles == b.cycles
+    assert a.crashed == b.crashed
+    assert a.crash_s == b.crash_s
+    assert a.completed == b.completed
+
+
+def _serial(track, case, config):
+    return HilEngine(track, case, config=config).run()
+
+
+class TestBitIdentity:
+    def test_mixed_lanes_match_serial(self):
+        """Different seeds and offsets in one batch, each lane exact."""
+        track = _track()
+        configs = [
+            HilConfig(seed=s, initial_offset_m=off, **FAST)
+            for s, off in ((1, 0.2), (2, -0.3), (3, 0.0), (4, 0.35))
+        ]
+        batched = run_batch(configs, track=track, case="case2")
+        for cfg, result in zip(configs, batched):
+            assert_results_equal(result, _serial(track, "case2", cfg))
+
+    def test_single_lane_batch_is_exact(self):
+        """A batch of one exercises every singleton fallback path."""
+        track = _track(sit_index=8, length=80.0)
+        config = HilConfig(seed=11, **FAST)
+        [batched] = run_batch([config], track=track, case="case3")
+        assert_results_equal(batched, _serial(track, "case3", config))
+
+    def test_mid_batch_crash_lane(self):
+        """A lane crashing early must not perturb the survivors."""
+        track = _track(length=80.0)
+        crasher = HilConfig(
+            seed=7, initial_offset_m=1.9, initial_heading_err=0.15, **FAST
+        )
+        survivor = HilConfig(seed=7, initial_offset_m=0.2, **FAST)
+        batched = run_batch([crasher, survivor, survivor], track=track, case="case1")
+        assert batched[0].crashed and batched[0].crash_s is not None
+        for cfg, result in zip((crasher, survivor, survivor), batched):
+            assert_results_equal(result, _serial(track, "case1", cfg))
+
+    def test_early_finishing_lane(self):
+        """Per-lane tracks of different lengths retire lanes one by one."""
+        short = _track(length=40.0)
+        long = _track(length=100.0)
+        config = HilConfig(seed=5, **FAST)
+        batched = run_batch(
+            [config, config], track=[short, long], case="case2"
+        )
+        assert batched[0].completed
+        assert batched[0].duration_s() < batched[1].duration_s()
+        assert_results_equal(batched[0], _serial(short, "case2", config))
+        assert_results_equal(batched[1], _serial(long, "case2", config))
+
+    def test_partial_fault_plans(self):
+        """Faulted lanes take serial fallbacks; clean lanes stay batched."""
+        track = _track(length=60.0)
+        faulted = HilConfig(
+            seed=3,
+            fault_plan=FaultPlan.parse("blackout@200:600; dropout@800:1200"),
+            **FAST,
+        )
+        clean = HilConfig(seed=3, **FAST)
+        batched = run_batch([faulted, clean], track=track, case="case2")
+        assert any(c.faults for c in batched[0].cycles)
+        assert not any(c.faults for c in batched[1].cycles)
+        assert_results_equal(batched[0], _serial(track, "case2", faulted))
+        assert_results_equal(batched[1], _serial(track, "case2", clean))
+
+    def test_profiling_lane_traces_unchanged(self):
+        """Profiling alters observability only, never the trace."""
+        track = _track(length=60.0)
+        profiled = HilConfig(seed=2, profile=True, **FAST)
+        plain = HilConfig(seed=2, **FAST)
+        batched = run_batch([profiled, plain], track=track, case="case2")
+        assert batched[0].profile  # spans were collected
+        assert_results_equal(batched[0], _serial(track, "case2", plain))
+        assert_results_equal(batched[1], _serial(track, "case2", plain))
+
+
+class TestFacades:
+    def test_api_simulate_seed_sequence(self):
+        seeds = [21, 22, 23]
+        batched = api.simulate(
+            situation=1, case="case2", length_m=60.0, seed=seeds,
+            frame=(48, 24), batch=len(seeds),
+        )
+        assert isinstance(batched, list) and len(batched) == len(seeds)
+        for s, result in zip(seeds, batched):
+            serial = api.simulate(
+                situation=1, case="case2", length_m=60.0, seed=s, frame=(48, 24)
+            )
+            assert_results_equal(result, serial)
+
+    def test_api_simulate_chunking_invariance(self):
+        """Any batch size yields the same seed-ordered results."""
+        seeds = [31, 32, 33]
+        kwargs = dict(
+            situation=1, case="case2", length_m=50.0, seed=seeds, frame=(48, 24)
+        )
+        whole = api.simulate(batch=3, **kwargs)
+        chunked = api.simulate(batch=2, **kwargs)
+        for a, b in zip(whole, chunked):
+            assert_results_equal(a, b)
+
+    def test_run_batch_validates_lane_counts(self):
+        track = _track()
+        with pytest.raises(ValueError, match="tracks"):
+            run_batch(
+                [HilConfig(seed=1, **FAST)], track=[track, track], case="case1"
+            )
+        with pytest.raises(ValueError):
+            BatchedHilEngine([])

@@ -2,12 +2,20 @@
 
 from __future__ import annotations
 
+import os
 import time
 
 import pytest
 
 from repro.utils import profiling
-from repro.utils.parallel import TaskFailure, parallel_map, resolve_jobs, task_seed
+from repro.utils.parallel import (
+    TaskFailure,
+    parallel_map,
+    resolve_batch,
+    resolve_jobs,
+    shutdown_pool,
+    task_seed,
+)
 from repro.utils.rng import stream_seed
 
 
@@ -43,6 +51,10 @@ def _sleep_then_identity(delay_s: float) -> float:
     # order inverts the submission order.
     time.sleep(delay_s)
     return delay_s
+
+
+def _worker_pid(_: int) -> int:
+    return os.getpid()
 
 
 class TestResolveJobs:
@@ -187,3 +199,71 @@ class TestTaskSeed:
 
     def test_deterministic(self):
         assert task_seed(1, "a", 0) == task_seed(1, "a", 0)
+
+
+class TestPersistentPool:
+    """The executor persists across sweeps: consecutive characterization
+    phases (prescreen grid, then knob grid) must not pay worker
+    spawn-and-import twice."""
+
+    def test_back_to_back_sweeps_reuse_workers(self):
+        shutdown_pool()  # a defined starting point
+        try:
+            first = parallel_map(_worker_pid, range(8), jobs=2)
+            second = parallel_map(_worker_pid, range(8), jobs=2)
+            # Workers spawned once: both sweeps draw from the same two
+            # pool processes (a fast worker may grab every task of one
+            # sweep, so the per-sweep sets need not be equal).
+            assert len(set(first) | set(second)) <= 2
+            assert all(pid != os.getpid() for pid in first)
+        finally:
+            shutdown_pool()
+
+    def test_worker_count_change_rebuilds_pool(self):
+        shutdown_pool()
+        try:
+            two = set(parallel_map(_worker_pid, range(8), jobs=2))
+            three = set(parallel_map(_worker_pid, range(12), jobs=3))
+            assert len(three - two) > 0  # at least one fresh worker
+        finally:
+            shutdown_pool()
+
+    def test_shutdown_pool_discards_workers(self):
+        shutdown_pool()
+        try:
+            first = set(parallel_map(_worker_pid, range(8), jobs=2))
+            shutdown_pool()
+            second = set(parallel_map(_worker_pid, range(8), jobs=2))
+            assert first.isdisjoint(second)
+        finally:
+            shutdown_pool()
+
+    def test_shutdown_without_pool_is_noop(self):
+        shutdown_pool()
+        shutdown_pool()
+
+
+class TestResolveBatch:
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH", "4")
+        assert resolve_batch(8, n_tasks=100) == 8
+
+    def test_env_supplies_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH", "6")
+        assert resolve_batch(None, n_tasks=100) == 6
+
+    def test_auto_splits_tasks_across_jobs(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCH", raising=False)
+        assert resolve_batch(None, n_tasks=100, jobs=4) == 16  # capped
+        assert resolve_batch("auto", n_tasks=12, jobs=4) == 3
+        assert resolve_batch(0, n_tasks=3, jobs=4) == 1
+
+    def test_floor_is_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCH", raising=False)
+        assert resolve_batch(None, n_tasks=0, jobs=2) == 1
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_batch(-1, n_tasks=10)
+        with pytest.raises(ValueError):
+            resolve_batch("many", n_tasks=10)

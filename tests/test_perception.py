@@ -388,3 +388,70 @@ class TestPerceptionPipeline:
         assert result.curvature == pytest.approx(
             -1 / DEFAULT_TURN_RADIUS, abs=0.006
         )
+
+
+class TestBatchedKernels:
+    """Bitwise equality of the stacked perception kernels vs serial."""
+
+    def _frames(self, small_camera, day_track, n=4):
+        renderer = RoadSceneRenderer(small_camera, day_track, seed=0)
+        return np.stack(
+            [
+                renderer.render_rgb(day_track.pose_at(10.0 + 12.0 * i, 0.1 * i))
+                for i in range(n)
+            ]
+        )
+
+    def test_warp_batch_bitwise(self, small_camera, day_track):
+        frames = self._frames(small_camera, day_track)
+        for roi in ("ROI 1", "ROI 2"):
+            grid = BevGrid(small_camera, roi_preset(roi), n_rows=32, n_cols=48)
+            batched = grid.warp_batch(frames)
+            for i, frame in enumerate(frames):
+                assert np.array_equal(batched[i], grid.warp(frame))
+
+    def test_warp_batch_single_channel(self, small_camera, day_track):
+        frames = self._frames(small_camera, day_track)[..., 0]
+        grid = BevGrid(small_camera, roi_preset("ROI 1"), n_rows=32, n_cols=48)
+        batched = grid.warp_batch(frames)
+        assert batched.shape == (4, 32, 48)
+        for i, frame in enumerate(frames):
+            assert np.array_equal(batched[i], grid.warp(frame))
+
+    def test_nanmedian_cols_matches_numpy(self, rng):
+        from repro.perception.threshold import _nanmedian_cols
+
+        for width in (7, 8, 31):
+            stack = rng.normal(size=(3, 5, width))
+            stack[rng.random(stack.shape) < 0.3] = np.nan
+            stack[0, 0] = np.nan  # an all-NaN row
+            import warnings
+
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                expected = np.nanmedian(stack, axis=-1, keepdims=True)
+            got = _nanmedian_cols(stack)
+            assert np.array_equal(
+                np.nan_to_num(got, nan=-1e9), np.nan_to_num(expected, nan=-1e9)
+            )
+
+    def test_dynamic_threshold_batch_bitwise(self, small_camera, day_track):
+        frames = self._frames(small_camera, day_track)
+        grid = BevGrid(small_camera, roi_preset("ROI 1"), n_rows=32, n_cols=48)
+        bev = grid.warp_batch(frames)
+        batched = dynamic_threshold(bev, valid=grid.inside)
+        for i in range(len(frames)):
+            serial = dynamic_threshold(bev[i], valid=grid.inside)
+            assert np.array_equal(batched[i], serial)
+
+    def test_pipeline_process_batch_bitwise(self, small_camera, day_track):
+        from repro.perception.pipeline import process_batch
+
+        frames = self._frames(small_camera, day_track)
+        pipes = [PerceptionPipeline(small_camera) for _ in range(len(frames))]
+        batched = process_batch(pipes, list(frames))
+        for pipe, frame, got in zip(pipes, frames, batched):
+            want = pipe.process(frame)
+            assert got.valid == want.valid
+            if want.valid:
+                assert got.y_l == want.y_l

@@ -108,3 +108,75 @@ class TestVehicle:
     def test_params_validation(self):
         with pytest.raises(ValueError):
             VehicleParams(mass=-1.0)
+
+
+class TestStepBatch:
+    def test_bitwise_matches_scalar_step(self):
+        """Each lane of the stacked update equals its own serial step."""
+        rng = np.random.default_rng(3)
+        lanes = 5
+        vehicles = []
+        for _ in range(lanes):
+            state = VehicleState(
+                pose=Pose2D(rng.normal(), rng.normal(), rng.uniform(-3, 3)),
+                lateral_velocity=rng.normal() * 0.3,
+                yaw_rate=rng.normal() * 0.2,
+                steer=rng.uniform(-0.3, 0.3),
+                speed=rng.uniform(5.0, 25.0),
+            )
+            vehicle = Vehicle(PARAMS, state)
+            vehicle.target_speed = rng.uniform(5.0, 25.0)
+            vehicles.append(vehicle)
+        state = np.array(
+            [
+                [
+                    v.state.pose.x,
+                    v.state.pose.y,
+                    v.state.pose.heading,
+                    v.state.lateral_velocity,
+                    v.state.yaw_rate,
+                ]
+                for v in vehicles
+            ]
+        )
+        speed = np.array([v.state.speed for v in vehicles])
+        steer = np.array([v.state.steer for v in vehicles])
+        target = np.array([v.target_speed for v in vehicles])
+        for _ in range(250):
+            u = rng.uniform(-0.6, 0.6, lanes)
+            state, speed, steer = Vehicle.step_batch(
+                PARAMS, 0.005, state, speed, steer, target, u
+            )
+            for k, vehicle in enumerate(vehicles):
+                s = vehicle.step(0.005, u[k])
+                assert (
+                    s.pose.x,
+                    s.pose.y,
+                    s.pose.heading,
+                    s.lateral_velocity,
+                    s.yaw_rate,
+                    s.steer,
+                    s.speed,
+                ) == (
+                    state[k, 0],
+                    state[k, 1],
+                    state[k, 2],
+                    state[k, 3],
+                    state[k, 4],
+                    steer[k],
+                    speed[k],
+                )
+
+    def test_saturations_active_in_batch(self):
+        """Steer and accel limits clamp stacked lanes like scalars."""
+        state = np.zeros((2, 5))
+        speed = np.array([5.0, 20.0])
+        steer = np.array([0.0, 0.0])
+        target = np.array([25.0, 5.0])
+        command = np.array([5.0, -5.0])  # far past steer_limit
+        new_state, new_speed, new_steer = Vehicle.step_batch(
+            PARAMS, 0.005, state, speed, steer, target, command
+        )
+        assert np.all(np.abs(new_steer) <= PARAMS.steer_limit)
+        assert np.all(np.abs(new_speed - speed) <= PARAMS.accel_limit * 0.005 + 1e-12)
+        assert new_state.shape == (2, 5)
