@@ -1,0 +1,137 @@
+"""Served simulate throughput vs direct facade calls (perf artifact).
+
+Drives one resident :class:`~repro.service.server.ServerThread` (four
+pool workers) with 1, 4, and 16 concurrent clients, each issuing its
+share of 16 short closed-loop runs at 48x24 camera fidelity, and
+compares against the same 16 runs as serial in-process
+``repro.api.simulate`` calls.  Each arm reports requests/s and the
+nearest-rank p95 per-request latency to ``extra_info``; one served
+result is checked bit-identical against its direct twin so the speed
+numbers are known to price the same computation.
+
+The interesting quantities are (a) the wire + scheduling overhead at
+one client — served must stay within a small factor of direct — and
+(b) how throughput scales as concurrent clients fill the four worker
+slots.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+import repro.api
+
+FRAME = (48, 24)
+LENGTH_M = 40.0
+TOTAL_REQUESTS = 16
+CONCURRENCY_LEVELS = (1, 4, 16)
+WORKERS = 4
+
+
+def _simulate_params(seed):
+    return {"seed": seed, "length_m": LENGTH_M, "frame": list(FRAME)}
+
+
+def _client_worker(connect_kwargs, seeds, latencies, barrier):
+    with repro.api.connect(**connect_kwargs) as client:
+        barrier.wait()
+        for seed in seeds:
+            t0 = time.perf_counter()
+            client.simulate(timeout=600.0, **_simulate_params(seed))
+            latencies.append(time.perf_counter() - t0)
+
+
+def _drive(connect_kwargs, clients):
+    """Issue TOTAL_REQUESTS runs through *clients* concurrent clients.
+
+    Returns (wall seconds, sorted per-request latencies).
+    """
+    seeds = list(range(1, TOTAL_REQUESTS + 1))
+    shares = [seeds[i::clients] for i in range(clients)]
+    latencies = []
+    barrier = threading.Barrier(clients + 1)
+    threads = [
+        threading.Thread(
+            target=_client_worker,
+            args=(connect_kwargs, share, latencies, barrier),
+        )
+        for share in shares
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - t0, sorted(latencies)
+
+
+def _p95_ms(latencies):
+    rank = min(len(latencies) - 1, int(0.95 * len(latencies)))
+    return latencies[rank] * 1000.0
+
+
+def test_service_throughput(benchmark, tmp_path):
+    from repro.service.server import ServerThread
+
+    # Serial baseline: the same runs as direct in-process facade calls.
+    t0 = time.perf_counter()
+    direct = [
+        repro.api.simulate(seed=seed, length_m=LENGTH_M, frame=FRAME)
+        for seed in range(1, TOTAL_REQUESTS + 1)
+    ]
+    serial_s = time.perf_counter() - t0
+    serial_rps = TOTAL_REQUESTS / serial_s
+
+    arms = {}
+    with ServerThread(
+        socket_path=str(tmp_path / "bench.sock"),
+        workers=WORKERS,
+        queue_limit=TOTAL_REQUESTS,
+    ) as thread:
+        with repro.api.connect(**thread.connect_kwargs) as client:
+            served = client.simulate(timeout=600.0, **_simulate_params(1))
+        assert np.array_equal(served.lateral_offset, direct[0].lateral_offset), (
+            "served result diverged from the direct facade call"
+        )
+        for clients in CONCURRENCY_LEVELS:
+            wall_s, latencies = _drive(thread.connect_kwargs, clients)
+            arms[clients] = {
+                "rps": TOTAL_REQUESTS / wall_s,
+                "p95_ms": _p95_ms(latencies),
+            }
+
+        benchmark.extra_info["total_requests"] = TOTAL_REQUESTS
+        benchmark.extra_info["workers"] = WORKERS
+        benchmark.extra_info["frame"] = list(FRAME)
+        benchmark.extra_info["length_m"] = LENGTH_M
+        benchmark.extra_info["serial_rps"] = round(serial_rps, 2)
+        for clients, arm in arms.items():
+            benchmark.extra_info[f"served_c{clients}_rps"] = round(arm["rps"], 2)
+            benchmark.extra_info[f"served_c{clients}_p95_ms"] = round(
+                arm["p95_ms"], 1
+            )
+
+        print(f"\nserial facade      : {serial_rps:6.2f} req/s")
+        for clients, arm in arms.items():
+            print(
+                f"served, {clients:2d} client(s): {arm['rps']:6.2f} req/s"
+                f"  p95 {arm['p95_ms']:7.1f} ms"
+                f"  (x{arm['rps'] / serial_rps:.2f} vs serial)"
+            )
+
+        # Scheduling sanity: more clients than workers must not collapse
+        # throughput below the single-client arm.
+        assert arms[16]["rps"] >= arms[1]["rps"] * 0.8, (
+            "throughput collapsed under concurrent clients"
+        )
+
+        # The benchmark's reported time is one served request round trip.
+        benchmark.pedantic(
+            lambda: _drive(thread.connect_kwargs, 1),
+            rounds=1,
+            iterations=1,
+        )

@@ -3,10 +3,12 @@
 The facade contract (:mod:`repro.api`) promises that public entry
 points never silently change shape.  PR tests can only catch breakage
 they exercise; the lockfile makes it *static*: the signatures of every
-name in ``api.__all__`` plus the package root's ``__all__`` are
-serialized into ``api_surface.json``, and the ``API003`` project rule
-(:mod:`repro.analysis.graph`) fails the lint when the tree drifts from
-the recorded surface without a lockfile update.
+name in ``api.__all__``, the package root's ``__all__``, and the served
+surface (each public module of :mod:`repro.service`, keyed
+``service.<module>``) are serialized into ``api_surface.json``, and the
+``API003`` project rule (:mod:`repro.analysis.graph`) fails the lint
+when the tree drifts from the recorded surface without a lockfile
+update.
 
 Everything here is AST-based — extracting the surface never imports the
 package under analysis, so a broken tree can still be diffed.
@@ -106,14 +108,48 @@ def _describe_class(node: ast.ClassDef) -> Dict[str, object]:
     return {"kind": "class", "fields": fields, "methods": methods}
 
 
+def _extract_module_surface(
+    path: Path,
+) -> Tuple[str, Dict[str, object], Dict[str, int], int]:
+    """One module's locked entries: every ``__all__`` name described.
+
+    Returns ``(display path, entries, per-name lines, __all__ line)``;
+    names without a local definition (re-exports) get the ``__all__``
+    line as their anchor.
+    """
+    display = path.as_posix()
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=display)
+    exported, all_line = _module_all(tree)
+    definitions: Dict[str, ast.AST] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            definitions[stmt.name] = stmt
+    entries: Dict[str, object] = {}
+    lines: Dict[str, int] = {}
+    for name in exported or ():
+        node = definitions.get(name)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            entries[name] = {
+                "kind": "function",
+                "signature": render_signature(node),
+            }
+        elif isinstance(node, ast.ClassDef):
+            entries[name] = _describe_class(node)
+        else:
+            entries[name] = {"kind": "re-export"}
+        lines[name] = getattr(node, "lineno", all_line)
+    return display, entries, lines, all_line
+
+
 def extract_api_surface(
     package_dir: Path,
 ) -> Tuple[Dict[str, object], Dict[str, Tuple[str, int]]]:
     """Extract the locked surface of the package at *package_dir*.
 
     Returns ``(surface, anchors)``: the JSON-ready surface document, and
-    a map from surface key (``"api:<name>"`` / ``"root_all"``) to the
-    ``(posix path, line)`` a drift finding should anchor at.
+    a map from surface key (``"api:<name>"`` / ``"root_all"`` /
+    ``"service:<module>:<name>"``) to the ``(posix path, line)`` a drift
+    finding should anchor at.
     """
     surface: Dict[str, object] = {
         "lockfile_version": LOCKFILE_VERSION,
@@ -124,30 +160,10 @@ def extract_api_surface(
 
     api_path = package_dir / "api.py"
     if api_path.is_file():
-        display = api_path.as_posix()
-        tree = ast.parse(api_path.read_text(encoding="utf-8"), filename=display)
-        exported, all_line = _module_all(tree)
+        display, entries, lines, all_line = _extract_module_surface(api_path)
         anchors["api"] = (display, all_line)
-        definitions: Dict[str, ast.AST] = {}
-        for stmt in tree.body:
-            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-                definitions[stmt.name] = stmt
-        entries: Dict[str, object] = {}
-        for name in exported or ():
-            node = definitions.get(name)
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                entries[name] = {
-                    "kind": "function",
-                    "signature": render_signature(node),
-                }
-            elif isinstance(node, ast.ClassDef):
-                entries[name] = _describe_class(node)
-            else:
-                entries[name] = {"kind": "re-export"}
-            anchors[f"api:{name}"] = (
-                display,
-                getattr(node, "lineno", all_line),
-            )
+        for name, line in lines.items():
+            anchors[f"api:{name}"] = (display, line)
         surface["api"] = entries
 
     init_path = package_dir / "__init__.py"
@@ -157,6 +173,27 @@ def extract_api_surface(
         root_all, line = _module_all(tree)
         surface["root_all"] = sorted(root_all or ())
         anchors["root_all"] = (display, line)
+
+    # The served surface rides under the same discipline as the facade:
+    # every public module of repro.service is locked per-name.
+    service_dir = package_dir / "service"
+    if service_dir.is_dir():
+        service: Dict[str, object] = {}
+        for module_path in sorted(service_dir.glob("*.py")):
+            module = module_path.stem
+            if module.startswith("_") and module != "__init__":
+                continue
+            display, entries, lines, all_line = _extract_module_surface(
+                module_path
+            )
+            if not entries:
+                continue
+            service[module] = entries
+            anchors[f"service:{module}"] = (display, all_line)
+            for name, line in lines.items():
+                anchors[f"service:{module}:{name}"] = (display, line)
+        if service:
+            surface["service"] = service
 
     return surface, anchors
 

@@ -22,7 +22,6 @@ for isolating perception effects from classification effects).
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
@@ -197,7 +196,6 @@ class ReconfigurationManager:
         isp_apply_lag: int = 1,
         power_mode: str = "30W",
         mitigation: Optional[MitigationConfig] = None,
-        window_ms: Optional[float] = None,
     ):
         """``isp_apply_lag`` is the number of cycles between deciding an
         ISP knob and it taking effect.  The paper's scheme is 1 (the
@@ -208,18 +206,10 @@ class ReconfigurationManager:
         paper measures at the Xavier 30 W preset).
         ``invocation_window_ms`` is the variable-scheme window (the
         same keyword as ``HilConfig.invocation_window_ms``); the old
-        ``window_ms`` spelling is deprecated and forwards with a
-        :class:`DeprecationWarning`.  ``mitigation`` enables graceful
+        ``window_ms`` spelling went through a ``DeprecationWarning``
+        cycle and was removed in 1.3.0.  ``mitigation`` enables graceful
         degradation (see :class:`MitigationConfig`); ``None`` disables
         it entirely."""
-        if window_ms is not None:
-            warnings.warn(
-                "ReconfigurationManager(window_ms=...) is deprecated; "
-                "use invocation_window_ms=... (the HilConfig keyword)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            invocation_window_ms = window_ms
         if isp_apply_lag < 0:
             raise ValueError(f"isp_apply_lag must be >= 0, got {isp_apply_lag}")
         self.case = case

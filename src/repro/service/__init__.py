@@ -1,0 +1,56 @@
+"""Long-running sensing service: served access to the ``repro.api`` facade.
+
+The package splits along the wire:
+
+- :mod:`repro.service.protocol` — the versioned newline-delimited JSON
+  schema (operations, envelopes, lossless result codecs);
+- :mod:`repro.service.errors` — typed failures mapped to wire error
+  codes, identical in-process and across the socket;
+- :mod:`repro.service.server` — the asyncio server (bounded admission,
+  deadlines, graceful drain) dispatching onto the persistent worker
+  pool;
+- :mod:`repro.service.client` — the blocking client
+  (``repro.api.connect`` constructs it).
+
+The served surface is under the same lockfile discipline as
+``repro.api`` itself: API002 checks these modules' signatures and
+API003 pins them in ``api_surface.json``.
+"""
+
+from __future__ import annotations
+
+from repro.service.client import ServiceClient
+from repro.service.errors import (
+    BadRequestError,
+    DeadlineExceededError,
+    QueueFullError,
+    RemoteError,
+    RequestCancelledError,
+    RequestNotFoundError,
+    ServiceError,
+    ShuttingDownError,
+    UnknownOperationError,
+    UnsupportedVersionError,
+    error_for_code,
+)
+from repro.service.protocol import PROTOCOL_VERSION
+from repro.service.server import SensingServer, ServerThread, serve_blocking
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "SensingServer",
+    "ServerThread",
+    "ServiceClient",
+    "serve_blocking",
+    "ServiceError",
+    "BadRequestError",
+    "UnsupportedVersionError",
+    "UnknownOperationError",
+    "QueueFullError",
+    "DeadlineExceededError",
+    "RequestCancelledError",
+    "ShuttingDownError",
+    "RequestNotFoundError",
+    "RemoteError",
+    "error_for_code",
+]

@@ -1,0 +1,248 @@
+"""Blocking client for the sensing service (the facade's served twin).
+
+:class:`ServiceClient` speaks the newline-delimited JSON protocol of
+:mod:`repro.service.protocol` over a Unix-domain or TCP socket and
+rebuilds the same rich objects the in-process facade returns — a served
+``simulate`` hands back a :class:`~repro.hil.record.HilResult` that is
+bit-identical to ``repro.api.simulate`` with the same seed.  Typed
+service failures (:class:`~repro.service.errors.QueueFullError`,
+:class:`~repro.service.errors.DeadlineExceededError`, ...) raise
+client-side exactly as the server classified them.
+
+Construct it through the stable facade::
+
+    with repro.api.connect(socket="repro.sock") as client:
+        result = client.simulate(seed=7, length_m=60.0)
+
+The client is deliberately synchronous (plain sockets, stdlib only):
+callers that want concurrency open one client per thread or multiplex
+with :meth:`ServiceClient.submit` / :meth:`ServiceClient.result`, which
+tolerate out-of-order completion by buffering responses per request id.
+"""
+
+from __future__ import annotations
+
+import socket as socketlib
+from typing import Dict, Optional, Tuple
+
+from repro.service import protocol
+from repro.service.errors import BadRequestError, ServiceError, error_for_code
+
+__all__ = ["ServiceClient"]
+
+
+def _parse_tcp(spec: str) -> Tuple[str, int]:
+    """``"host:port"`` split (IPv6 hosts use the last colon)."""
+    host, _, port = spec.rpartition(":")
+    if not host or not port:
+        raise ValueError(
+            f"invalid tcp spec {spec!r}: expected 'host:port'"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(
+            f"invalid tcp spec {spec!r}: port {port!r} is not an integer"
+        ) from None
+
+
+class ServiceClient:
+    """One connection to a running sensing service.
+
+    Exactly one of ``socket`` (a Unix-domain socket path) or ``tcp``
+    (``"host:port"``) selects the transport.  ``timeout`` is the
+    per-receive socket timeout in seconds (``None`` waits forever).
+    Context manager; :meth:`close` is idempotent.
+    """
+
+    def __init__(
+        self,
+        *,
+        socket: Optional[str] = None,
+        tcp: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ):
+        if (socket is None) == (tcp is None):
+            raise ValueError(
+                "choose one transport: socket= (unix path) or tcp= "
+                "('host:port')"
+            )
+        if socket is not None:
+            self._sock = socketlib.socket(
+                socketlib.AF_UNIX, socketlib.SOCK_STREAM
+            )
+            self._sock.connect(str(socket))
+        else:
+            host, port = _parse_tcp(tcp)
+            self._sock = socketlib.create_connection((host, port))
+        self._sock.settimeout(timeout)
+        self._reader = self._sock.makefile("rb")
+        self._next_id = 0
+        #: responses that arrived while waiting for a different id.
+        self._buffered: Dict[str, Dict[str, object]] = {}
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    # -- wire primitives ----------------------------------------------------
+
+    def _send(
+        self,
+        op: str,
+        params: Optional[Dict[str, object]],
+        deadline_ms: Optional[float],
+    ) -> str:
+        self._next_id += 1
+        request_id = f"c{self._next_id}"
+        self._sock.sendall(
+            protocol.encode_request(
+                op=op,
+                request_id=request_id,
+                params=params,
+                deadline_ms=deadline_ms,
+            )
+        )
+        return request_id
+
+    def _recv(self) -> Dict[str, object]:
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError(
+                "service connection closed while awaiting a response"
+            )
+        return protocol.decode_response(line)
+
+    def _await_response(
+        self, request_id: str, timeout: Optional[float]
+    ) -> Dict[str, object]:
+        buffered = self._buffered.pop(request_id, None)
+        if buffered is not None:
+            return buffered
+        previous = self._sock.gettimeout()
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        try:
+            while True:
+                response = self._recv()
+                if response.get("id") == request_id:
+                    return response
+                other = response.get("id")
+                if isinstance(other, str):
+                    self._buffered[other] = response
+        finally:
+            if timeout is not None:
+                self._sock.settimeout(previous)
+
+    def _unwrap(self, response: Dict[str, object]) -> object:
+        if response.get("ok"):
+            return protocol.work_result_from_payload(response.get("result"))
+        error = response.get("error")
+        if not isinstance(error, dict):
+            raise BadRequestError("error response carries no error object")
+        raise error_for_code(
+            code=str(error.get("code", ServiceError.code)),
+            message=str(error.get("message", "")),
+        )
+
+    # -- request API --------------------------------------------------------
+
+    def submit(
+        self,
+        op: str,
+        *,
+        params: Optional[Dict[str, object]] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> str:
+        """Send one request without waiting; returns its request id.
+
+        Pair with :meth:`result` to collect.  Multiple submissions may
+        be outstanding; the service completes work requests in admission
+        order per worker, and responses are matched by id regardless of
+        arrival order.
+        """
+        return self._send(op, params, deadline_ms)
+
+    def result(
+        self, request_id: str, *, timeout: Optional[float] = None
+    ) -> object:
+        """Wait for the response to *request_id* and decode it.
+
+        Returns the rich result object (e.g. a
+        :class:`~repro.hil.record.HilResult`) or raises the typed
+        :class:`~repro.service.errors.ServiceError` the server reported.
+        """
+        return self._unwrap(self._await_response(request_id, timeout))
+
+    def request(
+        self,
+        op: str,
+        *,
+        params: Optional[Dict[str, object]] = None,
+        deadline_ms: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> object:
+        """:meth:`submit` + :meth:`result` in one round trip."""
+        request_id = self._send(op, params, deadline_ms)
+        return self.result(request_id, timeout=timeout)
+
+    def cancel(self, request_id: str) -> object:
+        """Cancel a queued request (raises ``not_found`` if dispatched)."""
+        return self.request(
+            protocol.OP_CANCEL, params={"request_id": request_id}
+        )
+
+    # -- op shortcuts -------------------------------------------------------
+
+    def simulate(
+        self,
+        *,
+        deadline_ms: Optional[float] = None,
+        timeout: Optional[float] = None,
+        **params: object,
+    ) -> object:
+        """Served :func:`repro.api.simulate`; bit-identical results.
+
+        Accepts the JSON-able facade keywords (``situation``, ``case``,
+        ``seed``, ``frame``, ``faults``, ...); a seed *list* runs a
+        lock-step Monte-Carlo batch server-side and returns the results
+        in seed order.
+        """
+        return self.request(
+            protocol.OP_SIMULATE,
+            params=params,
+            deadline_ms=deadline_ms,
+            timeout=timeout,
+        )
+
+    def health(self) -> object:
+        """The server's liveness/occupancy snapshot (answered inline)."""
+        return self.request(protocol.OP_HEALTH)
+
+    def stats(self) -> object:
+        """The server's metrics snapshot: counters, gauges, histograms."""
+        return self.request(protocol.OP_STATS)
+
+    def shutdown(self) -> object:
+        """Ask the server to drain gracefully (acknowledged immediately).
+
+        Requests already admitted — including this client's — still
+        complete and their responses are delivered before the server
+        closes.
+        """
+        return self.request(protocol.OP_SHUTDOWN)

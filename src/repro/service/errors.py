@@ -1,0 +1,150 @@
+"""Typed errors of the sensing service, mapped to wire error codes.
+
+Every failure the service can report crosses the wire as a structured
+``{"code": ..., "message": ...}`` error object (never a traceback, never
+a silent drop).  This module is the single place where the code strings
+live on the Python side: the server raises these exceptions (or maps
+internal failures onto them) and :func:`error_for_code` rebuilds the
+matching exception client-side, so ``except QueueFullError:`` works
+identically in-process and across the socket.
+
+Together with :mod:`repro.service.protocol` this module *defines* the
+wire vocabulary, which is why both are exempt from the ``SVC001`` lint
+rule (everywhere else, protocol strings must be spelled through these
+constants — see :class:`repro.analysis.rules.ProtocolLiteralRule`).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServiceError",
+    "BadRequestError",
+    "UnsupportedVersionError",
+    "UnknownOperationError",
+    "QueueFullError",
+    "DeadlineExceededError",
+    "RequestCancelledError",
+    "ShuttingDownError",
+    "RequestNotFoundError",
+    "RemoteError",
+    "error_for_code",
+]
+
+
+class ServiceError(Exception):
+    """Base class of every typed service failure.
+
+    ``code`` is the stable wire error code; the exception message is the
+    human-readable detail carried alongside it.  Subclasses override
+    ``code`` only — the hierarchy *is* the code registry.
+
+    ``request_id`` is best-effort context: the server attaches the id of
+    the offending request when one could be recovered (decode errors on
+    a line that still parsed as JSON), so the error response can be
+    correlated client-side.
+    """
+
+    code = "internal"
+    request_id = None
+
+
+class BadRequestError(ServiceError):
+    """The request line was not a valid protocol request."""
+
+    code = "bad_request"
+
+
+class UnsupportedVersionError(BadRequestError):
+    """The request's ``"v"`` field names a protocol version we do not speak."""
+
+    code = "unsupported_version"
+
+
+class UnknownOperationError(BadRequestError):
+    """The request's ``"op"`` is not a registered operation."""
+
+    code = "unknown_op"
+
+
+class QueueFullError(ServiceError):
+    """Admission rejected: the bounded request queue is at capacity.
+
+    This is the typed backpressure signal — the server *never* blocks an
+    admission or silently drops a request; callers see this error and
+    decide whether to retry, shed load, or slow down.
+    """
+
+    code = "queue_full"
+
+
+class DeadlineExceededError(ServiceError):
+    """The request's deadline expired before a result was produced.
+
+    Raised both for requests that expired while still queued (never
+    executed) and for requests whose worker task was abandoned mid-run
+    (result discarded, slot reclaimed when the worker finishes).
+    """
+
+    code = "deadline_exceeded"
+
+
+class RequestCancelledError(ServiceError):
+    """The request was cancelled by an explicit ``cancel`` operation."""
+
+    code = "cancelled"
+
+
+class ShuttingDownError(ServiceError):
+    """The server is draining and no longer admits new work."""
+
+    code = "shutting_down"
+
+
+class RequestNotFoundError(ServiceError):
+    """``cancel`` named a request id that is not queued on this connection."""
+
+    code = "not_found"
+
+
+class RemoteError(ServiceError):
+    """The operation failed inside the service (worker raised)."""
+
+    code = "internal"
+
+
+#: Every concrete error class, in definition order.  ``BadRequestError``
+#: subclasses come after it so exact code lookups resolve to the most
+#: specific class.
+_ERROR_CLASSES = (
+    ServiceError,
+    BadRequestError,
+    UnsupportedVersionError,
+    UnknownOperationError,
+    QueueFullError,
+    DeadlineExceededError,
+    RequestCancelledError,
+    ShuttingDownError,
+    RequestNotFoundError,
+    RemoteError,
+)
+
+_CODE_TO_ERROR = {cls.code: cls for cls in _ERROR_CLASSES}
+# "internal" is shared by the base and RemoteError; client-side an
+# internal failure is a remote worker failure, so RemoteError wins.
+_CODE_TO_ERROR[RemoteError.code] = RemoteError
+
+
+def error_for_code(*, code: str, message: str) -> ServiceError:
+    """The typed exception for a wire error object.
+
+    Unknown codes (a newer server speaking additive fields) degrade to
+    the :class:`ServiceError` base rather than failing the decode — the
+    message still carries the detail.
+    """
+    cls = _CODE_TO_ERROR.get(code, ServiceError)
+    error = cls(message)
+    # Preserve an unknown wire code verbatim so callers can still
+    # branch on `exc.code` for codes newer than this client.
+    if cls is ServiceError and code != ServiceError.code:
+        error.code = code
+    return error

@@ -1,0 +1,478 @@
+"""Versioned wire protocol of the sensing service (newline-delimited JSON).
+
+One request per line, one response per line, UTF-8, ``"\\n"`` framed::
+
+    -> {"v": 1, "op": "simulate", "id": "c1", "params": {"seed": 7},
+        "deadline_ms": 5000}
+    <- {"v": 1, "id": "c1", "ok": true, "op": "simulate", "result": {...}}
+    <- {"v": 1, "id": "c1", "ok": false,
+        "error": {"code": "queue_full", "message": "..."}}
+
+Operations
+----------
+========================  ====================================================
+``simulate``              one closed-loop run, or a lock-step Monte-Carlo
+                          batch when ``params.seed`` is a list (the
+                          :class:`repro.hil.batch.BatchedHilEngine` path)
+``characterize``          ranked knob evaluations for one situation
+``inject``                a run under a fault campaign (mitigation default on)
+``profile``               a run with measured-vs-modeled stage latencies
+``health``                liveness + queue/in-flight occupancy (inline)
+``stats``                 the server metrics snapshot (inline)
+``cancel``                cancel a queued request by id (inline)
+``shutdown``              graceful drain: stop admitting, finish in-flight
+========================  ====================================================
+
+Stability contract (see DESIGN.md): within a protocol version fields
+are **additive only** — servers and clients must ignore unknown fields,
+never require new ones, and never change the meaning or type of an
+existing field.  Anything else bumps :data:`PROTOCOL_VERSION`, and a
+server rejects versions it does not speak with ``unsupported_version``
+rather than guessing.
+
+Every protocol string (operation names, error codes, field keys) is
+defined **here** (error codes canonically on the exception classes in
+:mod:`repro.service.errors`); the ``SVC001`` lint rule forbids spelling
+them as literals anywhere else, exactly as ``OBS001`` does for
+telemetry event names.
+
+Result payloads round-trip losslessly: float64 values serialize through
+Python's shortest-repr JSON floats, so a decoded
+:class:`~repro.hil.record.HilResult` is *bit-identical* to the instance
+the worker produced (tier-1 pinned by ``tests/test_service.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.hil.record import CycleRecord, HilResult
+from repro.service.errors import (
+    BadRequestError,
+    DeadlineExceededError,
+    QueueFullError,
+    RemoteError,
+    RequestCancelledError,
+    RequestNotFoundError,
+    ShuttingDownError,
+    UnknownOperationError,
+    UnsupportedVersionError,
+)
+from repro.utils.profiling import StageStats
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "OP_SIMULATE",
+    "OP_CHARACTERIZE",
+    "OP_INJECT",
+    "OP_PROFILE",
+    "OP_HEALTH",
+    "OP_STATS",
+    "OP_CANCEL",
+    "OP_SHUTDOWN",
+    "WORK_OPS",
+    "CONTROL_OPS",
+    "ALL_OPS",
+    "ERR_BAD_REQUEST",
+    "ERR_UNSUPPORTED_VERSION",
+    "ERR_UNKNOWN_OP",
+    "ERR_QUEUE_FULL",
+    "ERR_DEADLINE_EXCEEDED",
+    "ERR_CANCELLED",
+    "ERR_SHUTTING_DOWN",
+    "ERR_NOT_FOUND",
+    "ERR_INTERNAL",
+    "ERROR_CODES",
+    "Request",
+    "encode_request",
+    "decode_request",
+    "ok_response",
+    "error_response",
+    "encode_response",
+    "decode_response",
+    "hil_result_to_payload",
+    "hil_result_from_payload",
+    "work_result_to_payload",
+    "work_result_from_payload",
+]
+
+#: Wire schema version; bumped on any non-additive change.
+PROTOCOL_VERSION = 1
+
+# -- operations -------------------------------------------------------------
+
+OP_SIMULATE = "simulate"
+OP_CHARACTERIZE = "characterize"
+OP_INJECT = "inject"
+OP_PROFILE = "profile"
+OP_HEALTH = "health"
+OP_STATS = "stats"
+OP_CANCEL = "cancel"
+OP_SHUTDOWN = "shutdown"
+
+#: Operations executed on the worker pool (queued, deadline-checked).
+WORK_OPS = (OP_SIMULATE, OP_CHARACTERIZE, OP_INJECT, OP_PROFILE)
+#: Operations answered inline on the event loop (never queued).
+CONTROL_OPS = (OP_HEALTH, OP_STATS, OP_CANCEL, OP_SHUTDOWN)
+ALL_OPS = WORK_OPS + CONTROL_OPS
+
+# -- error codes ------------------------------------------------------------
+#
+# Canonically defined on the exception classes (repro.service.errors);
+# re-exported here so protocol consumers have one import surface.
+
+ERR_BAD_REQUEST = BadRequestError.code
+ERR_UNSUPPORTED_VERSION = UnsupportedVersionError.code
+ERR_UNKNOWN_OP = UnknownOperationError.code
+ERR_QUEUE_FULL = QueueFullError.code
+ERR_DEADLINE_EXCEEDED = DeadlineExceededError.code
+ERR_CANCELLED = RequestCancelledError.code
+ERR_SHUTTING_DOWN = ShuttingDownError.code
+ERR_NOT_FOUND = RequestNotFoundError.code
+ERR_INTERNAL = RemoteError.code
+
+ERROR_CODES = (
+    ERR_BAD_REQUEST,
+    ERR_UNSUPPORTED_VERSION,
+    ERR_UNKNOWN_OP,
+    ERR_QUEUE_FULL,
+    ERR_DEADLINE_EXCEEDED,
+    ERR_CANCELLED,
+    ERR_SHUTTING_DOWN,
+    ERR_NOT_FOUND,
+    ERR_INTERNAL,
+)
+
+
+def _jsonify(obj: object) -> object:
+    # Result payloads carry numpy scalars (e.g. a CycleRecord's
+    # measurement_valid); coerce them to their exact Python twins.
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"{type(obj).__name__} is not JSON-serializable")
+
+
+def _encode_line(document: Dict[str, object]) -> bytes:
+    """One canonical protocol line: compact, sorted keys, ``\\n`` framed."""
+    text = json.dumps(
+        document, sort_keys=True, separators=(",", ":"), default=_jsonify
+    )
+    return text.encode("utf-8") + b"\n"
+
+
+# -- requests ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Request:
+    """One decoded protocol request."""
+
+    op: str
+    request_id: str
+    params: Dict[str, object]
+    #: Relative deadline in milliseconds from admission; ``None`` = no
+    #: deadline.  The server converts to an absolute event-loop time.
+    deadline_ms: Optional[float] = None
+
+
+def encode_request(
+    *,
+    op: str,
+    request_id: str,
+    params: Optional[Dict[str, object]] = None,
+    deadline_ms: Optional[float] = None,
+) -> bytes:
+    """Serialize one request line (the client side of the wire)."""
+    document: Dict[str, object] = {
+        "v": PROTOCOL_VERSION,
+        "op": op,
+        "id": request_id,
+    }
+    if params:
+        document["params"] = params
+    if deadline_ms is not None:
+        document["deadline_ms"] = float(deadline_ms)
+    return _encode_line(document)
+
+
+def decode_request(line: Union[str, bytes]) -> Request:
+    """Parse and validate one request line (the server side of the wire).
+
+    Raises the typed :mod:`repro.service.errors` exception matching the
+    defect: :class:`BadRequestError` for malformed JSON / shapes,
+    :class:`UnsupportedVersionError` for a version we do not speak, and
+    :class:`UnknownOperationError` for an unregistered ``op``.  Whenever
+    the line parsed far enough to recover the request id, it is attached
+    as ``exc.request_id`` so the error response can still correlate.
+    """
+    try:
+        document = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise BadRequestError(f"request is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise BadRequestError(
+            f"request must be a JSON object, got {type(document).__name__}"
+        )
+    request_id = document.get("id")
+    if not isinstance(request_id, str) or not request_id:
+        request_id = None
+
+    def _reject(error: BadRequestError) -> BadRequestError:
+        error.request_id = request_id
+        return error
+
+    version = document.get("v")
+    if version != PROTOCOL_VERSION:
+        raise _reject(
+            UnsupportedVersionError(
+                f"protocol version {version!r} is not supported "
+                f"(this server speaks v{PROTOCOL_VERSION})"
+            )
+        )
+    if request_id is None:
+        raise BadRequestError("request needs a non-empty string 'id'")
+    op = document.get("op")
+    if not isinstance(op, str):
+        raise _reject(BadRequestError("request needs a string 'op'"))
+    if op not in ALL_OPS:
+        raise _reject(
+            UnknownOperationError(
+                f"unknown op {op!r} (ops: {', '.join(ALL_OPS)})"
+            )
+        )
+    params = document.get("params", {})
+    if params is None:
+        params = {}
+    if not isinstance(params, dict):
+        raise _reject(BadRequestError("'params' must be a JSON object"))
+    deadline_ms = document.get("deadline_ms")
+    if deadline_ms is not None:
+        if not isinstance(deadline_ms, (int, float)) or isinstance(
+            deadline_ms, bool
+        ) or deadline_ms <= 0:
+            raise _reject(
+                BadRequestError(
+                    f"'deadline_ms' must be a positive number, "
+                    f"got {deadline_ms!r}"
+                )
+            )
+        deadline_ms = float(deadline_ms)
+    return Request(
+        op=op, request_id=request_id, params=params, deadline_ms=deadline_ms
+    )
+
+
+# -- responses --------------------------------------------------------------
+
+
+def ok_response(
+    *, request_id: str, op: str, result: object
+) -> Dict[str, object]:
+    """A success response envelope (``op`` lets the client decode)."""
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": True,
+        "op": op,
+        "result": result,
+    }
+
+
+def error_response(
+    *, request_id: Optional[str], code: str, message: str
+) -> Dict[str, object]:
+    """An error response envelope (``request_id`` may be unknowable)."""
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+
+
+def encode_response(response: Dict[str, object]) -> bytes:
+    """Serialize one response line."""
+    return _encode_line(response)
+
+
+def decode_response(line: Union[str, bytes]) -> Dict[str, object]:
+    """Parse and shape-check one response line (client side).
+
+    Raises :class:`BadRequestError` when the server's line is not a
+    valid response envelope (a framing bug, not a typed service error —
+    those travel *inside* valid envelopes).
+    """
+    try:
+        document = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise BadRequestError(f"response is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict) or "ok" not in document:
+        raise BadRequestError("response is not a protocol envelope")
+    if document.get("v") != PROTOCOL_VERSION:
+        raise UnsupportedVersionError(
+            f"response speaks protocol version {document.get('v')!r}, "
+            f"this client speaks v{PROTOCOL_VERSION}"
+        )
+    return document
+
+
+# -- result payload codecs --------------------------------------------------
+#
+# Payload "kind" discriminators, so a response is self-describing even
+# when archived apart from its request.
+
+_KIND_HIL = "hil_result"
+_KIND_HIL_LIST = "hil_result_list"
+_KIND_PROFILE = "profile_report"
+_KIND_EVALUATIONS = "knob_evaluations"
+
+
+def hil_result_to_payload(result: HilResult) -> Dict[str, object]:
+    """A lossless JSON payload for one closed-loop trace.
+
+    Arrays serialize as JSON number lists; Python's float repr is the
+    shortest round-tripping form, so decoding reproduces every float64
+    bit-for-bit.  The ephemeral ``profile`` stats ride along when
+    present (they are observability data and not part of the
+    bit-identity contract).
+    """
+    payload: Dict[str, object] = {
+        "kind": _KIND_HIL,
+        "time_s": result.time_s.tolist(),
+        "s": result.s.tolist(),
+        "lateral_offset": result.lateral_offset.tolist(),
+        "y_l_true": result.y_l_true.tolist(),
+        "steering": result.steering.tolist(),
+        "speed": result.speed.tolist(),
+        "cycles": [asdict(cycle) for cycle in result.cycles],
+        "crashed": bool(result.crashed),
+        "crash_s": result.crash_s,
+        "completed": bool(result.completed),
+        "manifest": result.manifest,
+    }
+    if result.profile is not None:
+        payload["profile"] = {
+            label: asdict(stats) for label, stats in result.profile.items()
+        }
+    return payload
+
+
+def hil_result_from_payload(payload: Dict[str, object]) -> HilResult:
+    """Inverse of :func:`hil_result_to_payload` (bit-identical)."""
+    profile = payload.get("profile")
+    crash_s = payload.get("crash_s")
+    return HilResult(
+        time_s=np.asarray(payload["time_s"], dtype=np.float64),
+        s=np.asarray(payload["s"], dtype=np.float64),
+        lateral_offset=np.asarray(payload["lateral_offset"], dtype=np.float64),
+        y_l_true=np.asarray(payload["y_l_true"], dtype=np.float64),
+        steering=np.asarray(payload["steering"], dtype=np.float64),
+        speed=np.asarray(payload["speed"], dtype=np.float64),
+        cycles=[
+            CycleRecord(
+                **{
+                    **cycle,
+                    "invoked": tuple(cycle.get("invoked", ())),
+                    "faults": tuple(cycle.get("faults", ())),
+                }
+            )
+            for cycle in payload.get("cycles", ())
+        ],
+        crashed=bool(payload.get("crashed", False)),
+        crash_s=None if crash_s is None else float(crash_s),
+        completed=bool(payload.get("completed", False)),
+        profile=(
+            None
+            if profile is None
+            else {
+                label: StageStats(**stats) for label, stats in profile.items()
+            }
+        ),
+        manifest=payload.get("manifest"),
+    )
+
+
+def _evaluations_to_payload(evaluations: Sequence[object]) -> Dict[str, object]:
+    return {
+        "kind": _KIND_EVALUATIONS,
+        "evaluations": [asdict(evaluation) for evaluation in evaluations],
+    }
+
+
+def _evaluations_from_payload(payload: Dict[str, object]) -> List[object]:
+    from repro.core.characterization import KnobEvaluation
+    from repro.core.knobs import KnobSetting
+
+    return [
+        KnobEvaluation(
+            knobs=KnobSetting(**entry["knobs"]),
+            mae=float(entry["mae"]),
+            crashed=bool(entry["crashed"]),
+            period_ms=float(entry["period_ms"]),
+            delay_ms=float(entry["delay_ms"]),
+        )
+        for entry in payload.get("evaluations", ())
+    ]
+
+
+def work_result_to_payload(op: str, *, result: object) -> Dict[str, object]:
+    """Serialize a work operation's return value (worker side).
+
+    Dispatches on *op*: ``simulate``/``inject`` produce a
+    :class:`HilResult` (or a seed-order list for a Monte-Carlo batch),
+    ``profile`` a :class:`repro.api.ProfileReport`, ``characterize`` a
+    ranked :class:`~repro.core.characterization.KnobEvaluation` list.
+    """
+    if op in (OP_SIMULATE, OP_INJECT):
+        if isinstance(result, HilResult):
+            return hil_result_to_payload(result)
+        return {
+            "kind": _KIND_HIL_LIST,
+            "results": [hil_result_to_payload(item) for item in result],
+        }
+    if op == OP_PROFILE:
+        return {
+            "kind": _KIND_PROFILE,
+            "result": hil_result_to_payload(result.result),
+            "modeled_ms": dict(result.modeled_ms),
+        }
+    if op == OP_CHARACTERIZE:
+        return _evaluations_to_payload(result)
+    raise UnknownOperationError(f"op {op!r} has no result payload codec")
+
+
+def work_result_from_payload(payload: Dict[str, object]) -> object:
+    """Rebuild the rich result object from a payload (client side).
+
+    Control-operation results (plain JSON objects without a ``kind``
+    discriminator) pass through unchanged.
+    """
+    if not isinstance(payload, dict):
+        return payload
+    kind = payload.get("kind")
+    if kind == _KIND_HIL:
+        return hil_result_from_payload(payload)
+    if kind == _KIND_HIL_LIST:
+        return [
+            hil_result_from_payload(item) for item in payload.get("results", ())
+        ]
+    if kind == _KIND_PROFILE:
+        from repro.api import ProfileReport
+
+        return ProfileReport(
+            result=hil_result_from_payload(payload["result"]),
+            modeled_ms=dict(payload.get("modeled_ms", {})),
+        )
+    if kind == _KIND_EVALUATIONS:
+        return _evaluations_from_payload(payload)
+    return payload

@@ -188,10 +188,11 @@ class TestWindowKeywordUnification:
         )
         assert manager.invocation_window_ms == 200.0
 
-    def test_window_ms_warns_and_forwards(self):
-        with pytest.warns(DeprecationWarning, match="window_ms"):
-            manager = ReconfigurationManager(case_config("variable"), window_ms=250.0)
-        assert manager.invocation_window_ms == 250.0
+    def test_window_ms_shim_removed(self):
+        # Deprecated in 1.1.0 with a DeprecationWarning shim, removed in
+        # 1.3.0: the old spelling is now an ordinary unknown keyword.
+        with pytest.raises(TypeError, match="window_ms"):
+            ReconfigurationManager(case_config("variable"), window_ms=250.0)
 
     def test_config_keyword_reaches_manager(self):
         track = static_situation_track(situation_by_index(1), length=70.0)

@@ -1,5 +1,7 @@
 """CLI smoke tests: argument parsing, exit codes, and output shape for
-``python -m repro run / profile / inject / lint --project / graph``.
+``python -m repro run / profile / inject / lint --project / graph /
+request``, plus the uniform bad-input contract (exit 2, one stderr
+line) shared by every command.
 
 Each executing test uses the small test frame (192x96) and a short
 track so the whole module stays tier-1 fast; the per-rule lint
@@ -195,6 +197,63 @@ class TestInjectCommand:
         captured = capsys.readouterr()
         assert code == 2
         assert "unknown fault plan preset" in captured.err
+
+
+class TestRequestCommand:
+    def test_request_health_and_simulate_round_trip(self, tmp_path, capsys):
+        from repro.service.server import ServerThread
+
+        with ServerThread(
+            socket_path=str(tmp_path / "svc.sock"), workers=1
+        ) as thread:
+            socket_args = ["--socket", thread.connect_kwargs["socket"]]
+            code = main(["request", "health", *socket_args])
+            health_out = capsys.readouterr().out
+            params = json.dumps(
+                {"seed": 7, "length_m": 40.0, "frame": [96, 48]}
+            )
+            code_sim = main(
+                ["request", "simulate", "--params", params, *socket_args]
+            )
+            sim_out = capsys.readouterr().out
+        assert code == 0 and "status" in health_out
+        assert code_sim == 0 and "completed" in sim_out and "MAE" in sim_out
+
+    def test_params_must_be_a_json_object(self, capsys):
+        code = main(["request", "simulate", "--params", "[1,2]",
+                     "--socket", "irrelevant.sock"])
+        assert code == 2
+        assert "JSON object" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# the uniform bad-input contract: exit 2, one line on stderr
+
+
+class TestBadInputExitsTwo:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["run", "--length", "-5", *FRAME_ARGS],
+            ["characterize", "--situation", "99"],
+            ["trace", "/nonexistent/trace.jsonl", "--show"],
+            ["request", "health", "--socket", "/nonexistent/svc.sock"],
+        ],
+        ids=["run", "characterize", "trace", "request"],
+    )
+    def test_bad_user_input_exits_two_with_one_stderr_line(
+        self, argv, capsys
+    ):
+        # Every command funnels user-input defects (ValueError,
+        # ServiceError, OSError) through the same handler in main():
+        # exit code 2 and exactly one "repro <command>: ..." line on
+        # stderr, never a traceback.
+        code = main(argv)
+        captured = capsys.readouterr()
+        assert code == 2
+        lines = captured.err.strip().splitlines()
+        assert len(lines) == 1
+        assert lines[0].startswith(f"repro {argv[0]}: ")
 
 
 # ---------------------------------------------------------------------------
