@@ -62,11 +62,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         frame=args.frame,
         profile=args.profile,
         telemetry=args.telemetry,
+        cache=args.cache,
     )
     status = "CRASHED" if result.crashed else "completed"
     print(f"{args.case} on '{_describe_situation(args.situation)}': {status}")
     print(f"MAE = {result.mae(skip_time_s=2.0) * 100:.2f} cm over "
           f"{result.duration_s():.1f} s")
+    if result.manifest is not None:
+        # The config hash identifies the run semantics; execution
+        # strategy knobs (REPRO_BATCH, jobs) never change it.
+        print(f"config hash {result.manifest['config_hash']} "
+              f"(repro {result.manifest['package_version']})")
     if args.telemetry:
         print(f"telemetry trace written to {args.telemetry}")
     if result.profile:
@@ -153,7 +159,8 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     from repro.api import characterize
 
     evaluations = characterize(
-        situation=args.situation, jobs=args.jobs, batch=args.batch
+        situation=args.situation, jobs=args.jobs, batch=args.batch,
+        cache=args.cache,
     )
     print(f"{_describe_situation(args.situation)}:")
     for ev in evaluations:
@@ -162,6 +169,28 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
             f"  {ev.knobs.isp} {ev.knobs.roi} v={ev.knobs.speed_kmph:.0f} "
             f"-> {status} (h={ev.period_ms:.0f}, tau={ev.delay_ms:.1f})"
         )
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.cache import RolloutCache
+
+    store = RolloutCache(args.dir)
+    if args.clear:
+        removed = store.clear()
+        print(f"removed {removed} cached rollouts from {store.root}")
+        return 0
+    if args.verify:
+        checked, problems = store.verify()
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        verdict = "OK" if not problems else f"{len(problems)} problem(s)"
+        print(f"verified {checked} cached rollouts under {store.root}: {verdict}")
+        return 2 if problems else 0
+    entries = store.entries()
+    print(f"store    {store.root}")
+    print(f"entries  {len(entries)}")
+    print(f"bytes    {store.total_bytes()}")
     return 0
 
 
@@ -515,6 +544,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--telemetry", metavar="PATH", default=None,
                        help="record the run's telemetry event stream "
                             "to this JSONL file")
+    p_run.add_argument("--cache", metavar="auto|off|PATH", default=None,
+                       help="rollout result cache: 'auto' (default store), "
+                            "'off' (default), or an explicit store root; "
+                            "a hit is bit-identical to rerunning")
     p_run.set_defaults(func=_cmd_run)
 
     p_prof = sub.add_parser(
@@ -569,7 +602,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="lock-step rollout lanes per worker (0 or 'auto' sizes the "
         "chunk from the grid; default: $REPRO_BATCH or auto)",
     )
+    p_char.add_argument(
+        "--cache",
+        metavar="auto|off|PATH",
+        default=None,
+        help="rollout result cache: 'auto' (default), 'off', or an "
+        "explicit store root; warm sweeps reuse cached rollouts",
+    )
     p_char.set_defaults(func=_cmd_characterize)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect/maintain the rollout result cache"
+    )
+    mode = p_cache.add_mutually_exclusive_group()
+    mode.add_argument("--stats", action="store_true",
+                      help="print store location and size (the default)")
+    mode.add_argument("--clear", action="store_true",
+                      help="delete every cached rollout")
+    mode.add_argument("--verify", action="store_true",
+                      help="re-hash every entry against its embedded key "
+                           "document; exit 2 on any mismatch")
+    p_cache.add_argument("--dir", default=None, metavar="PATH",
+                         help="explicit store root "
+                              "(default: <cache dir>/rollouts)")
+    p_cache.set_defaults(func=_cmd_cache)
 
     p_train = sub.add_parser("train", help="train the situation classifiers")
     p_train.add_argument("--no-cache", action="store_true")

@@ -33,6 +33,10 @@ once into a :class:`ProjectGraph` and runs the *project rules* over it:
   must name their event through the registered schema constants of
   :mod:`repro.telemetry.events`, never a string literal: literals
   bypass the schema registry, so typos become silently-unknown events.
+- ``CAC001`` cache-key-construction — ``config_hash`` may only be
+  called from the sanctioned key modules; an ad-hoc hash built anywhere
+  else would mint a second address for the same rollout and silently
+  split the content-addressed cache (see :mod:`repro.cache.keys`).
 
 Run via ``python -m repro lint --project`` or ``python -m repro graph``.
 """
@@ -78,6 +82,15 @@ _RNG_EXEMPT_SUFFIX = "utils/rng.py"
 #: Files exempt from OBS001: the schema registry itself (its constants
 #: ARE the literals) and the recorder that validates against it.
 _TELEMETRY_EXEMPT_SUFFIXES = ("telemetry/events.py", "telemetry/recorder.py")
+
+#: Files allowed to call ``config_hash`` (CAC001): its home module, the
+#: manifest builder (whose hash IS the run-identity field), and the
+#: rollout key module — the single sanctioned key constructor.
+_CACHE_KEY_EXEMPT_SUFFIXES = (
+    "utils/cache.py",
+    "telemetry/manifest.py",
+    "cache/keys.py",
+)
 
 
 @dataclass(frozen=True)
@@ -869,6 +882,49 @@ class TelemetryEventRule(ProjectRule):
         return findings
 
 
+class CacheKeyConstructionRule(ProjectRule):
+    """CAC001: rollout cache keys built outside the sanctioned modules.
+
+    The whole point of a content-addressed store is that one rollout
+    has exactly one address.  ``repro.cache.keys`` is the single
+    constructor of that address; a stray ``config_hash(...)`` call in a
+    consumer (facade, sweep runner, service) would mint a second,
+    subtly different key for the same inputs — entries written under
+    one spelling and looked up under the other never hit, which is a
+    silent full-recompute, not an error.  Only the hash's home module,
+    the manifest builder and the key module itself may call it.
+    """
+
+    id = "CAC001"
+    name = "cache-key-construction"
+    severity = SEVERITY_ERROR
+    description = (
+        "cache keys must be built via repro.cache.keys; ad-hoc "
+        "config_hash calls split the content-addressed store"
+    )
+
+    def check(self, project: ProjectGraph, config) -> List[Finding]:
+        findings: List[Finding] = []
+        for name in sorted(project.modules):
+            info = project.modules[name]
+            if info.path.endswith(_CACHE_KEY_EXEMPT_SUFFIXES):
+                continue
+            for call in info.calls:
+                if call.dotted.rpartition(".")[2] != "config_hash":
+                    continue
+                findings.append(
+                    self.finding(
+                        info.path,
+                        call.line,
+                        call.col,
+                        f"{call.dotted}(...) builds a cache key outside "
+                        "repro.cache.keys; use rollout_key_document / "
+                        "rollout_key so one rollout has one address",
+                    )
+                )
+        return findings
+
+
 #: All project rule classes in id order; instantiated per run.
 PROJECT_RULES: Tuple[type, ...] = (
     ApiLockfileRule,
@@ -878,6 +934,7 @@ PROJECT_RULES: Tuple[type, ...] = (
     TelemetryEventRule,
     AliasedRandomRule,
     StreamCollisionRule,
+    CacheKeyConstructionRule,
 )
 
 

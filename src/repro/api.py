@@ -132,6 +132,21 @@ def _build_config(
     return replace(base, **overrides)
 
 
+def _resolve_rollout_cache(
+    cache: Union[str, Path, None], cfg: Optional[HilConfig]
+):
+    """The rollout store for this call, or ``None`` when caching is off.
+
+    Profiled runs bypass the cache outright: profiling is the point of
+    the run, and a cached result carries no measured stats.
+    """
+    if cache is None or (cfg is not None and cfg.profile):
+        return None
+    from repro.cache import resolve_cache
+
+    return resolve_cache(cache)
+
+
 def simulate(
     *,
     situation: Union[int, Situation] = 1,
@@ -147,6 +162,7 @@ def simulate(
     profile: bool = False,
     telemetry: Union[str, Path, None] = None,
     batch: Union[int, str, None] = None,
+    cache: Union[str, Path, None] = None,
     config: Optional[HilConfig] = None,
 ) -> Union[HilResult, list[HilResult]]:
     """Run one closed-loop HiL simulation and return its trace.
@@ -206,6 +222,17 @@ def simulate(
         int > ``$REPRO_BATCH`` > ``"auto"``/``None`` (see
         :func:`repro.utils.parallel.resolve_batch`).  Ignored for a
         single seed.
+    cache:
+        Rollout result cache (see :mod:`repro.cache`): ``None``/
+        ``"off"`` disable it, ``"auto"`` uses the default store under
+        the cache dir, a path uses an explicit store root.  A hit
+        returns a :class:`HilResult` bit-identical to the rerun it
+        replaces (the stored manifest keeps the *original* run's
+        wall-clock).  Profiled runs, ``telemetry=`` runs and
+        non-spec-string identifiers always run live, and
+        ``REPRO_NO_CACHE=1`` disables caching globally.  For a seed
+        sequence the lookup is per lane: a batch with partial hits
+        only simulates the misses.
     config:
         Base :class:`HilConfig`; the keywords above override it field
         by field.
@@ -227,6 +254,21 @@ def simulate(
             _build_config(config, s, frame, profile, faults, mitigate)
             for s in seeds
         ]
+        store = _resolve_rollout_cache(cache, configs[0] if configs else None)
+        documents = None
+        if store is not None:
+            from repro.cache import rollout_key_document
+
+            documents = [
+                rollout_key_document(
+                    track=resolved_track,
+                    case=case,
+                    table=table,
+                    identifier=identifier,
+                    config=cfg,
+                )
+                for cfg in configs
+            ]
         lanes = resolve_batch(batch, len(seeds))
         results: list[HilResult] = []
         for start in range(0, len(seeds), lanes):
@@ -240,14 +282,42 @@ def simulate(
                 )
                 for cfg in configs[start : start + lanes]
             ]
-            results.extend(BatchedHilEngine(engines).run())
+            results.extend(
+                BatchedHilEngine(
+                    engines,
+                    cache=store,
+                    cache_documents=(
+                        documents[start : start + lanes]
+                        if documents is not None
+                        else None
+                    ),
+                ).run()
+            )
         return results
     cfg = _build_config(config, seed, frame, profile, faults, mitigate)
+    store = None if telemetry is not None else _resolve_rollout_cache(cache, cfg)
+    document = None
+    if store is not None:
+        from repro.cache import rollout_key_document
+
+        document = rollout_key_document(
+            track=resolved_track,
+            case=case,
+            table=table,
+            identifier=identifier,
+            config=cfg,
+        )
+        hit = store.load(document)
+        if hit is not None:
+            return hit
     engine = HilEngine(
         resolved_track, case, table=table, identifier=identifier, config=cfg
     )
     if telemetry is None:
-        return engine.run()
+        result = engine.run()
+        if store is not None:
+            store.store(document, result)
+        return result
     from repro.telemetry import TelemetryRecorder, activated, write_trace
 
     with activated(TelemetryRecorder()) as recorder:
@@ -265,6 +335,7 @@ def characterize(
     verbose: bool = False,
     jobs: Optional[int] = None,
     batch: Union[int, str, None] = None,
+    cache: Union[str, Path, None] = None,
 ) -> Union[Dict[Situation, KnobSetting], list[KnobEvaluation]]:
     """Design-time knob characterization (the Table III sweep).
 
@@ -272,11 +343,15 @@ def characterize(
     ranked list of knob evaluations for that situation is returned —
     the per-row view the CLI prints.  Otherwise the situation -> best
     knob table is built for ``situations`` (default: all of Table III),
-    using the on-disk artifact cache unless ``use_cache=False``.
+    reusing cached rollouts unless ``use_cache=False``.
     ``jobs`` fans independent evaluations across a process pool;
     ``batch`` sizes the lock-step lane chunk each worker advances
     through the batched rollout engine (explicit int > ``$REPRO_BATCH``
-    > ``"auto"``).  Results are bit-identical for any ``(jobs, batch)``.
+    > ``"auto"``).  Results are bit-identical for any ``(jobs, batch)``
+    and for any cache state (hits load results byte-equal to reruns).
+    ``cache`` overrides the store selection like ``simulate``'s
+    keyword: ``"auto"`` (the ``use_cache=True`` default), ``"off"``,
+    or an explicit store root.
     """
     from repro.core.characterization import (
         CharacterizationConfig,
@@ -290,7 +365,8 @@ def characterize(
     cfg = config if config is not None else CharacterizationConfig()
     if situation is not None:
         return characterize_situation(
-            _coerce_situation(situation), cfg, jobs=jobs, batch=batch
+            _coerce_situation(situation), cfg, jobs=jobs, batch=batch,
+            cache=cache if cache is not None else ("auto" if use_cache else None),
         )
     resolved = (
         tuple(_coerce_situation(s) for s in situations)
@@ -299,7 +375,7 @@ def characterize(
     )
     return characterize_table(
         resolved, cfg, use_cache=use_cache, verbose=verbose, jobs=jobs,
-        batch=batch,
+        batch=batch, cache=cache,
     )
 
 

@@ -1,0 +1,331 @@
+"""Sharded, concurrency-safe on-disk store for whole rollouts.
+
+Entries live under ``root/<k[:2]>/<k[2:4]>/<k>.npz`` where ``k`` is the
+content address from :func:`repro.cache.keys.rollout_key`; two-level
+hash-prefix sharding keeps directory fan-out bounded for large sweeps.
+Each entry is the exact archive :meth:`repro.hil.record.HilResult.save`
+writes — arrays, cycle records and the telemetry manifest — plus an
+embedded copy of the key document, so :meth:`RolloutCache.verify` can
+re-hash any entry without knowing how it was produced.
+
+Writes are atomic (``mkstemp`` + :func:`os.replace`, the
+``ArtifactCache`` pattern), so concurrent writers of one key each
+replace the entry wholesale and readers never observe a torn file.  A
+corrupt or truncated entry behaves like a miss.  Loads refresh the
+entry's mtime, and stores evict least-recently-used entries past the
+size bound (``REPRO_CACHE_MAX_MB``, default 4 GiB).
+
+``REPRO_NO_CACHE=1`` disables every store, and ``REPRO_CACHE_DIR``
+relocates the default root, exactly as for ``ArtifactCache``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.cache.keys import rollout_key
+from repro.utils.cache import _STALE_TMP_AGE_S, default_cache_dir
+
+__all__ = [
+    "CacheStats",
+    "RolloutCache",
+    "global_stats",
+    "resolve_cache",
+]
+
+_DEFAULT_MAX_BYTES = 4 * 1024**3
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store/eviction counters (process-wide or per store)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain dict (metrics/bench reporting)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+        }
+
+    def snapshot(self) -> "CacheStats":
+        """An independent copy of the current counters."""
+        return CacheStats(self.hits, self.misses, self.stores, self.evictions)
+
+    def since(self, earlier: "CacheStats") -> "CacheStats":
+        """Counter deltas relative to an *earlier* snapshot."""
+        return CacheStats(
+            self.hits - earlier.hits,
+            self.misses - earlier.misses,
+            self.stores - earlier.stores,
+            self.evictions - earlier.evictions,
+        )
+
+
+#: Process-wide tallies across every counting store (the service and the
+#: benchmarks read deltas of this to report hit/miss rates).
+_GLOBAL_STATS = CacheStats()
+
+
+def global_stats() -> CacheStats:
+    """The process-wide cache counters (mutated by counting stores)."""
+    return _GLOBAL_STATS
+
+
+#: npz members np.load may fail on for a corrupt/truncated entry.
+_LOAD_ERRORS = (OSError, ValueError, KeyError, zipfile.BadZipFile)
+
+
+class RolloutCache:
+    """Content-addressed store of :class:`~repro.hil.record.HilResult`.
+
+    Parameters
+    ----------
+    root:
+        Store directory; default ``<cache dir>/rollouts``.
+    max_bytes:
+        LRU size bound; default ``$REPRO_CACHE_MAX_MB`` MiB or 4 GiB.
+    enabled:
+        Force-enable/disable; defaults to honouring ``REPRO_NO_CACHE``.
+    count_global:
+        Whether this store's hits/misses also tally into
+        :func:`global_stats`.  Pool workers pass ``False`` so the
+        parent, which re-derives their outcomes, stays the single
+        authority on sweep-wide counters for any worker count.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path, None] = None,
+        *,
+        max_bytes: Optional[int] = None,
+        enabled: Optional[bool] = None,
+        count_global: bool = True,
+    ):
+        if enabled is None:
+            enabled = os.environ.get("REPRO_NO_CACHE", "0") != "1"
+        if max_bytes is None:
+            env = os.environ.get("REPRO_CACHE_MAX_MB")
+            max_bytes = (
+                int(float(env) * 1024**2) if env else _DEFAULT_MAX_BYTES
+            )
+        self.root = Path(root) if root is not None else default_cache_dir() / "rollouts"
+        self.max_bytes = max_bytes
+        self.enabled = enabled
+        self.stats = CacheStats()
+        self._count_global = count_global
+
+    # -- key -> path -----------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        """Sharded entry path for a content address."""
+        return self.root / key[:2] / key[2:4] / f"{key}.npz"
+
+    def entries(self) -> List[Path]:
+        """Every stored entry, sorted by path (stable for tests/CLI)."""
+        if not self.root.exists():
+            return []
+        return sorted(self.root.glob("*/*/*.npz"))
+
+    def total_bytes(self) -> int:
+        """Bytes currently held by the store (0 if the root is absent)."""
+        total = 0
+        for path in self.entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    # -- stats -----------------------------------------------------------
+
+    def record(self, *, hits: int = 0, misses: int = 0) -> None:
+        """Tally outcomes observed elsewhere (parent-side accounting).
+
+        The sweep runner's pool workers read through the store but do
+        not count (their process-local counters would die with the
+        pool); the parent calls this once per outcome instead.
+        """
+        self.stats.hits += hits
+        self.stats.misses += misses
+        if self._count_global:
+            _GLOBAL_STATS.hits += hits
+            _GLOBAL_STATS.misses += misses
+
+    def _count(self, field: str) -> None:
+        setattr(self.stats, field, getattr(self.stats, field) + 1)
+        if self._count_global:
+            setattr(_GLOBAL_STATS, field, getattr(_GLOBAL_STATS, field) + 1)
+
+    # -- load / store ----------------------------------------------------
+
+    def load(self, document: Optional[Dict[str, object]]):
+        """The cached result for a key document, or ``None`` on a miss.
+
+        ``document=None`` (an uncacheable rollout) is a silent miss
+        without counters — there is nothing such a rollout could ever
+        hit.  Corrupt entries behave like misses.  A hit refreshes the
+        entry's mtime, making eviction least-recently-*used*.
+        """
+        if not self.enabled or document is None:
+            return None
+        from repro.hil.record import HilResult
+
+        path = self.path_for(rollout_key(document))
+        if not path.exists():
+            self._count("misses")
+            return None
+        try:
+            result = HilResult.load(path)
+        except _LOAD_ERRORS:
+            self._count("misses")
+            return None
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        self._count("hits")
+        return result
+
+    def store(self, document: Optional[Dict[str, object]], result) -> Optional[Path]:
+        """Atomically persist *result* under its key document's address.
+
+        Returns the entry path, or ``None`` when the store is disabled
+        or the rollout is uncacheable.  The canonical JSON of the key
+        document is embedded in the archive for :meth:`verify`.
+        """
+        if not self.enabled or document is None:
+            return None
+        key = rollout_key(document)
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._sweep_tmp(max_age_s=_STALE_TMP_AGE_S)
+        result.save(
+            path,
+            extra_json={
+                "cache_key_json": json.dumps(document, sort_keys=True)
+            },
+        )
+        self._count("stores")
+        self._evict(protect=path)
+        return path
+
+    # -- maintenance -----------------------------------------------------
+
+    def _evict(self, protect: Optional[Path] = None) -> int:
+        """Drop least-recently-used entries until under the size bound."""
+        total = 0
+        aged: List[Tuple[float, int, Path]] = []
+        for path in self.entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            total += stat.st_size
+            aged.append((stat.st_mtime, stat.st_size, path))
+        evicted = 0
+        aged.sort()
+        for mtime, size, path in aged:
+            if total <= self.max_bytes:
+                break
+            if protect is not None and path == protect:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+            self._count("evictions")
+        return evicted
+
+    def _sweep_tmp(self, max_age_s: float) -> int:
+        """Unlink stale ``*.npz.tmp`` files anywhere under the root.
+
+        Same contract as ``ArtifactCache._sweep_tmp``, extended over the
+        shard directories: young temp files may belong to a concurrent
+        writer mid-flight and are left alone.
+        """
+        if not self.root.exists():
+            return 0
+        now = time.time()
+        swept = 0
+        for tmp in self.root.glob("**/*.npz.tmp"):
+            try:
+                if now - tmp.stat().st_mtime >= max_age_s:
+                    tmp.unlink()
+                    swept += 1
+            except OSError:
+                continue
+        return swept
+
+    def clear(self) -> int:
+        """Delete every entry (and stale temp files); return the count."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+        self._sweep_tmp(max_age_s=0.0)
+        return removed
+
+    def verify(self) -> Tuple[int, List[str]]:
+        """Re-hash every entry against its embedded key document.
+
+        Returns ``(checked, problems)``: an entry is a problem when it
+        is unreadable, lacks an embedded key, re-hashes to a different
+        address than its file name, or sits in the wrong shard.  An
+        empty ``problems`` list means the store is self-consistent.
+        """
+        problems: List[str] = []
+        checked = 0
+        for path in self.entries():
+            checked += 1
+            try:
+                with np.load(path, allow_pickle=False) as data:
+                    if "cache_key_json" not in data.files:
+                        problems.append(f"{path}: no embedded cache key")
+                        continue
+                    document = json.loads(str(data["cache_key_json"][()]))
+            except _LOAD_ERRORS as exc:
+                problems.append(f"{path}: unreadable ({exc})")
+                continue
+            key = rollout_key(document)
+            if self.path_for(key) != path:
+                problems.append(
+                    f"{path}: content hashes to {key} "
+                    f"(expected at {self.path_for(key)})"
+                )
+        return checked, problems
+
+
+def resolve_cache(
+    cache: Union[str, Path, None], *, count_global: bool = True
+) -> Optional[RolloutCache]:
+    """Map the facade's ``cache=`` keyword to a store (or ``None``).
+
+    ``None``/``"off"`` disable caching; ``"auto"`` uses the default
+    root; any other string or path is an explicit store root.
+    ``REPRO_NO_CACHE=1`` wins over everything and yields ``None``.
+    """
+    if cache is None or cache == "off":
+        return None
+    root = None if cache == "auto" else Path(cache)
+    store = RolloutCache(root, count_global=count_global)
+    return store if store.enabled else None

@@ -34,19 +34,29 @@ its serial evaluation — the resulting table does not depend on
 auto (:func:`repro.utils.parallel.resolve_batch`); ``batch=1`` takes
 the original per-task code path.
 
-Results are cached on disk (`~/.cache/repro/characterization`) keyed by
-the sweep configuration; only the parent process writes the cache.
+Every closed-loop rollout reads through the content-addressed rollout
+store (:mod:`repro.cache`) when caching is on: pool workers look
+entries up (and report hits/misses home), but only the parent process
+writes fresh results back — the write path never fans out.  Prescreen
+bad-rate vectors are small derived artifacts and use a plain
+``ArtifactCache`` namespace, parent-side only.
 """
 
 from __future__ import annotations
 
-import json
 import logging
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.cache import (
+    RolloutCache,
+    kernel_identity_tag,
+    resolve_cache,
+    rollout_key_document,
+)
 from repro.core.cases import case_config
 from repro.core.knobs import KnobSetting
 from repro.core.situation import RoadLayout, Situation, TABLE3_SITUATIONS
@@ -54,7 +64,6 @@ from repro.isp.configs import ISP_CONFIGS
 from repro.perception.evaluation import evaluate_sequence, evaluate_sequence_batch
 from repro.platform.profiles import isp_runtime_ms
 from repro.sim.camera import CameraModel
-from repro.telemetry import build_manifest
 from repro.utils.cache import ArtifactCache
 from repro.utils.parallel import (
     TaskFailure,
@@ -153,13 +162,35 @@ class _PrescreenTask:
 
 @dataclass(frozen=True)
 class _KnobTask:
-    """One closed-loop evaluation (situation x ISP x ROI x speed)."""
+    """One closed-loop evaluation (situation x ISP x ROI x speed).
+
+    ``cache_root`` travels inside the spec (not the environment: forked
+    workers inherit the parent env as of *pool creation*, which may
+    predate the sweep).  ``None`` disables the worker's read-through.
+    """
 
     situation: Situation
     isp: str
     roi: str
     speed_kmph: float
     config: CharacterizationConfig
+    cache_root: Optional[str] = None
+
+
+@dataclass
+class _KnobOutcome:
+    """What one knob evaluation sends back to the parent.
+
+    ``document`` is the rollout's cache-key document (``None`` when
+    caching is off); ``result`` is the freshly simulated
+    :class:`~repro.hil.record.HilResult` for the parent to write back —
+    ``None`` on a cache hit, so a hit is recognizable as
+    ``document and not result``.
+    """
+
+    evaluation: KnobEvaluation
+    document: Optional[Dict[str, object]] = None
+    result: Optional[object] = None
 
 
 def _prescreen_worker(task: _PrescreenTask) -> float:
@@ -177,7 +208,35 @@ def _prescreen_worker(task: _PrescreenTask) -> float:
     return stats.bad_frame_rate()
 
 
-def _knob_worker(task: _KnobTask) -> KnobEvaluation:
+def _worker_store(cache_root: Optional[str]) -> Optional[RolloutCache]:
+    """A read-through store for a worker, or ``None`` (caching off).
+
+    Workers never tally the process-wide counters: their processes die
+    with the pool, so the parent re-derives hits/misses from the
+    outcomes instead (identical for any worker count).
+    """
+    if not cache_root:
+        return None
+    return RolloutCache(cache_root, enabled=True, count_global=False)
+
+
+def _evaluate_result(knobs: KnobSetting, case, result) -> KnobEvaluation:
+    """The :class:`KnobEvaluation` a rollout trace implies.
+
+    Pure function of the (byte-exact) trace, so a cache hit scores
+    identically to the run it replaced.
+    """
+    timing = knobs.timing(case.classifier_budget(), dynamic_isp=True)
+    return KnobEvaluation(
+        knobs=knobs,
+        mae=result.mae(skip_time_s=2.0),
+        crashed=result.crashed,
+        period_ms=timing.period_ms,
+        delay_ms=timing.delay_ms,
+    )
+
+
+def _knob_worker(task: _KnobTask) -> _KnobOutcome:
     """Closed-loop QoC of one knob setting in one situation."""
     # Imported here: the HiL engine composes the whole system, and a
     # module-level import would make repro.core depend on repro.hil
@@ -189,24 +248,32 @@ def _knob_worker(task: _KnobTask) -> KnobEvaluation:
     case = case_config("case4")
     knobs = KnobSetting(isp=task.isp, roi=task.roi, speed_kmph=task.speed_kmph)
     track = static_situation_track(task.situation, length=config.track_length)
+    hil_config = HilConfig(
+        seed=config.seed,
+        frame_width=config.frame_width,
+        frame_height=config.frame_height,
+    )
+    document = None
+    store = _worker_store(task.cache_root)
+    if store is not None:
+        document = rollout_key_document(
+            track=track,
+            case=case,
+            table={task.situation: knobs},
+            identifier=None,
+            config=hil_config,
+        )
+        cached = store.load(document)
+        if cached is not None:
+            return _KnobOutcome(_evaluate_result(knobs, case, cached), document)
     engine = HilEngine(
-        track,
-        case,
-        table={task.situation: knobs},
-        config=HilConfig(
-            seed=config.seed,
-            frame_width=config.frame_width,
-            frame_height=config.frame_height,
-        ),
+        track, case, table={task.situation: knobs}, config=hil_config
     )
     result = engine.run()
-    timing = knobs.timing(case.classifier_budget(), dynamic_isp=True)
-    return KnobEvaluation(
-        knobs=knobs,
-        mae=result.mae(skip_time_s=2.0),
-        crashed=result.crashed,
-        period_ms=timing.period_ms,
-        delay_ms=timing.delay_ms,
+    return _KnobOutcome(
+        _evaluate_result(knobs, case, result),
+        document,
+        result if document is not None else None,
     )
 
 
@@ -241,13 +308,15 @@ def _prescreen_chunk_worker(chunk: _PrescreenChunk) -> Tuple[float, ...]:
     return tuple(s.bad_frame_rate() for s in stats)
 
 
-def _knob_chunk_worker(chunk: _KnobChunk) -> Tuple[KnobEvaluation, ...]:
+def _knob_chunk_worker(chunk: _KnobChunk) -> Tuple[_KnobOutcome, ...]:
     """Closed-loop QoC of a lane chunk of knob settings, lock-step.
 
     All tasks in a chunk share one situation, so the lanes share one
     track object (the construction is deterministic — a shared instance
     is bit-identical to per-lane copies) and the batched engine can
-    group their render calls.
+    group their render calls.  Cached lanes drop out before the batch
+    is built — only the misses are rolled — which stays bit-identical
+    because lanes are independent.
     """
     from repro.hil.batch import BatchedHilEngine
     from repro.hil.engine import HilConfig, HilEngine
@@ -259,37 +328,52 @@ def _knob_chunk_worker(chunk: _KnobChunk) -> Tuple[KnobEvaluation, ...]:
     situation = chunk.tasks[0].situation
     case = case_config("case4")
     track = static_situation_track(situation, length=config.track_length)
+    hil_config = HilConfig(
+        seed=config.seed,
+        frame_width=config.frame_width,
+        frame_height=config.frame_height,
+    )
     knob_settings = [
         KnobSetting(isp=task.isp, roi=task.roi, speed_kmph=task.speed_kmph)
         for task in chunk.tasks
     ]
-    engines = [
-        HilEngine(
-            track,
-            case,
-            table={situation: knobs},
-            config=HilConfig(
-                seed=config.seed,
-                frame_width=config.frame_width,
-                frame_height=config.frame_height,
-            ),
-        )
-        for knobs in knob_settings
-    ]
-    results = BatchedHilEngine(engines).run()
-    evaluations = []
-    for knobs, result in zip(knob_settings, results):
-        timing = knobs.timing(case.classifier_budget(), dynamic_isp=True)
-        evaluations.append(
-            KnobEvaluation(
-                knobs=knobs,
-                mae=result.mae(skip_time_s=2.0),
-                crashed=result.crashed,
-                period_ms=timing.period_ms,
-                delay_ms=timing.delay_ms,
+    documents: List[Optional[Dict[str, object]]] = [None] * len(knob_settings)
+    results: List[Optional[object]] = [None] * len(knob_settings)
+    store = _worker_store(chunk.tasks[0].cache_root)
+    if store is not None:
+        documents = [
+            rollout_key_document(
+                track=track,
+                case=case,
+                table={situation: knobs},
+                identifier=None,
+                config=hil_config,
             )
+            for knobs in knob_settings
+        ]
+        results = [store.load(document) for document in documents]
+    live = [i for i, result in enumerate(results) if result is None]
+    if live:
+        engines = [
+            HilEngine(
+                track,
+                case,
+                table={situation: knob_settings[i]},
+                config=hil_config,
+            )
+            for i in live
+        ]
+        for i, result in zip(live, BatchedHilEngine(engines).run()):
+            results[i] = result
+    live_set = set(live)
+    return tuple(
+        _KnobOutcome(
+            _evaluate_result(knobs, case, result),
+            documents[i],
+            result if i in live_set and documents[i] is not None else None,
         )
-    return tuple(evaluations)
+        for i, (knobs, result) in enumerate(zip(knob_settings, results))
+    )
 
 
 def _chunked(items: Sequence, size: int) -> List[tuple]:
@@ -301,32 +385,96 @@ def _knob_tasks(
     situation: Situation,
     isp_candidates: Sequence[str],
     config: CharacterizationConfig,
+    cache_root: Optional[str] = None,
 ) -> List[_KnobTask]:
     """The flat closed-loop work list for one situation, in sweep order."""
     return [
-        _KnobTask(situation, isp, roi, speed, config)
+        _KnobTask(situation, isp, roi, speed, config, cache_root)
         for isp in isp_candidates
         for roi in roi_candidates(situation)
         for speed in config.speeds_kmph
     ]
 
 
-def _collect_evaluations(
-    results: Sequence[Union[KnobEvaluation, TaskFailure]],
+def _collect_outcomes(
+    results: Sequence[Union[_KnobOutcome, TaskFailure]],
     situation: Situation,
-) -> List[KnobEvaluation]:
+) -> List[_KnobOutcome]:
     """Drop failed tasks (already logged by the runner); require one hit."""
-    evaluations = [r for r in results if not isinstance(r, TaskFailure)]
-    if not evaluations:
+    outcomes = [r for r in results if not isinstance(r, TaskFailure)]
+    if not outcomes:
         raise RuntimeError(
             f"every knob evaluation failed for situation "
             f"'{situation.describe()}'"
         )
-    return evaluations
+    return outcomes
+
+
+def _absorb_outcomes(
+    store: Optional[RolloutCache],
+    outcomes: Sequence[Union[_KnobOutcome, TaskFailure]],
+) -> None:
+    """Parent-only write-back plus sweep-wide hit/miss accounting.
+
+    Workers read through the store but never write; every fresh rollout
+    arrives here exactly once (submission order), so each key is stored
+    once per sweep — there is no duplicate recompute to race on.
+    """
+    if store is None:
+        return
+    hits = misses = 0
+    for outcome in outcomes:
+        if isinstance(outcome, TaskFailure) or outcome.document is None:
+            continue
+        if outcome.result is None:
+            hits += 1
+        else:
+            misses += 1
+            store.store(outcome.document, outcome.result)
+    store.record(hits=hits, misses=misses)
 
 
 # ---------------------------------------------------------------------------
 # sweep drivers
+
+
+def _prescreen_key(
+    situation: Situation, config: CharacterizationConfig
+) -> Dict[str, object]:
+    """Cache key for one situation's prescreen bad-rate vector."""
+    return {
+        "situation": situation.to_config(),
+        "config": config.to_config(),
+        "kernel": kernel_identity_tag(),
+    }
+
+
+def _load_prescreen(
+    cache: ArtifactCache, situation: Situation, config: CharacterizationConfig
+) -> Optional[List[Tuple[str, float]]]:
+    """The cached (isp, bad_rate) list for a situation, or ``None``."""
+    cached = cache.load(_prescreen_key(situation, config))
+    if cached is None or "rates" not in cached:
+        return None
+    rates = cached["rates"]
+    if len(rates) != len(config.isp_names):
+        return None
+    return [
+        (isp, float(rate)) for isp, rate in zip(config.isp_names, rates)
+    ]
+
+
+def _store_prescreen(
+    cache: ArtifactCache,
+    situation: Situation,
+    config: CharacterizationConfig,
+    prescreen: Sequence[Tuple[str, float]],
+) -> None:
+    """Persist a situation's prescreen bad-rate vector (parent only)."""
+    cache.store(
+        _prescreen_key(situation, config),
+        {"rates": np.array([rate for _, rate in prescreen], dtype=float)},
+    )
 
 
 def prescreen_isp(
@@ -334,6 +482,7 @@ def prescreen_isp(
     config: CharacterizationConfig,
     jobs: Optional[int] = None,
     batch: Union[int, str, None] = None,
+    use_cache: bool = False,
 ) -> List[Tuple[str, float]]:
     """Frame-level detectability of each ISP config: (name, bad_rate).
 
@@ -341,8 +490,15 @@ def prescreen_isp(
     (bad rate 1.0) so the sweep continues on the survivors.  ``batch``
     groups up to that many ISP configs per worker into one lock-step
     evaluation sharing the rendered sequence (bit-identical per lane;
-    a failed chunk marks all its lanes undetectable).
+    a failed chunk marks all its lanes undetectable).  ``use_cache``
+    reuses the per-situation bad-rate vector from the artifact cache
+    (float64 round-trips exactly, so cached and fresh prescreens select
+    the same ISP candidates).
     """
+    cache = ArtifactCache("prescreen", enabled=use_cache)
+    cached = _load_prescreen(cache, situation, config)
+    if cached is not None:
+        return cached
     n_jobs = resolve_jobs(jobs)
     lanes = resolve_batch(batch, len(config.isp_names), n_jobs)
     if lanes <= 1:
@@ -362,10 +518,12 @@ def prescreen_isp(
                 rates.extend([result] * len(chunk.isps))
             else:
                 rates.extend(result)
-    return [
+    prescreen = [
         (isp, 1.0 if isinstance(rate, TaskFailure) else rate)
         for isp, rate in zip(config.isp_names, rates)
     ]
+    _store_prescreen(cache, situation, config, prescreen)
+    return prescreen
 
 
 def _select_isp_candidates(
@@ -392,7 +550,7 @@ def _run_knob_tasks(
     tasks: Sequence[_KnobTask],
     n_jobs: int,
     batch: Union[int, str, None],
-) -> List[Union[KnobEvaluation, TaskFailure]]:
+) -> List[Union[_KnobOutcome, TaskFailure]]:
     """Evaluate a flat knob-task list, chunked into lock-step lanes.
 
     Chunks never span situations (their lanes share one track), and the
@@ -417,7 +575,7 @@ def _run_knob_tasks(
     chunk_results = parallel_map(
         _knob_chunk_worker, chunks, jobs=n_jobs, label="characterize"
     )
-    flat: List[Union[KnobEvaluation, TaskFailure]] = [None] * len(tasks)  # type: ignore[list-item]
+    flat: List[Union[_KnobOutcome, TaskFailure]] = [None] * len(tasks)  # type: ignore[list-item]
     for group, result in zip(index_chunks, chunk_results):
         for lane, i in enumerate(group):
             if isinstance(result, TaskFailure):
@@ -432,6 +590,7 @@ def characterize_situation(
     config: CharacterizationConfig = CharacterizationConfig(),
     jobs: Optional[int] = None,
     batch: Union[int, str, None] = None,
+    cache: Union[str, Path, None] = None,
 ) -> List[KnobEvaluation]:
     """Run the sweep for one situation; results sorted best first.
 
@@ -439,13 +598,29 @@ def characterize_situation(
     (see :mod:`repro.utils.parallel`), ``batch`` sizes the lock-step
     lane chunks each worker advances through the batched rollout
     engine; the returned ranking is bit-identical for any combination.
+    ``cache`` selects the rollout store (``"auto"``/``"off"``/path as
+    for :func:`repro.api.simulate`; default off): workers read cached
+    rollouts through it, fresh rollouts are written back by this
+    (parent) process only, and the ranking is the same for any cache
+    state because hits are byte-equal to reruns.
     """
     n_jobs = resolve_jobs(jobs)
-    prescreen = prescreen_isp(situation, config, jobs=n_jobs, batch=batch)
+    store = resolve_cache(cache)
+    prescreen = prescreen_isp(
+        situation, config, jobs=n_jobs, batch=batch,
+        use_cache=store is not None,
+    )
     isp_candidates = _select_isp_candidates(prescreen, config)
-    tasks = _knob_tasks(situation, isp_candidates, config)
+    tasks = _knob_tasks(
+        situation,
+        isp_candidates,
+        config,
+        cache_root=str(store.root) if store is not None else None,
+    )
     results = _run_knob_tasks(tasks, n_jobs, batch)
-    evaluations = _collect_evaluations(results, situation)
+    outcomes = _collect_outcomes(results, situation)
+    _absorb_outcomes(store, outcomes)
+    evaluations = [outcome.evaluation for outcome in outcomes]
     evaluations.sort(key=KnobEvaluation.sort_key)
     return _tie_break_by_speed(evaluations, config.tie_tolerance)
 
@@ -482,10 +657,11 @@ def characterize(
     verbose: bool = False,
     jobs: Optional[int] = None,
     batch: Union[int, str, None] = None,
+    cache: Union[str, Path, None] = None,
 ) -> Dict[Situation, KnobSetting]:
     """Build the situation -> best-knob table (the Table III artifact).
 
-    The sweep is flattened across *all* uncached situations — first the
+    The sweep is flattened across *all* situations — first the
     prescreen grid (situation x ISP), then the closed-loop grid
     (situation x ISP candidate x ROI x speed) — and fanned out with
     :func:`repro.utils.parallel.parallel_map`, so a multi-situation
@@ -494,75 +670,92 @@ def characterize(
     chunk each worker advances in one batched rollout.  The result is
     bit-identical to the serial path (``jobs=1``, ``batch=1``) for any
     ``(jobs, batch)`` composition.
+
+    With caching on (``use_cache=True``, the default) every closed-loop
+    rollout reads through the content-addressed rollout store
+    (:mod:`repro.cache`) — workers look entries up, only this parent
+    process writes fresh results back — and each situation's prescreen
+    bad-rate vector is reused from the artifact cache.  A warm sweep
+    therefore recomputes nothing, and returns the same table because
+    cache hits are byte-equal to the reruns they replace.  ``cache``
+    overrides the store selection (``"auto"``/``"off"``/explicit root);
+    by default ``use_cache`` picks ``"auto"`` or ``"off"``.
     """
     n_jobs = resolve_jobs(jobs)
-    cache = ArtifactCache("characterization", enabled=use_cache)
+    if cache is None:
+        cache = "auto" if use_cache else None
+    store = resolve_cache(cache)
+    pre_cache = ArtifactCache("prescreen", enabled=store is not None)
     table: Dict[Situation, KnobSetting] = {}
-    keys: Dict[Situation, Dict[str, object]] = {}
-    misses: List[Situation] = []
+
+    # Phase 1: flat prescreen grid over the situations without a cached
+    # bad-rate vector.
+    prescreens: Dict[Situation, List[Tuple[str, float]]] = {}
+    pending: List[Situation] = []
     for situation in situations:
-        key = {"situation": situation.to_config(), "config": config.to_config()}
-        keys[situation] = key
-        cached = cache.load(key)
+        cached = _load_prescreen(pre_cache, situation, config)
         if cached is not None:
-            table[situation] = KnobSetting(
-                isp=str(cached["isp"][()]),
-                roi=str(cached["roi"][()]),
-                speed_kmph=float(cached["speed"][()]),
-            )
-            continue
-        misses.append(situation)
-    if not misses:
-        return table
-
-    # Phase 1: flat prescreen grid over every uncached situation.
+            prescreens[situation] = cached
+        else:
+            pending.append(situation)
     n_isp = len(config.isp_names)
-    lanes = resolve_batch(batch, n_isp * len(misses), n_jobs)
-    if lanes <= 1:
-        prescreen_tasks = [
-            _PrescreenTask(situation, isp, config)
-            for situation in misses
-            for isp in config.isp_names
-        ]
-        rates = parallel_map(
-            _prescreen_worker, prescreen_tasks, jobs=n_jobs, label="prescreen"
-        )
-    else:
-        prescreen_chunks = [
-            _PrescreenChunk(situation, isps, config)
-            for situation in misses
-            for isps in _chunked(config.isp_names, lanes)
-        ]
-        chunk_rates = parallel_map(
-            _prescreen_chunk_worker, prescreen_chunks, jobs=n_jobs, label="prescreen"
-        )
-        rates = []
-        for chunk, result in zip(prescreen_chunks, chunk_rates):
-            if isinstance(result, TaskFailure):
-                rates.extend([result] * len(chunk.isps))
-            else:
-                rates.extend(result)
-    candidates: Dict[Situation, List[str]] = {}
-    for i, situation in enumerate(misses):
-        chunk = rates[i * n_isp : (i + 1) * n_isp]
-        prescreen = [
-            (isp, 1.0 if isinstance(rate, TaskFailure) else rate)
-            for isp, rate in zip(config.isp_names, chunk)
-        ]
-        candidates[situation] = _select_isp_candidates(prescreen, config)
+    if pending:
+        lanes = resolve_batch(batch, n_isp * len(pending), n_jobs)
+        if lanes <= 1:
+            prescreen_tasks = [
+                _PrescreenTask(situation, isp, config)
+                for situation in pending
+                for isp in config.isp_names
+            ]
+            rates = parallel_map(
+                _prescreen_worker, prescreen_tasks, jobs=n_jobs, label="prescreen"
+            )
+        else:
+            prescreen_chunks = [
+                _PrescreenChunk(situation, isps, config)
+                for situation in pending
+                for isps in _chunked(config.isp_names, lanes)
+            ]
+            chunk_rates = parallel_map(
+                _prescreen_chunk_worker, prescreen_chunks, jobs=n_jobs, label="prescreen"
+            )
+            rates = []
+            for chunk, result in zip(prescreen_chunks, chunk_rates):
+                if isinstance(result, TaskFailure):
+                    rates.extend([result] * len(chunk.isps))
+                else:
+                    rates.extend(result)
+        for i, situation in enumerate(pending):
+            chunk = rates[i * n_isp : (i + 1) * n_isp]
+            prescreen = [
+                (isp, 1.0 if isinstance(rate, TaskFailure) else rate)
+                for isp, rate in zip(config.isp_names, chunk)
+            ]
+            prescreens[situation] = prescreen
+            _store_prescreen(pre_cache, situation, config, prescreen)
+    candidates: Dict[Situation, List[str]] = {
+        situation: _select_isp_candidates(prescreens[situation], config)
+        for situation in situations
+    }
 
-    # Phase 2: flat closed-loop grid (situation x ISP x ROI x speed).
+    # Phase 2: flat closed-loop grid (situation x ISP x ROI x speed),
+    # read through the rollout store.
+    cache_root = str(store.root) if store is not None else None
     flat_tasks: List[_KnobTask] = []
     spans: Dict[Situation, Tuple[int, int]] = {}
-    for situation in misses:
-        tasks = _knob_tasks(situation, candidates[situation], config)
+    for situation in situations:
+        tasks = _knob_tasks(
+            situation, candidates[situation], config, cache_root=cache_root
+        )
         spans[situation] = (len(flat_tasks), len(flat_tasks) + len(tasks))
         flat_tasks.extend(tasks)
     results = _run_knob_tasks(flat_tasks, n_jobs, batch)
+    _absorb_outcomes(store, results)
 
-    for situation in misses:
+    for situation in situations:
         start, end = spans[situation]
-        evaluations = _collect_evaluations(results[start:end], situation)
+        outcomes = _collect_outcomes(results[start:end], situation)
+        evaluations = [outcome.evaluation for outcome in outcomes]
         evaluations.sort(key=KnobEvaluation.sort_key)
         evaluations = _tie_break_by_speed(evaluations, config.tie_tolerance)
         best = evaluations[0]
@@ -577,19 +770,4 @@ def characterize(
                 best.crashed,
             )
         table[situation] = best.knobs
-        cache.store(
-            keys[situation],
-            {
-                "isp": np.array(best.knobs.isp),
-                "roi": np.array(best.knobs.roi),
-                "speed": np.array(best.knobs.speed_kmph),
-                "mae": np.array(best.mae),
-                "crashed": np.array(best.crashed),
-                # Provenance manifest: the same shape HilResult.save
-                # persists, keyed on this artifact's cache identity.
-                "manifest_json": np.array(
-                    json.dumps(build_manifest(config=keys[situation]))
-                ),
-            },
-        )
     return table

@@ -111,12 +111,41 @@ class BatchedHilEngine:
     instances across lanes is what unlocks the batched kernels, but
     none of it is required — unshared lanes fall back to their serial
     kernels and stay bit-identical either way.
+
+    ``cache``/``cache_documents`` enable per-lane result reuse: before
+    simulating, each lane with a key document is looked up in the store
+    (duck-typed: any object with ``load(document)``/``store(document,
+    result)``, normally a :class:`repro.cache.RolloutCache`) and only
+    the misses are rolled — a batch with partial hits shrinks to its
+    live lanes, which stay bit-identical because lanes are independent.
+    Fresh results are written back unless ``cache_write=False`` (the
+    sweep runner's pool workers read through but leave writing to the
+    parent process).
     """
 
-    def __init__(self, engines: Sequence[HilEngine]):
+    def __init__(
+        self,
+        engines: Sequence[HilEngine],
+        *,
+        cache=None,
+        cache_documents: Optional[Sequence[Optional[dict]]] = None,
+        cache_write: bool = True,
+    ):
         if not engines:
             raise ValueError("BatchedHilEngine needs at least one engine")
         self.engines = list(engines)
+        if cache_documents is not None and len(cache_documents) != len(
+            self.engines
+        ):
+            raise ValueError(
+                f"expected {len(self.engines)} cache documents, "
+                f"got {len(cache_documents)}"
+            )
+        self.cache = cache
+        self.cache_documents = (
+            list(cache_documents) if cache_documents is not None else None
+        )
+        self.cache_write = cache_write
 
     @staticmethod
     def _t_ms(lane: _Lane) -> float:
@@ -124,18 +153,42 @@ class BatchedHilEngine:
         return lane.step * lane.engine.config.sim_step_ms
 
     def run(self, start_s: float = 0.0) -> List[HilResult]:
-        """Simulate every lane from ``start_s``; results in lane order."""
+        """Simulate every lane from ``start_s``; results in lane order.
+
+        With a cache attached, cached lanes are loaded instead of
+        simulated and fresh lanes are written back (see the class
+        docstring); the returned list is indistinguishable from a
+        cache-less run.
+        """
+        if self.cache is None or self.cache_documents is None:
+            return self._run_lanes(self.engines, start_s)
+        results: List[Optional[HilResult]] = [
+            self.cache.load(document) for document in self.cache_documents
+        ]
+        live = [i for i, result in enumerate(results) if result is None]
+        if live:
+            fresh = self._run_lanes([self.engines[i] for i in live], start_s)
+            for i, result in zip(live, fresh):
+                results[i] = result
+                if self.cache_write:
+                    self.cache.store(self.cache_documents[i], result)
+        return results  # type: ignore[return-value]
+
+    def _run_lanes(
+        self, engines: Sequence[HilEngine], start_s: float
+    ) -> List[HilResult]:
+        """Simulate *engines* lock-step (the cache-less core of :meth:`run`)."""
         # Reuse an already-active profiler (REPRO_PROFILE=1); otherwise
         # any lane asking for profiling scopes one shared collector over
         # the whole batch (batched spans are whole-batch by nature).
         profiler = profiling.get_active()
         local_profiler = None
-        if profiler is None and any(e.config.profile for e in self.engines):
+        if profiler is None and any(e.config.profile for e in engines):
             profiler = local_profiler = profiling.Profiler()
             profiling.activate(local_profiler)
 
         lanes: List[_Lane] = []
-        for engine in self.engines:
+        for engine in engines:
             vehicle, n_steps = engine._start_run(start_s)
             lane = _Lane(engine=engine, vehicle=vehicle, n_steps=n_steps)
             lane.s_hint = start_s

@@ -129,7 +129,9 @@ class HilResult:
         """Distinct fault kinds seen across the run's cycles (sorted)."""
         return tuple(sorted({kind for c in self.cycles for kind in c.faults}))
 
-    def save(self, path: str) -> Path:
+    def save(
+        self, path: str, *, extra_json: Optional[Dict[str, str]] = None
+    ) -> Path:
         """Persist the trace to ``.npz`` (cycle records as JSON inside).
 
         Useful for offline analysis of long runs without re-simulating.
@@ -138,6 +140,11 @@ class HilResult:
         leaves a corrupt file at the returned path — which is always
         exactly the file written, with the ``.npz`` suffix applied up
         front rather than appended behind our back by ``np.savez``.
+
+        ``extra_json`` attaches additional JSON-string members to the
+        archive (e.g. the cache-key document :mod:`repro.cache` embeds
+        for ``verify``); :meth:`load` ignores members it does not know,
+        so extras never change the loaded result.
         """
         target = Path(path)
         if target.suffix != ".npz":
@@ -160,6 +167,10 @@ class HilResult:
         }
         if self.manifest is not None:
             payload["manifest_json"] = np.array(json.dumps(self.manifest))
+        for name, blob in (extra_json or {}).items():
+            if name in payload:
+                raise ValueError(f"extra_json key shadows a trace member: {name!r}")
+            payload[name] = np.array(blob)
         fd, tmp_name = tempfile.mkstemp(
             dir=str(target.parent), suffix=".npz.tmp"
         )

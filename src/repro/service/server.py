@@ -79,6 +79,7 @@ _ALLOWED_PARAMS: Dict[str, frozenset] = {
             "frame",
             "profile",
             "batch",
+            "cache",
         }
     ),
     protocol.OP_CHARACTERIZE: frozenset({"situation", "batch"}),
@@ -121,9 +122,21 @@ def _execute_request(op: str, params: Dict[str, object]) -> Dict[str, object]:
     if frame is not None:
         # JSON has no tuples; the facade wants (width, height).
         kwargs["frame"] = tuple(frame)
+    cache_delta = None
     try:
         if op == protocol.OP_SIMULATE:
-            result = repro.api.simulate(**kwargs)
+            if kwargs.get("cache") not in (None, "off"):
+                # The whole request runs in this worker, so a snapshot
+                # delta of the process-wide counters is exactly this
+                # request's cache activity; it rides back beside the
+                # payload for the event loop to fold into the metrics.
+                from repro.cache import global_stats
+
+                before = global_stats().snapshot()
+                result = repro.api.simulate(**kwargs)
+                cache_delta = global_stats().since(before)
+            else:
+                result = repro.api.simulate(**kwargs)
         elif op == protocol.OP_INJECT:
             result = repro.api.inject(**kwargs)
         elif op == protocol.OP_PROFILE:
@@ -142,7 +155,12 @@ def _execute_request(op: str, params: Dict[str, object]) -> Dict[str, object]:
         raise
     except (ValueError, TypeError) as exc:
         raise BadRequestError(f"{op} parameters rejected: {exc}") from None
-    return protocol.work_result_to_payload(op, result=result)
+    payload = protocol.work_result_to_payload(op, result=result)
+    if cache_delta is not None:
+        # Sidecar for the server's metrics, popped before the response
+        # is sent — the wire result payload is unchanged.
+        payload["cache_stats"] = cache_delta.as_dict()
+    return payload
 
 
 class _Connection:
@@ -556,6 +574,12 @@ class SensingServer:
             )
             return
         self._finish_slot()
+        cache_stats = payload.pop("cache_stats", None)
+        if cache_stats:
+            for name in ("hits", "misses", "stores", "evictions"):
+                amount = int(cache_stats.get(name, 0))
+                if amount:
+                    self.metrics.count(f"service.cache.{name}", amount)
         latency_ms = (loop.time() - started) * 1000.0
         self.metrics.count("service.completed")
         self.metrics.observe(f"service.latency_ms.{request.op}", latency_ms)

@@ -176,6 +176,25 @@ class Track:
 
     # -- queries ---------------------------------------------------------
 
+    def to_config(self) -> List[dict]:
+        """JSON-friendly geometry description (for cache hashing).
+
+        One entry per segment — exact start pose, length, curvature and
+        situation — so two tracks hash equal exactly when their
+        centerlines and sector situations are identical.  Floats pass
+        through ``repr`` round-trip-exact, keeping the hash faithful to
+        the geometry the engine actually simulates.
+        """
+        return [
+            {
+                "start": [seg.start.x, seg.start.y, seg.start.heading],
+                "length": seg.length,
+                "curvature": seg.curvature,
+                "situation": list(seg.situation.to_config()),
+            }
+            for seg in self.segments
+        ]
+
     @property
     def length(self) -> float:
         """Total arc length of the track."""

@@ -10,4 +10,4 @@ from __future__ import annotations
 
 __all__ = ["__version__"]
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"

@@ -548,7 +548,8 @@ def test_every_project_rule_is_registered_and_covered_here():
     # all_rules_by_id merges both registries without id collisions.
     merged = all_rules_by_id()
     assert set(project_rules_by_id()) == {
-        "API003", "ARC001", "ARC002", "DED001", "OBS001", "RNG002", "RNG003",
+        "API003", "ARC001", "ARC002", "CAC001", "DED001", "OBS001",
+        "RNG002", "RNG003",
     }
     assert set(rules_by_id()) | set(project_rules_by_id()) == set(merged)
     assert len(merged) == len(rules_by_id()) + len(project_rules_by_id())
@@ -777,6 +778,65 @@ def test_obs001_flags_literal_event_names(tmp_path):
     )
     clean = project_report(tmp_path, files, pyproject)
     assert clean.exit_code() == EXIT_CLEAN, clean.render_text()
+
+
+def test_cac001_flags_ad_hoc_cache_key_hashing(tmp_path):
+    files = {
+        "__init__.py": "",
+        "mod.py": (
+            "from pkg.utils.cache import config_hash\n"
+            'key = config_hash({"seed": 1})\n'
+        ),
+        "utils/__init__.py": "",
+        "utils/cache.py": "def config_hash(config):\n    return 'k'\n",
+    }
+    pyproject = '[tool.reprolint]\nselect = ["CAC001"]\n'
+    report = project_report(tmp_path, files, pyproject)
+    assert report.exit_code() == EXIT_FINDINGS
+    (finding,) = report.findings
+    assert finding.rule_id == "CAC001"
+    assert "repro.cache.keys" in finding.message
+
+    # Going through the sanctioned key constructor is clean.
+    files["mod.py"] = (
+        "from pkg.cache.keys import rollout_key, rollout_key_document\n"
+        "doc = rollout_key_document(track=None, case='case1')\n"
+        "key = rollout_key(doc)\n"
+    )
+    files["cache/__init__.py"] = ""
+    files["cache/keys.py"] = (
+        "from pkg.utils.cache import config_hash\n"
+        "def rollout_key_document(**kwargs):\n    return dict(kwargs)\n"
+        "def rollout_key(document):\n    return config_hash(document)\n"
+    )
+    clean = project_report(tmp_path, files, pyproject)
+    assert clean.exit_code() == EXIT_CLEAN, clean.render_text()
+
+
+def test_cac001_exempts_the_key_hash_and_manifest_modules(tmp_path):
+    # The hash's home module, the manifest builder and the key module
+    # are the three sanctioned call sites.
+    files = {
+        "__init__.py": "",
+        "utils/__init__.py": "",
+        "utils/cache.py": (
+            "def config_hash(config):\n    return 'k'\n"
+            "entry = config_hash({})\n"
+        ),
+        "telemetry/__init__.py": "",
+        "telemetry/manifest.py": (
+            "from pkg.utils.cache import config_hash\n"
+            "h = config_hash({})\n"
+        ),
+        "cache/__init__.py": "",
+        "cache/keys.py": (
+            "from pkg.utils.cache import config_hash\n"
+            "k = config_hash({})\n"
+        ),
+    }
+    pyproject = '[tool.reprolint]\nselect = ["CAC001"]\n'
+    report = project_report(tmp_path, files, pyproject)
+    assert report.exit_code() == EXIT_CLEAN, report.render_text()
 
 
 def test_obs001_exempts_the_schema_and_recorder_modules(tmp_path):

@@ -1,0 +1,334 @@
+"""Tests for the content-addressed rollout cache (repro.cache).
+
+Unit layer: sharded layout, LRU eviction, corruption-as-miss, the
+``verify`` self-check, and the ``resolve_cache`` keyword mapping.
+Integration layer: the multi-process stress (no torn files under
+concurrent writers), the parent-write-back guarantee (a warm sweep
+recomputes nothing), the stale ``.tmp`` sweep, the ``python -m repro
+cache`` maintenance CLI, and the ``$REPRO_BATCH`` config-hash
+regression — batching is an execution knob, never part of a rollout's
+identity.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+
+import numpy as np
+import pytest
+
+import repro.api
+from repro.__main__ import main
+from repro.cache import (
+    CacheStats,
+    RolloutCache,
+    global_stats,
+    kernel_identity_tag,
+    resolve_cache,
+    rollout_key,
+    rollout_key_document,
+)
+from repro.core.characterization import CharacterizationConfig, characterize_situation
+from repro.core.situation import situation_by_index
+from repro.hil.record import CycleRecord, HilResult
+
+QUICK = dict(situation=1, case="case1", seed=5, frame=(96, 48), length_m=40.0)
+
+#: Tiny sweep for the warm-pass recompute check (4 closed-loop tasks).
+TINY = CharacterizationConfig(
+    isp_names=("S0", "S7"),
+    speeds_kmph=(50.0,),
+    track_length=70.0,
+    prescreen_frames=6,
+    max_isp_candidates=2,
+    frame_width=192,
+    frame_height=96,
+    seed=5,
+)
+
+
+def tiny_result(entry: int) -> HilResult:
+    """A deterministic synthetic trace for store-level tests."""
+    n = 4 + entry % 3
+    base = np.arange(n, dtype=np.float64)
+    return HilResult(
+        time_s=base * 0.04,
+        s=base * 0.5 + entry,
+        lateral_offset=np.sin(base + entry),
+        y_l_true=np.cos(base + entry),
+        steering=base * 0.01,
+        speed=np.full(n, 50.0),
+        cycles=[
+            CycleRecord(
+                time_ms=0.0, s=0.0, active_isp="S0", roi="ROI 1",
+                speed_kmph=50.0, period_ms=40.0, delay_ms=36.0,
+                invoked=("isp",), measurement_valid=True,
+                y_l_measured=0.1, steering=0.0,
+            )
+        ],
+        completed=True,
+        manifest={"config_hash": f"{entry:024x}", "entry": entry},
+    )
+
+
+def tiny_document(entry: int) -> dict:
+    return {"schema": 1, "kernel": "test", "entry": entry}
+
+
+# ---------------------------------------------------------------------------
+# store unit behaviour
+
+
+class TestRolloutCacheStore:
+    def test_entries_are_sharded_two_levels(self, tmp_path):
+        store = RolloutCache(tmp_path, enabled=True)
+        path = store.store(tiny_document(1), tiny_result(1))
+        key = rollout_key(tiny_document(1))
+        assert path == tmp_path / key[:2] / key[2:4] / f"{key}.npz"
+        assert store.entries() == [path]
+
+    def test_round_trip_and_counters(self, tmp_path):
+        store = RolloutCache(tmp_path, enabled=True, count_global=False)
+        assert store.load(tiny_document(2)) is None
+        store.store(tiny_document(2), tiny_result(2))
+        loaded = store.load(tiny_document(2))
+        assert loaded is not None
+        expected = tiny_result(2)
+        assert loaded.time_s.tobytes() == expected.time_s.tobytes()
+        assert loaded.cycles == expected.cycles
+        assert loaded.manifest == expected.manifest
+        assert store.stats.as_dict() == {
+            "hits": 1, "misses": 1, "stores": 1, "evictions": 0,
+        }
+
+    def test_uncacheable_document_is_a_silent_noop(self, tmp_path):
+        store = RolloutCache(tmp_path, enabled=True, count_global=False)
+        assert store.load(None) is None
+        assert store.store(None, tiny_result(0)) is None
+        assert store.stats == CacheStats()
+
+    def test_corrupt_entry_is_a_miss_and_a_verify_problem(self, tmp_path):
+        store = RolloutCache(tmp_path, enabled=True, count_global=False)
+        path = store.store(tiny_document(3), tiny_result(3))
+        path.write_bytes(b"not an npz archive")
+        assert store.load(tiny_document(3)) is None
+        checked, problems = store.verify()
+        assert checked == 1 and len(problems) == 1
+        assert "unreadable" in problems[0]
+
+    def test_verify_catches_entry_in_wrong_shard(self, tmp_path):
+        store = RolloutCache(tmp_path, enabled=True, count_global=False)
+        path = store.store(tiny_document(4), tiny_result(4))
+        wrong = tmp_path / "zz" / "zz" / path.name
+        wrong.parent.mkdir(parents=True)
+        path.rename(wrong)
+        checked, problems = store.verify()
+        assert checked == 1 and len(problems) == 1
+        assert "hashes to" in problems[0]
+
+    def test_lru_eviction_protects_latest_store(self, tmp_path):
+        entry_size = 0
+        probe = RolloutCache(tmp_path / "probe", enabled=True)
+        entry_size = probe.store(tiny_document(0), tiny_result(0)).stat().st_size
+        store = RolloutCache(
+            tmp_path / "store", max_bytes=int(entry_size * 2.5), enabled=True,
+            count_global=False,
+        )
+        for entry in range(3):
+            store.store(tiny_document(entry), tiny_result(entry))
+            # mtime resolution can be coarse; keep the LRU order strict.
+            time.sleep(0.02)
+        assert len(store.entries()) == 2
+        assert store.stats.evictions == 1
+        assert store.load(tiny_document(0)) is None   # oldest evicted
+        assert store.load(tiny_document(2)) is not None  # newest protected
+
+    def test_clear_removes_everything(self, tmp_path):
+        store = RolloutCache(tmp_path, enabled=True, count_global=False)
+        for entry in range(3):
+            store.store(tiny_document(entry), tiny_result(entry))
+        assert store.clear() == 3
+        assert store.entries() == [] and store.total_bytes() == 0
+
+    def test_stale_tmp_is_swept_young_tmp_survives(self, tmp_path):
+        store = RolloutCache(tmp_path, enabled=True, count_global=False)
+        store.store(tiny_document(1), tiny_result(1))
+        shard = store.entries()[0].parent
+        stale = shard / "orphan.npz.tmp"
+        stale.write_bytes(b"dead writer")
+        os.utime(stale, (time.time() - 7200, time.time() - 7200))
+        young = shard / "inflight.npz.tmp"
+        young.write_bytes(b"live writer")
+        store.store(tiny_document(2), tiny_result(2))
+        assert not stale.exists()
+        assert young.exists()
+
+
+class TestResolveCache:
+    def test_off_and_none_disable(self):
+        assert resolve_cache(None) is None
+        assert resolve_cache("off") is None
+
+    def test_explicit_root(self, tmp_path):
+        store = resolve_cache(tmp_path / "mine")
+        assert store is not None and store.root == tmp_path / "mine"
+
+    def test_auto_uses_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        store = resolve_cache("auto")
+        assert store is not None and store.root == tmp_path / "rollouts"
+
+    def test_no_cache_env_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert resolve_cache(tmp_path / "store") is None
+        assert resolve_cache("auto") is None
+
+
+# ---------------------------------------------------------------------------
+# facade integration
+
+
+class TestFacadeCache:
+    def test_hit_is_byte_identical_including_manifest(self, tmp_path):
+        store = tmp_path / "store"
+        cold = repro.api.simulate(**QUICK, cache=store)
+        warm = repro.api.simulate(**QUICK, cache=store)
+        for field in ("time_s", "s", "lateral_offset", "y_l_true",
+                      "steering", "speed"):
+            assert getattr(cold, field).tobytes() == getattr(warm, field).tobytes()
+        assert cold.cycles == warm.cycles
+        # The stored manifest keeps the original run's wall clock, so
+        # the hit manifest is equal *including* the volatile fields.
+        assert cold.manifest == warm.manifest
+
+    def test_key_document_carries_the_kernel_identity(self):
+        from repro.hil.engine import HilConfig
+        from repro.sim import static_situation_track
+
+        track = static_situation_track(situation_by_index(1), length=40.0)
+        document = rollout_key_document(
+            track=track, case="case1", config=HilConfig()
+        )
+        assert document["kernel"] == kernel_identity_tag()
+        assert document["schema"] == 1
+
+
+# ---------------------------------------------------------------------------
+# concurrency stress
+
+_STRESS_ENTRIES = 12
+
+
+def _stress_worker(args):
+    """Interleave stores and loads of the full entry set in one store.
+
+    Every observed hit must decode to the entry's exact deterministic
+    bytes — a torn or partially visible file would fail the comparison
+    or crash the npz parser, both of which report as failures.
+    """
+    root, worker_seed = args
+    store = RolloutCache(root, enabled=True, count_global=False)
+    order = np.random.default_rng(worker_seed).permutation(_STRESS_ENTRIES)
+    failures = []
+    for raw in order:
+        entry = int(raw)
+        store.store(tiny_document(entry), tiny_result(entry))
+        loaded = store.load(tiny_document(entry))
+        if loaded is None:
+            failures.append(f"entry {entry}: miss right after store")
+            continue
+        expected = tiny_result(entry)
+        if (
+            loaded.time_s.tobytes() != expected.time_s.tobytes()
+            or loaded.manifest != expected.manifest
+        ):
+            failures.append(f"entry {entry}: torn or mixed content")
+    return failures
+
+
+class TestConcurrencyStress:
+    def test_parallel_writers_never_tear_entries(self, tmp_path):
+        root = tmp_path / "shared-store"
+        jobs = [(str(root), seed) for seed in range(4)]
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=4) as pool:
+            per_worker = pool.map(_stress_worker, jobs)
+        assert [f for fails in per_worker for f in fails] == []
+        store = RolloutCache(root, enabled=True, count_global=False)
+        assert len(store.entries()) == _STRESS_ENTRIES
+        checked, problems = store.verify()
+        assert checked == _STRESS_ENTRIES and problems == []
+        assert list(root.glob("**/*.tmp")) == []
+
+    def test_warm_sweep_recomputes_nothing(self, tmp_path):
+        """Parent-only write-back: a warm pooled sweep is all hits."""
+        situation = situation_by_index(1)
+        store_dir = tmp_path / "sweep-store"
+        before = global_stats().snapshot()
+        cold = characterize_situation(situation, TINY, jobs=2, cache=store_dir)
+        after_cold = global_stats().since(before)
+        assert after_cold.stores == after_cold.misses > 0
+        warm = characterize_situation(situation, TINY, jobs=2, cache=store_dir)
+        delta = global_stats().since(before).since(after_cold)
+        assert delta.stores == 0 and delta.misses == 0
+        assert delta.hits == after_cold.misses
+        assert [(e.knobs, e.mae) for e in warm] == [
+            (e.knobs, e.mae) for e in cold
+        ]
+
+
+# ---------------------------------------------------------------------------
+# CLI maintenance + the tier-1 verify hook
+
+
+class TestCacheCli:
+    def _populate(self, tmp_path):
+        root = tmp_path / "store"
+        repro.api.simulate(**QUICK, cache=root)
+        return root
+
+    def test_stats_and_verify_ok(self, tmp_path, capsys):
+        root = self._populate(tmp_path)
+        assert main(["cache", "--dir", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "entries  1" in out
+        assert main(["cache", "--verify", "--dir", str(root)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_fails_on_tampered_entry(self, tmp_path, capsys):
+        root = self._populate(tmp_path)
+        store = RolloutCache(root, enabled=True)
+        entry = store.entries()[0]
+        entry.rename(entry.with_name("0" * 24 + ".npz"))
+        assert main(["cache", "--verify", "--dir", str(root)]) == 2
+        captured = capsys.readouterr()
+        assert "problem" in captured.out
+        assert captured.err.strip() != ""
+
+    def test_clear(self, tmp_path, capsys):
+        root = self._populate(tmp_path)
+        assert main(["cache", "--clear", "--dir", str(root)]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert RolloutCache(root).entries() == []
+
+
+class TestBatchIndependentConfigHash:
+    def test_repro_batch_does_not_change_the_config_hash(
+        self, capsys, monkeypatch
+    ):
+        """Regression: $REPRO_BATCH is an execution knob, not identity."""
+        hashes = []
+        for lanes in ("1", "4"):
+            monkeypatch.setenv("REPRO_BATCH", lanes)
+            assert main([
+                "run", "--case", "case1", "--seed", "9",
+                "--length", "40", "--frame", "96x48",
+            ]) == 0
+            out = capsys.readouterr().out
+            line = [l for l in out.splitlines() if l.startswith("config hash ")]
+            assert line, f"no config-hash line in output: {out!r}"
+            hashes.append(line[0].split()[2])
+        assert hashes[0] == hashes[1]

@@ -10,7 +10,7 @@ from repro.core.characterization import (
     characterize_situation,
     prescreen_isp,
     roi_candidates,
-    _collect_evaluations,
+    _collect_outcomes,
     _select_isp_candidates,
 )
 from repro.core.situation import situation_by_index
@@ -128,12 +128,12 @@ class TestFailureCollection:
         situation = situation_by_index(1)
         failures = [TaskFailure(index=0, item=None, error="boom")]
         with pytest.raises(RuntimeError, match="every knob evaluation failed"):
-            _collect_evaluations(failures, situation)
+            _collect_outcomes(failures, situation)
 
     def test_partial_failure_keeps_survivors(self):
         situation = situation_by_index(1)
         survivor = object()
-        kept = _collect_evaluations(
+        kept = _collect_outcomes(
             [TaskFailure(index=0, item=None, error="boom"), survivor], situation
         )
         assert kept == [survivor]

@@ -1,0 +1,328 @@
+"""Property-based fuzz tests for the wire codecs and the rollout cache.
+
+Two codec families carry results between processes, and both promise
+bit-identity: the service wire protocol (:mod:`repro.service.protocol`)
+and the rollout cache key/entry layer (:mod:`repro.cache`).  These
+tests drive both with randomized-but-seeded payloads — NaN/inf floats,
+empty arrays, unicode op params — and assert the round trip is exact.
+The adversarial half feeds malformed envelopes to the decoders and
+requires a *typed* :class:`~repro.service.errors.ServiceError` every
+time: a traceback from a hostile line is a framing bug.
+
+Float equality here means bitwise for finite and infinite values;
+NaN payloads survive as NaN but JSON's ``NaN`` token canonicalizes the
+sign/payload bits, so NaN positions are compared as a mask.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import (
+    RolloutCache,
+    rollout_key,
+    rollout_key_document,
+)
+from repro.hil.record import CycleRecord, HilResult
+from repro.service import protocol
+from repro.service.errors import ServiceError
+
+# -- strategies -------------------------------------------------------------
+
+#: float64 payloads including NaN, +/-inf and signed zeros.
+wire_floats = st.floats(allow_nan=True, allow_infinity=True, width=64)
+
+#: Array payloads: empty through small 1-D float64.
+float_arrays = st.lists(wire_floats, min_size=0, max_size=8).map(
+    lambda values: np.asarray(values, dtype=np.float64)
+)
+
+#: Unicode as it appears in op params (identifiers, fault kinds, ...).
+unicode_text = st.text(min_size=0, max_size=20)
+
+#: Arbitrary JSON documents, for the adversarial envelope fuzz.
+json_documents = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**53), max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | unicode_text,
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(unicode_text, children, max_size=4),
+    max_leaves=12,
+)
+
+
+def assert_floats_equal(expected, actual, label):
+    """Bitwise equality for finite/inf entries, masked equality for NaN."""
+    expected = np.asarray(expected, dtype=np.float64)
+    actual = np.asarray(actual, dtype=np.float64)
+    assert expected.shape == actual.shape, f"{label}: shape differs"
+    exp_nan = np.isnan(expected)
+    act_nan = np.isnan(actual)
+    assert (exp_nan == act_nan).all(), f"{label}: NaN positions differ"
+    assert expected[~exp_nan].tobytes() == actual[~act_nan].tobytes(), (
+        f"{label}: non-NaN bits differ"
+    )
+
+
+def make_result(arrays, cycle_text, crashed, crash_s, manifest_text):
+    """A synthetic :class:`HilResult` from fuzzed parts."""
+    time_s, s, offset, y_l, steering, speed = arrays
+    cycles = [
+        CycleRecord(
+            time_ms=0.0,
+            s=0.0,
+            active_isp=cycle_text,
+            roi=cycle_text[::-1],
+            speed_kmph=50.0,
+            period_ms=40.0,
+            delay_ms=36.0,
+            invoked=(cycle_text,) if cycle_text else (),
+            measurement_valid=True,
+            y_l_measured=0.25,
+            steering=-0.125,
+            faults=(cycle_text,) if cycle_text else (),
+        )
+    ]
+    return HilResult(
+        time_s=time_s,
+        s=s,
+        lateral_offset=offset,
+        y_l_true=y_l,
+        steering=steering,
+        speed=speed,
+        cycles=cycles,
+        crashed=crashed,
+        crash_s=crash_s,
+        completed=not crashed,
+        manifest={"config_hash": "f" * 24, "note": manifest_text},
+    )
+
+
+result_strategy = st.builds(
+    make_result,
+    st.tuples(*[float_arrays] * 6),
+    unicode_text,
+    st.booleans(),
+    st.none() | st.floats(allow_nan=False, allow_infinity=False),
+    unicode_text,
+)
+
+
+# -- wire protocol round trips ----------------------------------------------
+
+
+class TestHilResultPayloadRoundTrip:
+    @given(result_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_payload_codec_is_lossless(self, result):
+        # Through the full wire framing, not just the payload dicts:
+        # encode -> bytes -> decode, as a served response travels.
+        payload = protocol.work_result_to_payload(
+            protocol.OP_SIMULATE, result=result
+        )
+        line = protocol.encode_response(
+            protocol.ok_response(request_id="f1", op=protocol.OP_SIMULATE,
+                                 result=payload)
+        )
+        envelope = protocol.decode_response(line)
+        decoded = protocol.work_result_from_payload(envelope["result"])
+        for field in ("time_s", "s", "lateral_offset", "y_l_true",
+                      "steering", "speed"):
+            assert_floats_equal(
+                getattr(result, field), getattr(decoded, field), field
+            )
+        assert decoded.cycles == result.cycles
+        assert decoded.crashed == result.crashed
+        assert decoded.crash_s == result.crash_s
+        assert decoded.completed == result.completed
+        assert decoded.manifest == result.manifest
+
+    @given(st.lists(result_strategy, min_size=0, max_size=3))
+    @settings(max_examples=15, deadline=None)
+    def test_result_list_payloads_keep_order(self, results):
+        payload = protocol.work_result_to_payload(
+            protocol.OP_SIMULATE, result=results
+        )
+        decoded = protocol.work_result_from_payload(
+            json.loads(protocol.encode_response(
+                protocol.ok_response(request_id="f2",
+                                     op=protocol.OP_SIMULATE, result=payload)
+            ))["result"]
+        )
+        assert len(decoded) == len(results)
+        for expected, actual in zip(results, decoded):
+            assert_floats_equal(expected.time_s, actual.time_s, "time_s")
+            assert actual.cycles == expected.cycles
+
+
+class TestRequestCodecRoundTrip:
+    @given(
+        st.sampled_from(sorted(protocol.ALL_OPS)),
+        st.text(min_size=1, max_size=24),
+        st.dictionaries(
+            st.text(min_size=1, max_size=12), json_documents, max_size=4
+        ),
+        st.none() | st.floats(min_value=0.001, max_value=1e6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_preserves_unicode_params(
+        self, op, request_id, params, deadline_ms
+    ):
+        line = protocol.encode_request(
+            op=op, request_id=request_id, params=params,
+            deadline_ms=deadline_ms,
+        )
+        request = protocol.decode_request(line)
+        assert request.op == op
+        assert request.request_id == request_id
+        assert request.params == params
+        if deadline_ms is None:
+            assert request.deadline_ms is None
+        else:
+            assert request.deadline_ms == pytest.approx(float(deadline_ms))
+
+
+class TestMalformedEnvelopes:
+    """Hostile bytes/documents must fail typed, never with a traceback."""
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=80, deadline=None)
+    def test_arbitrary_bytes_yield_service_errors(self, line):
+        with pytest.raises(ServiceError):
+            protocol.decode_request(line)
+        with pytest.raises(ServiceError):
+            protocol.decode_response(line)
+
+    @given(json_documents)
+    @settings(max_examples=80, deadline=None)
+    def test_arbitrary_json_yields_service_errors_or_requests(self, document):
+        line = json.dumps(document)
+        try:
+            request = protocol.decode_request(line)
+        except ServiceError:
+            return
+        # The only lines that parse are real envelopes.
+        assert request.op in protocol.ALL_OPS
+        assert isinstance(request.request_id, str) and request.request_id
+
+    @given(json_documents)
+    @settings(max_examples=80, deadline=None)
+    def test_mutated_envelopes_never_traceback(self, junk):
+        document = {"v": protocol.PROTOCOL_VERSION, "op": junk, "id": junk,
+                    "params": junk, "deadline_ms": junk}
+        try:
+            request = protocol.decode_request(json.dumps(document))
+        except ServiceError:
+            return
+        assert request.op in protocol.ALL_OPS
+
+
+# -- cache key + store properties -------------------------------------------
+
+
+def _make_document(situation_index, case, seed, width, height):
+    from repro.core.situation import situation_by_index
+    from repro.hil.engine import HilConfig
+    from repro.sim import static_situation_track
+
+    track = static_situation_track(
+        situation_by_index(situation_index), length=40.0
+    )
+    config = HilConfig(seed=seed, frame_width=width, frame_height=height)
+    return rollout_key_document(track=track, case=case, config=config)
+
+
+class TestCacheKeyProperties:
+    @given(
+        st.integers(min_value=1, max_value=21),
+        st.sampled_from(["case1", "case2", "case3", "case4"]),
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.integers(min_value=16, max_value=128),
+        st.integers(min_value=16, max_value=128),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_documents_are_pure_json_and_hash_stably(
+        self, situation_index, case, seed, width, height
+    ):
+        document = _make_document(situation_index, case, seed, width, height)
+        assert document is not None
+        # The exact invariant `cache --verify` relies on: the document
+        # survives a JSON round trip and re-hashes to the same address.
+        round_tripped = json.loads(json.dumps(document, sort_keys=True))
+        assert rollout_key(round_tripped) == rollout_key(document)
+
+    @given(
+        st.integers(min_value=1, max_value=21),
+        st.sampled_from(["case1", "case2", "case3", "case4"]),
+        st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_case_spellings_canonicalize_to_one_key(
+        self, situation_index, case, seed
+    ):
+        from repro.core.cases import case_config
+
+        by_name = _make_document(situation_index, case, seed, 96, 48)
+        by_instance_doc = _make_document(
+            situation_index, case_config(case), seed, 96, 48
+        )
+        assert rollout_key(by_name) == rollout_key(by_instance_doc)
+
+    @given(
+        st.integers(min_value=0, max_value=2**16),
+        st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_distinct_seeds_get_distinct_keys(self, seed_a, seed_b):
+        doc_a = _make_document(1, "case1", seed_a, 96, 48)
+        doc_b = _make_document(1, "case1", seed_b, 96, 48)
+        if seed_a == seed_b:
+            assert rollout_key(doc_a) == rollout_key(doc_b)
+        else:
+            assert rollout_key(doc_a) != rollout_key(doc_b)
+
+    def test_uncacheable_inputs_return_none(self):
+        from repro.core.reconfiguration import OracleIdentifier
+        from repro.core.situation import situation_by_index
+        from repro.hil.engine import HilConfig
+        from repro.sim import static_situation_track
+
+        track = static_situation_track(situation_by_index(1), length=40.0)
+        assert rollout_key_document(
+            track=track, case="case1", config=HilConfig(profile=True)
+        ) is None
+        assert rollout_key_document(
+            track=track, case="case1", identifier=OracleIdentifier()
+        ) is None
+        assert rollout_key_document(track=track, case=object()) is None
+
+
+class TestStoreRoundTripFuzz:
+    @given(result_strategy, st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_store_round_trip_is_bitwise(self, tmp_path_factory, result, nonce):
+        store = RolloutCache(
+            tmp_path_factory.mktemp("fuzz-store"),
+            enabled=True,
+            count_global=False,
+        )
+        document = {"schema": 1, "kernel": "fuzz", "nonce": nonce}
+        store.store(document, result)
+        loaded = store.load(document)
+        assert loaded is not None
+        for field in ("time_s", "s", "lateral_offset", "y_l_true",
+                      "steering", "speed"):
+            assert_floats_equal(
+                getattr(result, field), getattr(loaded, field), field
+            )
+        assert loaded.cycles == result.cycles
+        assert loaded.manifest == result.manifest
+        checked, problems = store.verify()
+        assert checked >= 1 and problems == []

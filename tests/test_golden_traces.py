@@ -1,0 +1,114 @@
+"""Golden-trace regression tests: replay the frozen corpus byte-for-byte.
+
+Each corpus entry (see :mod:`tests.golden_corpus`) pins one execution
+path — nominal serial, fault + mitigation, lock-step batched, served
+over the wire — against fixture files committed under ``tests/golden/``.
+A failure here means the simulation kernels changed behaviour: either a
+regression, or an intentional change that must bump the kernel-identity
+version *and* regenerate the corpus (``python tests/golden_corpus.py``).
+
+Result comparison is bitwise on every trace array (dtype, shape and raw
+buffer), exact on cycle records and crash flags, and exact on the run
+manifest minus its volatile wall-clock bounds.  Trace comparison goes
+through :func:`repro.telemetry.diff_traces`, so a mismatch fails with a
+readable line-by-line diff instead of a bare assert.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+import repro.api
+from repro.hil.record import HilResult
+from tests.golden_corpus import (
+    CORPUS,
+    npz_path,
+    reference_result,
+    serial_params,
+    trace_path,
+)
+
+#: HilResult array members compared bitwise.
+_ARRAY_FIELDS = (
+    "time_s",
+    "s",
+    "lateral_offset",
+    "y_l_true",
+    "steering",
+    "speed",
+)
+
+
+def _require_fixture(path):
+    if not path.exists():
+        pytest.fail(
+            f"golden fixture missing: {path} "
+            "(regenerate with `PYTHONPATH=src python tests/golden_corpus.py`)"
+        )
+
+
+def assert_results_byte_equal(expected: HilResult, actual: HilResult, label: str):
+    for field in _ARRAY_FIELDS:
+        exp = getattr(expected, field)
+        act = getattr(actual, field)
+        assert exp.dtype == act.dtype, f"{label}: {field} dtype {exp.dtype} != {act.dtype}"
+        assert exp.shape == act.shape, f"{label}: {field} shape {exp.shape} != {act.shape}"
+        if exp.tobytes() != act.tobytes():
+            first = int(np.flatnonzero(np.asarray(exp) != np.asarray(act))[0])
+            pytest.fail(
+                f"{label}: {field} differs from the golden trace at index "
+                f"{first}: {exp[first]!r} != {act[first]!r}"
+            )
+    assert expected.crashed == actual.crashed, f"{label}: crashed flag differs"
+    assert expected.crash_s == actual.crash_s, f"{label}: crash_s differs"
+    assert expected.completed == actual.completed, f"{label}: completed flag differs"
+    exp_cycles = [dataclasses.asdict(c) for c in expected.cycles]
+    act_cycles = [dataclasses.asdict(c) for c in actual.cycles]
+    assert len(exp_cycles) == len(act_cycles), (
+        f"{label}: cycle count {len(exp_cycles)} != {len(act_cycles)}"
+    )
+    for index, (ec, ac) in enumerate(zip(exp_cycles, act_cycles)):
+        assert ec == ac, f"{label}: cycle {index} differs: {ec} != {ac}"
+    exp_manifest = dict(expected.manifest or {})
+    act_manifest = dict(actual.manifest or {})
+    exp_manifest.pop("wall_clock", None)
+    act_manifest.pop("wall_clock", None)
+    assert exp_manifest == act_manifest, (
+        f"{label}: manifest differs (minus wall_clock): "
+        f"{exp_manifest} != {act_manifest}"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(CORPUS))
+def test_golden_result_replays_byte_identical(name):
+    _require_fixture(npz_path(name))
+    expected = HilResult.load(str(npz_path(name)))
+    actual = reference_result(name)
+    assert_results_byte_equal(expected, actual, label=name)
+
+
+@pytest.mark.parametrize("name", sorted(CORPUS))
+def test_golden_trace_replays_equal(name, tmp_path):
+    _require_fixture(trace_path(name))
+    replay = tmp_path / f"{name}.trace.jsonl"
+    repro.api.simulate(**serial_params(name), telemetry=replay)
+    differences = repro.api.diff_traces(a=trace_path(name), b=replay)
+    assert not differences, (
+        f"{name}: telemetry trace diverged from the golden fixture "
+        f"({len(differences)} difference(s)):\n" + "\n".join(differences)
+    )
+
+
+def test_golden_hit_is_byte_identical_to_cold_run(tmp_path):
+    """A cache hit replays the golden entry exactly (the tentpole invariant)."""
+    name = "nominal"
+    _require_fixture(npz_path(name))
+    expected = HilResult.load(str(npz_path(name)))
+    store = tmp_path / "store"
+    cold = repro.api.simulate(**CORPUS[name], cache=store)
+    warm = repro.api.simulate(**CORPUS[name], cache=store)
+    assert_results_byte_equal(expected, cold, label=f"{name} (cold)")
+    assert_results_byte_equal(expected, warm, label=f"{name} (cache hit)")

@@ -409,6 +409,30 @@ class TestObservability:
         assert summary["count"] == 1
         assert summary["p95"] >= summary["mean"] * 0.5
 
+    def test_served_cache_hits_are_identical_and_counted(self, tmp_path):
+        store = tmp_path / "store"
+        with _server(tmp_path) as thread, _connect(thread) as client:
+            cold = client.simulate(
+                seed=11, cache=str(store), timeout=60.0, **QUICK
+            )
+            warm = client.simulate(
+                seed=11, cache=str(store), timeout=60.0, **QUICK
+            )
+            uncached = client.simulate(seed=11, timeout=60.0, **QUICK)
+            stats = client.stats()
+        for field in ("time_s", "s", "lateral_offset", "y_l_true",
+                      "steering", "speed"):
+            arrays = [getattr(r, field) for r in (cold, warm, uncached)]
+            assert arrays[0].tobytes() == arrays[1].tobytes()
+            assert arrays[0].tobytes() == arrays[2].tobytes()
+        assert cold.manifest == warm.manifest
+        counters = stats["counters"]
+        assert counters["service.cache.misses"] == 1
+        assert counters["service.cache.stores"] == 1
+        assert counters["service.cache.hits"] == 1
+        # The uncached request contributed nothing to the cache tallies.
+        assert counters["service.op.simulate"] == 3
+
 
 class TestConstruction:
     def test_server_requires_exactly_one_transport(self):
